@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation of the workload-stratification tunables (paper §VI-B2):
+ * the stddev threshold TSD and the minimum stratum size WT control
+ * the number of strata and the precision gain. Evaluated on the
+ * 4-core DIP-vs-LRU pair under IPCT, like Figure 6's top panel.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    using namespace wsel::bench;
+
+    const ThroughputMetric metric = ThroughputMetric::IPCT;
+    const std::size_t draws = empiricalDraws();
+    const Campaign c = standardBadcoCampaign(4);
+
+    // The close pair (DRRIP vs DIP) keeps the curves off the 1.0
+    // ceiling so parameter effects are visible.
+    const auto tx = c.perWorkloadThroughputs(
+        c.policyIndex(PolicyKind::DIP), metric);
+    const auto ty = c.perWorkloadThroughputs(
+        c.policyIndex(PolicyKind::DRRIP), metric);
+    const auto d = perWorkloadDifferences(metric, tx, ty);
+
+    std::printf("ABLATION: workload-stratification parameters "
+                "(DRRIP vs DIP, IPCT, %zu workloads)\n\n",
+                tx.size());
+    std::printf("%10s %6s %8s | %s\n", "TSD", "WT", "strata",
+                "confidence at W = 4 / 8 / 16");
+
+    Rng rng(21);
+    auto rnd = makeRandomSampler(tx.size());
+    for (double tsd : {0.0001, 0.001, 0.01, 0.05}) {
+        for (std::size_t wt : {10u, 50u, 200u}) {
+            WorkloadStrataConfig cfg{tsd, wt};
+            const std::size_t strata = countWorkloadStrata(d, cfg);
+            auto s = makeWorkloadStratifiedSampler(d, cfg);
+            std::printf("%10.4f %6zu %8zu |", tsd, wt, strata);
+            for (std::size_t w : {4u, 8u, 16u}) {
+                const double conf = empiricalConfidence(
+                    *s, w, draws, metric, tx, ty, rng);
+                std::printf(" %7.3f", conf);
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nrandom-sampling reference:       |");
+    for (std::size_t w : {4u, 8u, 16u}) {
+        std::printf(" %7.3f", empiricalConfidence(*rnd, w, draws,
+                                                  metric, tx, ty,
+                                                  rng));
+    }
+    std::printf("\n\npaper defaults TSD=0.001, WT=50: a handful of "
+                "strata already capture most of the gain;\n"
+                "very small TSD multiplies strata with little "
+                "benefit (W cannot go below the stratum count).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Section V-B quantified: "we cannot be certain that the value of
+ * cv estimated on a sample is accurate unless we know a priori that
+ * one microarchitecture significantly outperforms the other."
+ *
+ * For each policy pair, draw many random samples of the sizes
+ * studies typically use and report the spread of the 1/cv estimate
+ * against the population value — small samples give unstable cv for
+ * close pairs, which is exactly why the paper sizes samples with a
+ * fast approximate simulator instead.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "stats/summary.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    using namespace wsel::bench;
+
+    const ThroughputMetric metric = ThroughputMetric::IPCT;
+    const Campaign c = standardBadcoCampaign(4);
+    const std::size_t draws = 400;
+
+    std::printf("SECTION V-B: stability of the 1/cv estimate vs "
+                "sample size (IPCT, 4 cores,\n%zu-workload "
+                "population, %zu bootstrap samples per cell)\n\n",
+                c.workloads.size(), draws);
+    std::printf("%-12s %10s | %s\n", "pair", "population",
+                "sample p10 / median / p90 of 1/cv");
+    std::printf("%-12s %10s | %12s %21s %21s\n", "", "1/cv",
+                "W=30", "W=100", "W=400");
+
+    Rng rng(5);
+    for (const PolicyPair &pair : paperPolicyPairs()) {
+        const auto tb = c.perWorkloadThroughputs(
+            c.policyIndex(pair.b), metric);
+        const auto ta = c.perWorkloadThroughputs(
+            c.policyIndex(pair.a), metric);
+        const auto d = perWorkloadDifferences(metric, tb, ta);
+        const double pop_inv = differenceStats(d).inverseCv();
+
+        std::printf("%-12s %10.3f |", pair.label().c_str(),
+                    pop_inv);
+        for (std::size_t w : {30u, 100u, 400u}) {
+            std::vector<double> estimates;
+            estimates.reserve(draws);
+            for (std::size_t t = 0; t < draws; ++t) {
+                RunningStats s;
+                for (std::size_t i = 0; i < w; ++i)
+                    s.add(d[rng.nextInt(d.size())]);
+                const double sigma = s.stddevPopulation();
+                estimates.push_back(
+                    sigma > 0.0 ? s.mean() / sigma : 0.0);
+            }
+            std::printf("  %5.2f/%5.2f/%5.2f",
+                        quantile(estimates, 0.1),
+                        quantile(estimates, 0.5),
+                        quantile(estimates, 0.9));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nreading: for well-separated pairs the estimate "
+                "stabilizes quickly; for the close pair\n"
+                "(DIP>DRRIP) a 30-workload sample can misestimate "
+                "1/cv by half or more — and since\neq. (8) squares "
+                "cv, the inferred sample size is off by a larger "
+                "factor. This is the\npaper's argument for "
+                "estimating cv on a large approximate-simulation "
+                "sample.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 1 reproduction: the degree of confidence as a function of
+ * x = (1/cv) * sqrt(W/2) (eq. 5), printed as the series the paper
+ * plots, with a Monte-Carlo cross-check of the normal
+ * approximation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/confidence/confidence.hh"
+#include "stats/rng.hh"
+
+int
+main()
+{
+    using namespace wsel;
+
+    std::printf("FIGURE 1. degree of confidence vs "
+                "(1/cv)*sqrt(W/2)  (eq. 5)\n\n");
+    std::printf("%8s %10s %12s\n", "x", "conf", "montecarlo");
+
+    Rng rng(1);
+    for (double x = -2.0; x <= 2.0001; x += 0.25) {
+        const double conf = confidenceFromX(x);
+
+        // Monte-Carlo: mean of W=8 samples from N(mu, sigma) with
+        // (1/cv)sqrt(W/2) = x  =>  mu/sigma = x / sqrt(W/2).
+        const int w = 8;
+        const double mu_over_sigma = x / std::sqrt(w / 2.0);
+        int wins = 0;
+        const int trials = 40000;
+        for (int t = 0; t < trials; ++t) {
+            double sum = 0.0;
+            for (int i = 0; i < w; ++i)
+                sum += mu_over_sigma + rng.nextGaussian();
+            wins += sum > 0.0;
+        }
+        std::printf("%8.2f %10.4f %12.4f\n", x, conf,
+                    wins / static_cast<double>(trials));
+    }
+
+    std::printf("\nconfidence saturates at |x| = 2 "
+                "(conf(2) = %.4f), giving eq. (8): W = 8*cv^2\n",
+                confidenceFromX(2.0));
+    std::printf("examples of eq. (8): cv=1 -> W=%zu, cv=2.5 -> "
+                "W=%zu, cv=10 -> W=%zu\n",
+                requiredSampleSize(1.0), requiredSampleSize(2.5),
+                requiredSampleSize(10.0));
+    return 0;
+}

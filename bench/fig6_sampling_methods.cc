@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Figure 6 reproduction — the paper's central experiment: the
+ * experimental degree of confidence as a function of sample size
+ * for four sampling methods (simple random, balanced random,
+ * benchmark stratification, workload stratification), on four
+ * policy pairs (DIP>LRU, DRRIP>LRU, DRRIP>DIP, FIFO>RND), 4 cores,
+ * IPCT metric, estimated with BADCO over the workload population.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    using namespace wsel::bench;
+
+    const ThroughputMetric metric = ThroughputMetric::IPCT;
+    const std::size_t draws = empiricalDraws();
+    const Campaign c = standardBadcoCampaign(4);
+    const auto &suite = spec2006Suite();
+
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), 4);
+    const bool full_population = c.workloads.size() == pop.size();
+
+    // Benchmark classes for benchmark stratification: Table IV.
+    std::vector<std::uint32_t> cls;
+    for (const auto &p : suite)
+        cls.push_back(static_cast<std::uint32_t>(p.paperClass));
+
+    // The paper's four panels are DIP>LRU, DRRIP>LRU, DRRIP>DIP and
+    // FIFO>RND. Two adaptations: on our substrate RND slightly beats
+    // FIFO (the paper's Zesto setup has FIFO ahead), so the last
+    // pair is oriented RND>FIFO to keep the confidence curves
+    // rising; and our policy gaps have smaller cv than the paper's,
+    // so the method separation happens at smaller sample sizes —
+    // the size grid therefore starts at W=2.
+    const PolicyPair pairs[] = {
+        {PolicyKind::DIP, PolicyKind::LRU},
+        {PolicyKind::DRRIP, PolicyKind::LRU},
+        {PolicyKind::DRRIP, PolicyKind::DIP},
+        {PolicyKind::Random, PolicyKind::FIFO},
+    };
+    const std::size_t sizes[] = {2,  3,  4,  6,  8,   10, 15,
+                                 20, 30, 40, 60, 100, 160};
+
+    std::printf("FIGURE 6. experimental degree of confidence vs "
+                "sample size\n");
+    std::printf("metric %s, 4 cores, %zu-workload population, %zu "
+                "draws per point\n",
+                toString(metric).c_str(), c.workloads.size(),
+                draws);
+    if (!full_population) {
+        std::printf("NOTE: population is subsampled "
+                    "(WSEL_POP_LIMIT); balanced random sampling "
+                    "needs the full population and is skipped.\n");
+    }
+    std::printf("\n");
+
+    // Samplers that do not depend on the pair.
+    auto rnd = makeRandomSampler(c.workloads.size());
+    std::unique_ptr<Sampler> bal;
+    if (full_population) {
+        // The campaign enumerates the population in lexicographic
+        // order, so rank == position.
+        std::vector<std::size_t> index_of_rank(pop.size());
+        for (std::size_t i = 0; i < index_of_rank.size(); ++i)
+            index_of_rank[i] = i;
+        bal = makeBalancedRandomSampler(pop,
+                                        std::move(index_of_rank));
+    }
+    auto bench_strata =
+        makeBenchmarkStratifiedSampler(c.workloads, cls, 3);
+
+    for (const PolicyPair &pair : pairs) {
+        const auto tx = c.perWorkloadThroughputs(
+            c.policyIndex(pair.b), metric);
+        const auto ty = c.perWorkloadThroughputs(
+            c.policyIndex(pair.a), metric);
+        const auto d = perWorkloadDifferences(metric, tx, ty);
+        const DifferenceStats ds = differenceStats(d);
+
+        // Workload stratification is rebuilt per pair (paper:
+        // "strata are defined separately and independently for
+        // each pair and metric"), TSD = 0.001, WT = 50.
+        WorkloadStrataConfig wcfg;
+        auto wstrata = makeWorkloadStratifiedSampler(d, wcfg);
+        const std::size_t n_strata = countWorkloadStrata(d, wcfg);
+
+        std::printf("%s   (cv = %.2f, eq.8 random W = %zu, "
+                    "workload strata: %zu)\n",
+                    pair.label().c_str(), ds.cv,
+                    requiredSampleSize(ds.cv), n_strata);
+        std::printf("  %6s %8s %8s %8s %8s\n", "W", "random",
+                    "balanced", "bench-st", "wkld-st");
+        Rng rng(7);
+        for (std::size_t w : sizes) {
+            if (w > c.workloads.size())
+                continue;
+            const double c_rnd = empiricalConfidence(
+                *rnd, w, draws, metric, tx, ty, rng);
+            double c_bal = -1.0;
+            if (bal) {
+                c_bal = empiricalConfidence(*bal, w, draws, metric,
+                                            tx, ty, rng);
+            }
+            const double c_bench = empiricalConfidence(
+                *bench_strata, w, draws, metric, tx, ty, rng);
+            const double c_wkld = empiricalConfidence(
+                *wstrata, w, draws, metric, tx, ty, rng);
+            std::printf("  %6zu %8.3f ", w, c_rnd);
+            if (c_bal >= 0)
+                std::printf("%8.3f ", c_bal);
+            else
+                std::printf("%8s ", "-");
+            std::printf("%8.3f %8.3f\n", c_bench, c_wkld);
+        }
+        std::printf("\n");
+    }
+    std::printf("paper shape: workload stratification reaches high "
+                "confidence with the fewest workloads,\nbalanced "
+                "random is second, benchmark stratification only "
+                "slightly improves on random.\n");
+    return 0;
+}

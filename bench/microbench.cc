@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths:
+ * RNG draws, trace generation, cache accesses per policy, TAGE
+ * prediction, uncore requests, detailed-core cycles and BADCO
+ * machine steps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "badco/badco_machine.hh"
+#include "badco/badco_model.hh"
+#include "cache/cache.hh"
+#include "cpu/detailed_core.hh"
+#include "cpu/tage.hh"
+#include "mem/uncore.hh"
+#include "trace/trace_generator.hh"
+
+namespace
+{
+
+using namespace wsel;
+
+void
+BM_RngNextInt(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.nextInt(12650));
+}
+BENCHMARK(BM_RngNextInt);
+
+void
+BM_TraceGeneratorNext(benchmark::State &state)
+{
+    TraceGenerator gen(findProfile("mcf"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneratorNext);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    const PolicyKind kind =
+        static_cast<PolicyKind>(state.range(0));
+    Cache cache(CacheGeometry{128 * 1024, 16, 64}, kind, 1);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(64 * rng.nextInt(8192), false));
+    }
+    state.SetLabel(toString(kind));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(PolicyKind::LRU))
+    ->Arg(static_cast<int>(PolicyKind::Random))
+    ->Arg(static_cast<int>(PolicyKind::FIFO))
+    ->Arg(static_cast<int>(PolicyKind::DIP))
+    ->Arg(static_cast<int>(PolicyKind::DRRIP));
+
+void
+BM_TagePredict(benchmark::State &state)
+{
+    Tage tage;
+    Rng rng(3);
+    std::uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        pc = 0x400000 + 4 * rng.nextInt(512);
+        benchmark::DoNotOptimize(
+            tage.predictAndUpdate(pc, rng.nextBool(0.7)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_UncoreAccess(benchmark::State &state)
+{
+    const UncoreConfig cfg =
+        UncoreConfig::forCores(4, PolicyKind::LRU);
+    Uncore uncore(cfg, 1, 1);
+    Rng rng(4);
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        cycle += 10;
+        benchmark::DoNotOptimize(uncore.access(
+            cycle, 0, 64 * rng.nextInt(1 << 16), false, 0x400));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UncoreAccess);
+
+void
+BM_DetailedCoreUop(benchmark::State &state)
+{
+    const BenchmarkProfile &p = findProfile(
+        state.range(0) == 0 ? "povray" : "mcf");
+    PerfectUncore uncore(6);
+    TraceGenerator trace(p);
+    CoreConfig cfg;
+    DetailedCore core(cfg, trace, uncore, 0, 1ULL << 60, 1);
+    std::uint64_t now = 0;
+    std::uint64_t committed = 0;
+    for (auto _ : state) {
+        const std::uint64_t before = core.stats().committed;
+        core.tick(now);
+        const std::uint64_t next = core.nextEventCycle(now);
+        now = std::max(now + 1, next == UINT64_MAX ? now + 1 : next);
+        committed += core.stats().committed - before;
+    }
+    state.SetLabel(p.name);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(committed));
+}
+BENCHMARK(BM_DetailedCoreUop)->Arg(0)->Arg(1);
+
+void
+BM_BadcoMachineStep(benchmark::State &state)
+{
+    static const BadcoModel model = buildBadcoModel(
+        findProfile("mcf"), CoreConfig{}, 50000, 6);
+    const UncoreConfig cfg =
+        UncoreConfig::forCores(4, PolicyKind::LRU);
+    Uncore uncore(cfg, 1, 1);
+    BadcoMachine machine(model, uncore, 0, 1ULL << 60);
+    for (auto _ : state)
+        machine.run(machine.localClock() + 200);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(machine.stats().uops));
+}
+BENCHMARK(BM_BadcoMachineStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

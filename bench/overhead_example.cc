@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Section VII-A reproduction: the simulation-overhead worked
+ * example. Using this machine's measured simulation speeds, compute
+ * the cost of reaching a given confidence for DIP vs LRU with
+ * balanced random sampling vs the BADCO + workload-stratification
+ * flow, mirroring the paper's cpu*hours arithmetic.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    using namespace wsel::bench;
+
+    const std::uint32_t cores = 4;
+    const std::uint64_t target = targetUops();
+    const auto &suite = spec2006Suite();
+
+    // Measure this machine's simulation speeds on a few workloads.
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+    Rng rng(99);
+    DetailedMulticoreSim det(CoreConfig{}, ucfg, cores, target);
+    BadcoModelStore store(CoreConfig{}, target, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    const auto models = store.getSuite(suite);
+    BadcoMulticoreSim bad(ucfg, cores, target);
+    double det_i = 0, det_s = 0, bad_i = 0, bad_s = 0;
+    for (int i = 0; i < 5; ++i) {
+        const Workload w = pop.sampleUniform(rng);
+        const SimResult rd = det.run(w, suite);
+        const SimResult rb = bad.run(w, models);
+        det_i += static_cast<double>(rd.instructions);
+        det_s += rd.wallSeconds;
+        bad_i += static_cast<double>(rb.instructions);
+        bad_s += rb.wallSeconds;
+    }
+    const double mips_det = det_i / det_s / 1e6;
+    const double mips_bad = bad_i / bad_s / 1e6;
+    // Model building: two detailed single-thread traces per
+    // benchmark (one perfect-uncore, one slow-uncore run).
+    const double model_build_s =
+        22.0 * 2.0 *
+        (static_cast<double>(target) / (mips_det * 1e6));
+
+    // Confidence targets from the population campaign.
+    const Campaign c = standardBadcoCampaign(cores);
+    const ThroughputMetric metric = ThroughputMetric::IPCT;
+    const auto tx = c.perWorkloadThroughputs(
+        c.policyIndex(PolicyKind::LRU), metric);
+    const auto ty = c.perWorkloadThroughputs(
+        c.policyIndex(PolicyKind::DIP), metric);
+    const auto d = perWorkloadDifferences(metric, tx, ty);
+    const DifferenceStats ds = differenceStats(d);
+
+    auto rnd = makeRandomSampler(tx.size());
+    WorkloadStrataConfig wcfg;
+    auto wstrata = makeWorkloadStratifiedSampler(d, wcfg);
+    Rng r2(3);
+    const std::size_t draws = empiricalDraws();
+
+    const double insn_per_workload =
+        static_cast<double>(cores) * static_cast<double>(target);
+    const double det_sec_per_workload =
+        insn_per_workload / (mips_det * 1e6);
+    const double bad_sec_per_workload =
+        insn_per_workload / (mips_bad * 1e6);
+
+    std::printf("SECTION VII-A. simulation-overhead example "
+                "(DIP vs LRU, %s, %u cores)\n\n",
+                toString(metric).c_str(), cores);
+    std::printf("measured on this machine: detailed %.3f MIPS, "
+                "BADCO %.1f MIPS (%.0fx)\n",
+                mips_det, mips_bad, mips_bad / mips_det);
+    std::printf("population cv = %.2f -> eq.(8) random sample: "
+                "%zu workloads\n\n",
+                ds.cv, requiredSampleSize(ds.cv));
+
+    std::printf("%-34s %8s %12s %14s\n", "plan", "W", "confidence",
+                "detailed-sim s");
+    for (std::size_t w : {10u, 30u, 60u, 120u}) {
+        if (w > tx.size())
+            continue;
+        const double conf = empiricalConfidence(
+            *rnd, w, draws, metric, tx, ty, r2);
+        std::printf("%-34s %8zu %12.3f %14.1f\n",
+                    "random sampling, detailed sim", w, conf,
+                    2.0 * static_cast<double>(w) *
+                        det_sec_per_workload);
+    }
+    std::printf("\n");
+    for (std::size_t w : {10u, 30u}) {
+        const double conf = empiricalConfidence(
+            *wstrata, w, draws, metric, tx, ty, r2);
+        const double badco_s = 2.0 *
+                               static_cast<double>(tx.size()) *
+                               bad_sec_per_workload;
+        std::printf("%-34s %8zu %12.3f %14.1f  (+%.0fs models, "
+                    "+%.0fs badco population)\n",
+                    "workload strata (badco-guided)", w, conf,
+                    2.0 * static_cast<double>(w) *
+                        det_sec_per_workload,
+                    model_build_s, badco_s);
+    }
+    std::printf("\npaper arithmetic: stratification reached 99%% "
+                "confidence at the cost of 75%% extra\nsimulation, "
+                "where random sampling needed 300%% extra for 90%% "
+                "— a 4x smaller overhead\nfor more confidence.\n");
+    return 0;
+}

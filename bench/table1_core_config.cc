@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table I reproduction: the core configuration, paper values next to
+ * the scaled values this library simulates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cpu/core_config.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    const CoreConfig c;
+    std::printf("TABLE I. CORE CONFIGURATION "
+                "(paper value -> this library)\n");
+    std::printf("%-28s %-22s %s\n", "parameter", "paper", "wsel");
+    std::printf("%-28s %-22s %u/%u/%u\n", "decode/issue/commit",
+                "4/6/4", c.decodeWidth, c.issueWidth, c.commitWidth);
+    std::printf("%-28s %-22s %u/%u/%u/%u\n", "RS/LDQ/STQ/ROB",
+                "36/36/24/128", c.rsSize, c.ldqSize, c.stqSize,
+                c.robSize);
+    std::printf("%-28s %-22s %s\n", "clock", "3 GHz",
+                "3 GHz (cycle-based)");
+    std::printf("%-28s %-22s %llukB %u-way, %u-cycle, "
+                "next-line pf\n",
+                "IL1 cache", "32kB 4-way 2-cycle",
+                static_cast<unsigned long long>(
+                    c.il1.sizeBytes / 1024),
+                c.il1.ways, c.il1Latency);
+    std::printf("%-28s %-22s %u-entry %u-way\n", "ITLB",
+                "128-entry 4-way", c.itlbEntries, c.itlbWays);
+    std::printf("%-28s %-22s %llukB %u-way, %u-cycle, "
+                "IP-stride + next-line pf, %u MSHRs\n",
+                "DL1 cache", "32kB 8-way 2-cycle",
+                static_cast<unsigned long long>(
+                    c.dl1.sizeBytes / 1024),
+                c.dl1.ways, c.dl1Latency, c.dl1Mshrs);
+    std::printf("%-28s %-22s %u-entry %u-way\n", "DTLB",
+                "512-entry 4-way", c.dtlbEntries, c.dtlbWays);
+    std::printf("%-28s %-22s TAGE %u-entry bimodal + %ux%u tagged\n",
+                "branch predictor", "TAGE 4kB + BTAC",
+                1u << c.tage.bimodalBits, c.tage.numTables,
+                1u << c.tage.taggedBits);
+    std::printf("\nL1/TLB capacities are scaled 4x down alongside "
+                "the LLC scaling\n(100k-instruction traces vs the "
+                "paper's 100M; see DESIGN.md).\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table III reproduction: simulation speed (MIPS) of the detailed
+ * simulator vs the BADCO simulator for 1, 2, 4 and 8 cores, and the
+ * resulting speedup. The paper reports 0.17->0.017 MIPS for Zesto
+ * and 2.5->1.2 MIPS for BADCO (speedups 15x to 68x); absolute
+ * numbers differ on our scaled substrate, the shape (BADCO much
+ * faster, speedup growing with core count) is the target.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+
+int
+main()
+{
+    using namespace wsel;
+    using namespace wsel::bench;
+
+    const std::uint64_t target = targetUops();
+    const auto &suite = spec2006Suite();
+    const std::size_t reps =
+        static_cast<std::size_t>(envU64("WSEL_SPEED_REPS", 6));
+
+    std::printf("TABLE III. AVERAGE SIMULATION SPEEDUP "
+                "(%llu uops/thread, %zu workloads per cell)\n\n",
+                static_cast<unsigned long long>(target), reps);
+    std::printf("%-18s %8s %8s %8s %8s\n", "number of cores", "1",
+                "2", "4", "8");
+
+    double mips_det[4] = {0, 0, 0, 0};
+    double mips_bad[4] = {0, 0, 0, 0};
+    const std::uint32_t core_counts[4] = {1, 2, 4, 8};
+
+    for (int i = 0; i < 4; ++i) {
+        const std::uint32_t k = core_counts[i];
+        const UncoreConfig ucfg =
+            UncoreConfig::forCores(k == 1 ? 2 : k, PolicyKind::LRU);
+        const WorkloadPopulation pop(
+            static_cast<std::uint32_t>(suite.size()), k);
+        Rng rng(33 + k);
+        std::vector<Workload> ws;
+        for (std::size_t r = 0; r < reps; ++r)
+            ws.push_back(pop.sampleUniform(rng));
+
+        DetailedMulticoreSim det(CoreConfig{}, ucfg, k, target);
+        BadcoModelStore store(CoreConfig{}, target,
+                              ucfg.llcHitLatency,
+                              defaultCacheDir());
+        const auto models = store.getSuite(suite);
+        BadcoMulticoreSim bad(ucfg, k, target);
+
+        double det_insn = 0, det_sec = 0, bad_insn = 0, bad_sec = 0;
+        for (const Workload &w : ws) {
+            const SimResult rd = det.run(w, suite);
+            det_insn += static_cast<double>(rd.instructions);
+            det_sec += rd.wallSeconds;
+            const SimResult rb = bad.run(w, models);
+            bad_insn += static_cast<double>(rb.instructions);
+            bad_sec += rb.wallSeconds;
+        }
+        mips_det[i] = det_insn / det_sec / 1e6;
+        mips_bad[i] = bad_insn / bad_sec / 1e6;
+    }
+
+    std::printf("%-18s", "MIPS - detailed");
+    for (int i = 0; i < 4; ++i)
+        std::printf(" %8.3f", mips_det[i]);
+    std::printf("   (paper Zesto: 0.170 0.096 0.049 0.017)\n");
+    std::printf("%-18s", "MIPS - BADCO");
+    for (int i = 0; i < 4; ++i)
+        std::printf(" %8.2f", mips_bad[i]);
+    std::printf("   (paper BADCO: 2.52 2.41 1.89 1.19)\n");
+    std::printf("%-18s", "speedup");
+    for (int i = 0; i < 4; ++i)
+        std::printf(" %8.1f", mips_bad[i] / mips_det[i]);
+    std::printf("   (paper: 14.8 25.2 38.9 68.1)\n");
+    return 0;
+}

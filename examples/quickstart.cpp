@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: simulate one 4-core workload with both simulators,
+ * compare their IPCs (the approximate-vs-detailed tradeoff the paper
+ * builds on), and run the paper's sample-size rule on a toy example.
+ */
+
+#include <cstdio>
+
+#include "core/confidence/confidence.hh"
+#include "sim/campaign.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+#include "trace/benchmark_profile.hh"
+
+int
+main()
+{
+    using namespace wsel;
+
+    const std::uint64_t target = 100000; // µops per thread
+    const std::uint32_t cores = 4;
+    const auto &suite = spec2006Suite();
+
+    // A 4-thread workload: two cache-friendly threads, one
+    // streaming thread, one pointer-chasing thread.
+    std::vector<std::uint32_t> ids;
+    for (const char *name :
+         {"povray", "bzip2", "libquantum", "mcf"}) {
+        for (std::uint32_t i = 0; i < suite.size(); ++i) {
+            if (suite[i].name == name)
+                ids.push_back(i);
+        }
+    }
+    const Workload wl(ids);
+
+    std::printf("workload:");
+    for (std::uint32_t b : wl.benchmarks())
+        std::printf(" %s", suite[b].name.c_str());
+    std::printf("\n\n");
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    const CoreConfig ccfg;
+
+    // Detailed (cycle-level) simulation.
+    DetailedMulticoreSim detailed(ccfg, ucfg, cores, target);
+    const SimResult dres = detailed.run(wl, suite);
+    std::printf("detailed:  ");
+    for (std::size_t k = 0; k < dres.ipc.size(); ++k)
+        std::printf("IPC%zu=%.3f ", k, dres.ipc[k]);
+    std::printf(" (%.2f MIPS)\n", dres.mips());
+
+    // BADCO (behavioural) simulation: build models once, then
+    // simulate quickly.
+    BadcoModelStore store(ccfg, target, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    BadcoMulticoreSim badco(ucfg, cores, target);
+    const SimResult bres = badco.run(wl, store.getSuite(suite));
+    std::printf("badco:     ");
+    for (std::size_t k = 0; k < bres.ipc.size(); ++k)
+        std::printf("IPC%zu=%.3f ", k, bres.ipc[k]);
+    std::printf(" (%.2f MIPS, %.1fx speedup)\n\n",
+                bres.mips(), bres.mips() / dres.mips());
+
+    for (std::size_t k = 0; k < cores; ++k) {
+        const double cpi_d = 1.0 / dres.ipc[k];
+        const double cpi_b = 1.0 / bres.ipc[k];
+        std::printf("  core %zu (%s): CPI detailed=%.2f badco=%.2f "
+                    "(%+.0f%%)\n",
+                    k, suite[wl[k]].name.c_str(), cpi_d, cpi_b,
+                    100.0 * (cpi_b - cpi_d) / cpi_d);
+    }
+
+    // The paper's sample-size rule (eq. 8) on a made-up cv.
+    const double cv = 2.5;
+    std::printf("\neq. (8): comparing two designs with cv=%.1f "
+                "needs W = %zu random workloads\n",
+                cv, requiredSampleSize(cv));
+    return 0;
+}

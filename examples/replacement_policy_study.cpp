@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The paper's §VII practical guideline, end to end: compare a
+ * baseline microarchitecture (LRU LLC) against a challenger (DRRIP)
+ * the way the paper recommends —
+ *
+ *  1. build BADCO models (fast approximate simulator);
+ *  2. simulate a large balanced-random workload sample with BADCO;
+ *  3. estimate the coefficient of variation cv of d(w);
+ *  4. decide the regime: equivalent (|cv|>10), random sampling
+ *     (|cv|<2) or workload stratification (2<=|cv|<=10);
+ *  5. construct the sample and report what the detailed simulator
+ *     should run.
+ */
+
+#include <cstdio>
+
+#include "core/confidence/confidence.hh"
+#include "core/sampling/sampling.hh"
+#include "sim/campaign.hh"
+#include "sim/model_store.hh"
+
+int
+main()
+{
+    using namespace wsel;
+
+    const std::uint32_t cores = 4;
+    const std::uint64_t target = 100000;
+    const ThroughputMetric metric = ThroughputMetric::WSU;
+    const PolicyKind baseline = PolicyKind::LRU;
+    const PolicyKind challenger = PolicyKind::DRRIP;
+    const std::size_t big_sample = 800; // the paper's suggestion
+
+    const auto &suite = spec2006Suite();
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+
+    std::printf("== step 1: build BADCO models (one-off cost) ==\n");
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, baseline);
+    BadcoModelStore store(CoreConfig{}, target, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    store.getSuite(suite);
+    std::printf("built %zu models in %.1fs (cached for reuse)\n\n",
+                store.modelsBuilt(), store.buildSeconds());
+
+    std::printf("== step 2: balanced-random %zu-workload sample, "
+                "simulated with BADCO ==\n",
+                big_sample);
+    // Balanced random sampling: every benchmark appears equally
+    // often (paper §VI-A / §VII).
+    std::vector<std::size_t> identity(pop.size());
+    for (std::size_t i = 0; i < identity.size(); ++i)
+        identity[i] = i;
+    auto balanced = makeBalancedRandomSampler(pop, identity);
+    Rng rng(1);
+    const Sample big = balanced->draw(big_sample, rng);
+    std::vector<Workload> workloads;
+    for (std::size_t rank : big.flatten())
+        workloads.push_back(pop.unrank(rank));
+
+    CampaignOptions opts;
+    opts.verbose = true;
+    const Campaign c =
+        runBadcoCampaign(workloads, {baseline, challenger}, cores,
+                         target, store, suite, opts);
+    std::printf("simulated %zu workload-sims at %.1f MIPS\n\n",
+                workloads.size() * 2, c.mips());
+
+    std::printf("== step 3: estimate cv ==\n");
+    const auto tx = c.perWorkloadThroughputs(0, metric);
+    const auto ty = c.perWorkloadThroughputs(1, metric);
+    const DifferenceStats ds = differenceStats(metric, tx, ty);
+    std::printf("%s vs %s under %s: mean d = %+.5f, sigma = %.5f, "
+                "cv = %.2f (1/cv = %.2f)\n\n",
+                toString(challenger).c_str(),
+                toString(baseline).c_str(),
+                toString(metric).c_str(), ds.mu, ds.sigma, ds.cv,
+                ds.inverseCv());
+
+    std::printf("== step 4: regime decision (paper §VII) ==\n");
+    switch (classifyCv(ds.cv)) {
+      case CvRegime::Equivalent:
+        std::printf("|cv| > 10: the two machines offer the same "
+                    "average throughput; stop here.\n");
+        return 0;
+      case CvRegime::RandomSampling: {
+        const std::size_t w = requiredSampleSize(ds.cv);
+        std::printf("|cv| < 2: random sampling suffices. eq. (8) "
+                    "says W = %zu workloads\n(prefer balanced "
+                    "random for such small samples).\n\n",
+                    w);
+        const Sample final_sample =
+            balanced->draw(std::max<std::size_t>(w, 8), rng);
+        std::printf("== step 5: workloads for the detailed "
+                    "simulator ==\n");
+        for (std::size_t rank : final_sample.flatten()) {
+            const Workload wl = pop.unrank(rank);
+            std::printf("  ");
+            for (std::size_t k = 0; k < wl.size(); ++k)
+                std::printf("%s%s", k ? "+" : "",
+                            suite[wl[k]].name.c_str());
+            std::printf("\n");
+        }
+        return 0;
+      }
+      case CvRegime::Stratification:
+        break;
+    }
+
+    std::printf("2 <= |cv| <= 10: use workload stratification.\n\n");
+    const auto d = perWorkloadDifferences(metric, tx, ty);
+    WorkloadStrataConfig cfg; // paper: TSD=0.001, WT=50
+    auto strat = makeWorkloadStratifiedSampler(d, cfg);
+    const std::size_t strata = countWorkloadStrata(d, cfg);
+    const std::size_t w = std::max<std::size_t>(strata, 30);
+    std::printf("== step 5: %zu strata; drawing a %zu-workload "
+                "stratified sample ==\n",
+                strata, w);
+    const Sample final_sample = strat->draw(w, rng);
+    std::printf("(the stratified estimator must weight strata by "
+                "N_h/N, eq. 9)\n");
+    std::size_t h = 0;
+    for (const auto &st : final_sample.strata) {
+        std::printf("stratum %zu (weight %.0f):", h++, st.weight);
+        for (std::size_t pos : st.indices) {
+            const Workload &wl = workloads[pos];
+            std::printf(" ");
+            for (std::size_t k = 0; k < wl.size(); ++k)
+                std::printf("%s%s", k ? "+" : "",
+                            suite[wl[k]].name.c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

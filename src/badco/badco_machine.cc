@@ -1,0 +1,153 @@
+#include "badco/badco_machine.hh"
+
+#include <algorithm>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+BadcoMachine::BadcoMachine(const BadcoModel &model, UncoreIf &uncore,
+                           std::uint32_t core_id,
+                           std::uint64_t target_uops,
+                           std::uint32_t window,
+                           std::uint32_t max_outstanding)
+    : model_(model), uncore_(uncore), coreId_(core_id),
+      targetUops_(target_uops),
+      window_(window == 0 ? model.window : window),
+      maxOutstanding_(max_outstanding)
+{
+    if (model_.traceUops == 0 || model_.intrinsicCycles == 0)
+        WSEL_FATAL("empty BADCO model for " << model.benchmark);
+    if (max_outstanding == 0 || window_ == 0)
+        WSEL_FATAL("degenerate BADCO machine limits");
+    loadCompletion_.assign(model_.loadCount, 0);
+    outstanding_.reserve(max_outstanding);
+}
+
+double
+BadcoMachine::ipc() const
+{
+    if (stats_.cyclesToTarget == 0)
+        return 0.0;
+    return static_cast<double>(targetUops_) /
+           static_cast<double>(stats_.cyclesToTarget);
+}
+
+void
+BadcoMachine::expireOutstanding()
+{
+    std::erase_if(outstanding_, [this](const Outstanding &o) {
+        return o.completion <= clock_;
+    });
+}
+
+void
+BadcoMachine::checkTarget()
+{
+    if (stats_.cyclesToTarget != 0 || totalUops_ < targetUops_)
+        return;
+    // The target µop cannot commit before in-flight older loads
+    // complete.
+    std::uint64_t t = clock_;
+    for (const Outstanding &o : outstanding_)
+        t = std::max(t, o.completion);
+    stats_.cyclesToTarget = std::max<std::uint64_t>(t, 1);
+}
+
+void
+BadcoMachine::run(std::uint64_t until)
+{
+    while (clock_ < until) {
+        if (stopAtTarget_ && reachedTarget()) {
+            // Idle: the thread halted instead of restarting.
+            clock_ = until;
+            return;
+        }
+        step();
+    }
+}
+
+void
+BadcoMachine::step()
+{
+    if (nodeIdx_ >= model_.nodes.size()) {
+        // Tail of the slice, then thread restart.
+        clock_ += model_.tailWeight;
+        totalUops_ += model_.tailUops;
+        stats_.uops = totalUops_;
+        checkTarget();
+        nodeIdx_ = 0;
+        loadSeqInIter_ = 0;
+        return;
+    }
+
+    const BadcoNode &node = model_.nodes[nodeIdx_];
+
+    // Intrinsic execution of the node's µops.
+    clock_ += node.weight;
+    totalUops_ += node.uops;
+    stats_.uops = totalUops_;
+    expireOutstanding();
+
+    // Effective-window constraint: the machine cannot be more than
+    // window_ µops past an incomplete blocking load.
+    for (const Outstanding &o : outstanding_) {
+        if (totalUops_ > o.uopMark + window_ &&
+            o.completion > clock_) {
+            stats_.windowStallCycles += o.completion - clock_;
+            clock_ = o.completion;
+        }
+    }
+    expireOutstanding();
+
+    const BadcoRequest &req = node.req;
+    switch (req.type) {
+      case BadcoReqType::Load: {
+        if (req.dependsOn >= 0) {
+            WSEL_ASSERT(static_cast<std::uint64_t>(req.dependsOn) <
+                            loadSeqInIter_,
+                        "forward load dependency in model");
+            const std::uint64_t dep_done =
+                loadCompletion_[req.dependsOn];
+            if (dep_done > clock_) {
+                stats_.depStallCycles += dep_done - clock_;
+                clock_ = dep_done;
+                expireOutstanding();
+            }
+        }
+        // Outstanding-slot (MSHR) limit.
+        if (outstanding_.size() >= maxOutstanding_) {
+            std::uint64_t earliest = UINT64_MAX;
+            for (const Outstanding &o : outstanding_)
+                earliest = std::min(earliest, o.completion);
+            if (earliest > clock_)
+                clock_ = earliest;
+            expireOutstanding();
+        }
+        const std::uint64_t comp = uncore_.access(
+            clock_, coreId_, req.vaddr, false, req.pc, false);
+        outstanding_.push_back(Outstanding{comp, totalUops_});
+        WSEL_ASSERT(loadSeqInIter_ < loadCompletion_.size(),
+                    "load numbering overflow");
+        loadCompletion_[loadSeqInIter_++] = comp;
+        break;
+      }
+      case BadcoReqType::Store:
+        uncore_.access(clock_, coreId_, req.vaddr, true, req.pc,
+                       false);
+        break;
+      case BadcoReqType::Prefetch:
+        uncore_.access(clock_, coreId_, req.vaddr, false, req.pc,
+                       true);
+        break;
+      case BadcoReqType::Writeback:
+        uncore_.writeback(clock_, coreId_, req.vaddr);
+        break;
+    }
+    ++stats_.requests;
+    checkTarget();
+    ++nodeIdx_;
+}
+
+} // namespace wsel

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The BADCO machine: an abstract core that fetches and executes the
+ * nodes of a BadcoModel against a (shared) uncore. Much faster than
+ * the detailed core because it processes one node — not one µop, not
+ * one cycle — per step.
+ *
+ * Timing semantics: nodes execute in order, each consuming its
+ * intrinsic weight of core cycles. A node's request issues at the
+ * machine's local clock, after waiting for (a) the completion of the
+ * load it depends on, (b) the ROB window — the machine cannot run
+ * more than robSize µops past an incomplete blocking load — and
+ * (c) a free outstanding-request slot (L1 MSHR mirror). The thread
+ * restarts at the end of the model, like the paper's multiprogram
+ * protocol.
+ */
+
+#ifndef WSEL_BADCO_BADCO_MACHINE_HH
+#define WSEL_BADCO_BADCO_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "badco/badco_model.hh"
+#include "mem/uncore.hh"
+
+namespace wsel
+{
+
+/** Counters exposed by a BadcoMachine. */
+struct BadcoMachineStats
+{
+    std::uint64_t uops = 0;          ///< µops of progress so far
+    std::uint64_t requests = 0;      ///< uncore requests replayed
+    std::uint64_t depStallCycles = 0;    ///< dependency waits
+    std::uint64_t windowStallCycles = 0; ///< ROB-window waits
+    std::uint64_t cyclesToTarget = 0;    ///< clock when target hit
+};
+
+/**
+ * Trace-driven behavioural core executing one BadcoModel.
+ */
+class BadcoMachine
+{
+  public:
+    /**
+     * @param model Behavioural model to execute (caller-owned).
+     * @param uncore Shared uncore (caller-owned).
+     * @param core_id Core index at the uncore.
+     * @param target_uops µop count after which IPC freezes.
+     * @param window Effective out-of-order window in µops: how far
+     *        the machine may run past an incomplete blocking load.
+     *        0 (the default) uses the model's per-benchmark
+     *        calibrated window (second-trace calibration); nonzero
+     *        overrides it (for ablations).
+     * @param max_outstanding Outstanding-load cap (MLP limit).
+     */
+    BadcoMachine(const BadcoModel &model, UncoreIf &uncore,
+                 std::uint32_t core_id, std::uint64_t target_uops,
+                 std::uint32_t window = 0,
+                 std::uint32_t max_outstanding = 16);
+
+    /**
+     * Execute nodes until the local clock reaches @p until (the end
+     * of the current simulation quantum).
+     */
+    void run(std::uint64_t until);
+
+    /**
+     * Stop making progress once the target is reached instead of
+     * restarting the thread (an alternative to the paper's §IV-A
+     * restart protocol, for protocol ablations). Must be set before
+     * running.
+     */
+    void stopAtTarget(bool stop) { stopAtTarget_ = stop; }
+
+    /** True once target_uops µops of progress were made. */
+    bool reachedTarget() const { return stats_.cyclesToTarget != 0; }
+
+    /** IPC over the first target_uops µops. */
+    double ipc() const;
+
+    /** Local clock in core cycles. */
+    std::uint64_t localClock() const { return clock_; }
+
+    const BadcoMachineStats &stats() const { return stats_; }
+    std::uint32_t coreId() const { return coreId_; }
+
+  private:
+    void step();
+    void expireOutstanding();
+    void checkTarget();
+
+    const BadcoModel &model_;
+    UncoreIf &uncore_;
+    const std::uint32_t coreId_;
+    const std::uint64_t targetUops_;
+    const std::uint32_t window_;
+    const std::uint32_t maxOutstanding_;
+
+    std::uint64_t clock_ = 0;
+    std::size_t nodeIdx_ = 0;
+    std::uint64_t totalUops_ = 0;
+    bool stopAtTarget_ = false;
+
+    struct Outstanding
+    {
+        std::uint64_t completion;
+        std::uint64_t uopMark; ///< machine µop count at issue
+    };
+    std::vector<Outstanding> outstanding_;
+
+    /** Completion cycle of each load in the current iteration. */
+    std::vector<std::uint64_t> loadCompletion_;
+    std::uint64_t loadSeqInIter_ = 0;
+
+    BadcoMachineStats stats_;
+};
+
+} // namespace wsel
+
+#endif // WSEL_BADCO_BADCO_MACHINE_HH

@@ -1,0 +1,182 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+std::uint32_t
+CacheGeometry::sets() const
+{
+    return static_cast<std::uint32_t>(
+        sizeBytes / (static_cast<std::uint64_t>(ways) * lineBytes));
+}
+
+void
+CacheGeometry::validate() const
+{
+    if (lineBytes == 0 || !std::has_single_bit(lineBytes))
+        WSEL_FATAL("cache line size " << lineBytes
+                                      << " is not a power of two");
+    if (ways == 0)
+        WSEL_FATAL("cache associativity cannot be zero");
+    const std::uint64_t line_capacity =
+        static_cast<std::uint64_t>(ways) * lineBytes;
+    if (sizeBytes == 0 || sizeBytes % line_capacity != 0)
+        WSEL_FATAL("cache size " << sizeBytes
+                                 << " not divisible by ways*line ("
+                                 << line_capacity << ")");
+    const std::uint32_t s = sets();
+    if (s == 0 || !std::has_single_bit(s))
+        WSEL_FATAL("cache set count " << s
+                                      << " is not a power of two");
+}
+
+Cache::Cache(const CacheGeometry &geom, PolicyKind policy,
+             std::uint64_t seed, std::string name)
+    : Cache(geom,
+            [geom, policy, seed]() {
+                return makePolicy(policy, geom.sets(), geom.ways,
+                                  seed);
+            },
+            std::move(name))
+{}
+
+Cache::Cache(const CacheGeometry &geom, PolicyFactory factory,
+             std::string name)
+    : geom_(geom), name_(std::move(name)),
+      factory_(std::move(factory))
+{
+    geom_.validate();
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(geom_.lineBytes)));
+    setMask_ = geom_.sets() - 1;
+    lines_.assign(static_cast<std::size_t>(geom_.sets()) * geom_.ways,
+                  Line{});
+    policy_ = factory_();
+    if (!policy_)
+        WSEL_FATAL("policy factory returned null for cache '"
+                   << name_ << "'");
+    if (policy_->sets() != geom_.sets() ||
+        policy_->ways() != geom_.ways)
+        WSEL_FATAL("policy shape " << policy_->sets() << "x"
+                   << policy_->ways() << " does not match cache '"
+                   << name_ << "'");
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr) & setMask_;
+}
+
+Cache::Result
+Cache::access(std::uint64_t byte_addr, bool is_write,
+              bool is_prefetch)
+{
+    const std::uint64_t la = lineAddr(byte_addr);
+    const std::uint32_t set = setIndex(la);
+    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+
+    if (is_prefetch)
+        ++stats_.prefetchAccesses;
+    else
+        ++stats_.demandAccesses;
+
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (ln[w].valid && ln[w].tag == la) {
+            policy_->onHit(set, w);
+            if (is_write)
+                ln[w].dirty = true;
+            if (is_prefetch)
+                ++stats_.prefetchHits;
+            else
+                ++stats_.demandHits;
+            return Result{true, {}};
+        }
+    }
+
+    if (is_prefetch)
+        ++stats_.prefetchMisses;
+    else
+        ++stats_.demandMisses;
+    policy_->onMiss(set);
+    return fill(la, is_write);
+}
+
+Cache::Result
+Cache::fill(std::uint64_t line_addr, bool is_write)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+
+    std::uint32_t victim = geom_.ways;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!ln[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    Result res;
+    res.hit = false;
+    if (victim == geom_.ways) {
+        victim = policy_->selectVictim(set);
+        WSEL_ASSERT(victim < geom_.ways,
+                    "policy returned way " << victim);
+        if (ln[victim].dirty) {
+            res.evicted = Evicted{true, true, ln[victim].tag};
+            ++stats_.writebacksOut;
+        } else {
+            res.evicted = Evicted{true, false, ln[victim].tag};
+        }
+    }
+    ln[victim].tag = line_addr;
+    ln[victim].valid = true;
+    ln[victim].dirty = is_write;
+    policy_->onFill(set, victim);
+    return res;
+}
+
+bool
+Cache::probe(std::uint64_t byte_addr) const
+{
+    const std::uint64_t la = lineAddr(byte_addr);
+    const std::uint32_t set = setIndex(la);
+    const Line *ln =
+        &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (ln[w].valid && ln[w].tag == la)
+            return true;
+    }
+    return false;
+}
+
+Cache::Result
+Cache::writeback(std::uint64_t byte_addr)
+{
+    const std::uint64_t la = lineAddr(byte_addr);
+    const std::uint32_t set = setIndex(la);
+    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (ln[w].valid && ln[w].tag == la) {
+            ln[w].dirty = true;
+            // Writebacks do not update replacement state: they are
+            // not program references.
+            return Result{true, {}};
+        }
+    }
+    return fill(la, true);
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    policy_ = factory_();
+    stats_ = CacheStats{};
+}
+
+} // namespace wsel

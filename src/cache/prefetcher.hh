@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware prefetchers: next-line, IP-based stride, and stream.
+ *
+ * Table I/II of the paper attach a next-line + IP-stride prefetcher
+ * to the L1s and an IP-stride + stream prefetcher to the LLC. A
+ * prefetcher observes demand accesses and proposes line addresses to
+ * fetch; the owning cache level issues them.
+ */
+
+#ifndef WSEL_CACHE_PREFETCHER_HH
+#define WSEL_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wsel
+{
+
+/**
+ * Prefetcher interface. Addresses are line addresses (byte address
+ * divided by the line size) so proposals are line-granular.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access and append prefetch proposals.
+     *
+     * @param pc Program counter of the access (0 if unknown).
+     * @param line_addr Line address accessed.
+     * @param was_miss Whether the demand access missed.
+     * @param out Receives proposed line addresses.
+     */
+    virtual void observe(std::uint64_t pc, std::uint64_t line_addr,
+                         bool was_miss,
+                         std::vector<std::uint64_t> &out) = 0;
+
+    /** Clear learned state. */
+    virtual void reset() = 0;
+
+    /** Diagnostic name. */
+    virtual std::string name() const = 0;
+};
+
+/** Always proposes the next sequential line on a miss. */
+std::unique_ptr<Prefetcher> makeNextLinePrefetcher(
+    std::uint32_t degree = 1);
+
+/**
+ * Classic IP-indexed stride prefetcher with 2-bit confidence.
+ *
+ * @param table_entries Tracking-table size (power of two).
+ * @param degree Lines prefetched ahead once confident.
+ */
+std::unique_ptr<Prefetcher> makeIpStridePrefetcher(
+    std::uint32_t table_entries = 64, std::uint32_t degree = 2);
+
+/**
+ * Stream prefetcher: detects ascending or descending line streams
+ * near recent misses and runs @p degree lines ahead.
+ *
+ * @param streams Number of concurrently tracked streams.
+ * @param degree Prefetch distance in lines.
+ */
+std::unique_ptr<Prefetcher> makeStreamPrefetcher(
+    std::uint32_t streams = 8, std::uint32_t degree = 2);
+
+/** Composite prefetcher running several engines in sequence. */
+std::unique_ptr<Prefetcher> makeCompositePrefetcher(
+    std::vector<std::unique_ptr<Prefetcher>> parts);
+
+/** No-op prefetcher. */
+std::unique_ptr<Prefetcher> makeNullPrefetcher();
+
+} // namespace wsel
+
+#endif // WSEL_CACHE_PREFETCHER_HH

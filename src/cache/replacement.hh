@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Replacement-policy framework for set-associative caches.
+ *
+ * The paper's case study compares five LLC replacement policies:
+ * LRU, RANDOM, FIFO, DIP (Qureshi et al., ISCA'07) and DRRIP (Jaleel
+ * et al., ISCA'10). We implement those five plus several extras
+ * (SRRIP, BRRIP, BIP, NRU, PLRU) that are useful for ablations.
+ */
+
+#ifndef WSEL_CACHE_REPLACEMENT_HH
+#define WSEL_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/** Identifiers for the available replacement policies. */
+enum class PolicyKind : std::uint8_t
+{
+    LRU,
+    Random,
+    FIFO,
+    DIP,
+    DRRIP,
+    SRRIP,
+    BRRIP,
+    BIP,
+    LIP,
+    NRU,
+    PLRU,
+};
+
+/** Short name ("LRU", "RND", "FIFO", "DIP", "DRRIP", ...). */
+std::string toString(PolicyKind kind);
+
+/** Parse a short name; fatal on unknown names. */
+PolicyKind parsePolicyKind(const std::string &name);
+
+/** The five policies evaluated in the paper, in paper order. */
+const std::vector<PolicyKind> &paperPolicies();
+
+/**
+ * Replacement state for one cache instance.
+ *
+ * The cache notifies the policy of hits, fills and misses, and asks
+ * it for a victim way when a set is full. Policies may keep per-set
+ * per-way metadata and global state (e.g. DIP/DRRIP set-dueling
+ * counters).
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(std::uint32_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways)
+    {}
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** A lookup hit way @p way of set @p set. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A new line was filled into way @p way of set @p set. */
+    virtual void onFill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A lookup missed in set @p set (before any fill). */
+    virtual void onMiss(std::uint32_t set) { (void)set; }
+
+    /**
+     * Choose a victim way in a full set. Only called when every way
+     * holds a valid line.
+     */
+    virtual std::uint32_t selectVictim(std::uint32_t set) = 0;
+
+    /** Policy identifier. */
+    virtual PolicyKind kind() const = 0;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+  protected:
+    const std::uint32_t sets_;
+    const std::uint32_t ways_;
+};
+
+/**
+ * Instantiate a policy.
+ *
+ * @param kind Which policy.
+ * @param sets Number of sets in the cache.
+ * @param ways Associativity.
+ * @param seed Determinism seed for randomized policies.
+ */
+std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
+                                              std::uint32_t sets,
+                                              std::uint32_t ways,
+                                              std::uint64_t seed);
+
+/** Tunables for the set-dueling policies (DIP / DRRIP). */
+struct DuelingConfig
+{
+    /** One leader set per this many sets, per team. */
+    std::uint32_t leaderSpacing = 32;
+    /** PSEL counter width in bits. */
+    std::uint32_t pselBits = 10;
+    /** Bimodal throttle: 1-in-N MRU/long insertions. */
+    std::uint32_t bimodalEpsilon = 32;
+};
+
+/** Instantiate DIP with explicit dueling tunables (for ablations). */
+std::unique_ptr<ReplacementPolicy> makeDip(std::uint32_t sets,
+                                           std::uint32_t ways,
+                                           std::uint64_t seed,
+                                           const DuelingConfig &cfg);
+
+/** Instantiate DRRIP with explicit tunables (for ablations). */
+std::unique_ptr<ReplacementPolicy> makeDrrip(std::uint32_t sets,
+                                             std::uint32_t ways,
+                                             std::uint64_t seed,
+                                             const DuelingConfig &cfg,
+                                             std::uint32_t rrpvBits = 2);
+
+} // namespace wsel
+
+#endif // WSEL_CACHE_REPLACEMENT_HH

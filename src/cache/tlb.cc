@@ -1,0 +1,88 @@
+#include "cache/tlb.hh"
+
+#include <bit>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t ways,
+         std::uint32_t page_bytes)
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        WSEL_FATAL("bad TLB shape: " << entries << " entries, "
+                                     << ways << " ways");
+    sets_ = entries / ways;
+    ways_ = ways;
+    if (!std::has_single_bit(sets_))
+        WSEL_FATAL("TLB set count " << sets_
+                                    << " is not a power of two");
+    if (!std::has_single_bit(page_bytes))
+        WSEL_FATAL("page size " << page_bytes
+                                << " is not a power of two");
+    pageShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(page_bytes)));
+    entries_.assign(static_cast<std::size_t>(sets_) * ways_, Entry{});
+}
+
+bool
+Tlb::access(std::uint64_t vaddr)
+{
+    ++accesses_;
+    const std::uint64_t vpn = vaddr >> pageShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(vpn) & (sets_ - 1);
+    Entry *e = &entries_[static_cast<std::size_t>(set) * ways_];
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (e[w].valid && e[w].vpn == vpn) {
+            const std::uint8_t old = e[w].lru;
+            for (std::uint32_t x = 0; x < ways_; ++x) {
+                if (e[x].lru < old)
+                    ++e[x].lru;
+            }
+            e[w].lru = 0;
+            return true;
+        }
+    }
+
+    ++misses_;
+    // Victim: invalid way first, else LRU.
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!e[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (e[w].lru == ways_ - 1) {
+                victim = w;
+                break;
+            }
+        }
+    }
+    WSEL_ASSERT(victim < ways_, "TLB LRU state corrupted");
+    const std::uint8_t old = e[victim].valid
+                                 ? e[victim].lru
+                                 : static_cast<std::uint8_t>(ways_ - 1);
+    for (std::uint32_t x = 0; x < ways_; ++x) {
+        if (e[x].lru < old)
+            ++e[x].lru;
+    }
+    e[victim].vpn = vpn;
+    e[victim].valid = true;
+    e[victim].lru = 0;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace wsel

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small set-associative TLB with LRU replacement (Table I models
+ * 128-entry ITLB and 512-entry DTLB with 4 kB pages).
+ */
+
+#ifndef WSEL_CACHE_TLB_HH
+#define WSEL_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wsel
+{
+
+/**
+ * Translation look-aside buffer. Only hit/miss behaviour is
+ * modelled; the page walk penalty is applied by the core.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param entries Total entries (power of two).
+     * @param ways Associativity (divides entries).
+     * @param page_bytes Page size (power of two).
+     */
+    Tlb(std::uint32_t entries, std::uint32_t ways,
+        std::uint32_t page_bytes = 4096);
+
+    /** Look up @p vaddr; allocates on miss. @return hit? */
+    bool access(std::uint64_t vaddr);
+
+    /** Invalidate all entries; keep statistics. */
+    void flush();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                               static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t vpn = 0;
+        bool valid = false;
+        std::uint8_t lru = 0;
+    };
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t pageShift_;
+    std::vector<Entry> entries_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace wsel
+
+#endif // WSEL_CACHE_TLB_HH

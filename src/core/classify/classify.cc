@@ -1,0 +1,236 @@
+#include "core/classify/classify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/kmeans.hh"
+#include "stats/logging.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+std::vector<std::vector<double>>
+normalizeFeatures(const std::vector<std::vector<double>> &features)
+{
+    if (features.empty())
+        WSEL_FATAL("no feature rows to normalize");
+    const std::size_t dim = features.front().size();
+    if (dim == 0)
+        WSEL_FATAL("feature rows are empty");
+    for (const auto &row : features) {
+        if (row.size() != dim)
+            WSEL_FATAL("ragged feature matrix: row of " << row.size()
+                       << " columns, expected " << dim);
+    }
+    std::vector<std::vector<double>> out = features;
+    for (std::size_t c = 0; c < dim; ++c) {
+        RunningStats st;
+        for (const auto &row : features)
+            st.add(row[c]);
+        const double mu = st.mean();
+        const double sigma = st.stddevPopulation();
+        for (auto &row : out) {
+            row[c] = sigma > 0.0 ? (row[c] - mu) / sigma : 0.0;
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint32_t>
+classifyByFeatures(const std::vector<std::vector<double>> &features,
+                   std::uint32_t k, std::size_t order_by, Rng &rng,
+                   std::size_t restarts)
+{
+    if (order_by >= features.front().size())
+        WSEL_FATAL("order_by column " << order_by
+                                      << " out of range");
+    const auto norm = normalizeFeatures(features);
+
+    KMeansResult best;
+    double best_inertia = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < std::max<std::size_t>(restarts, 1);
+         ++r) {
+        Rng child = rng.split();
+        KMeansResult res = kmeans(norm, k, child);
+        if (res.inertia < best_inertia) {
+            best_inertia = res.inertia;
+            best = std::move(res);
+        }
+    }
+
+    // Relabel clusters by ascending mean of the ordering column
+    // (in the original, un-normalized units).
+    std::vector<double> key(k, 0.0);
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        key[best.assignment[i]] += features[i][order_by];
+        ++count[best.assignment[i]];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+        key[c] = count[c]
+                     ? key[c] / static_cast<double>(count[c])
+                     : std::numeric_limits<double>::infinity();
+    }
+    std::vector<std::uint32_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return key[a] < key[b];
+                     });
+    std::vector<std::uint32_t> relabel(k);
+    for (std::uint32_t rank = 0; rank < k; ++rank)
+        relabel[order[rank]] = rank;
+
+    std::vector<std::uint32_t> out(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i)
+        out[i] = relabel[best.assignment[i]];
+    return out;
+}
+
+namespace
+{
+
+/** Stratified sampler whose strata come from workload clusters. */
+class WorkloadClusterSampler : public Sampler
+{
+  public:
+    WorkloadClusterSampler(
+        const std::vector<std::vector<double>> &features,
+        std::uint32_t clusters, Rng &rng)
+    {
+        if (clusters == 0 || clusters > features.size())
+            WSEL_FATAL("cannot build " << clusters
+                       << " clusters from " << features.size()
+                       << " workloads");
+        const auto norm = normalizeFeatures(features);
+        KMeansResult best;
+        double best_inertia =
+            std::numeric_limits<double>::infinity();
+        for (int r = 0; r < 10; ++r) {
+            Rng child = rng.split();
+            KMeansResult res = kmeans(norm, clusters, child);
+            if (res.inertia < best_inertia) {
+                best_inertia = res.inertia;
+                best = std::move(res);
+            }
+        }
+        groups_.resize(clusters);
+        for (std::size_t i = 0; i < features.size(); ++i)
+            groups_[best.assignment[i]].push_back(i);
+        // Drop clusters the re-seeding left empty.
+        std::erase_if(groups_,
+                      [](const auto &g) { return g.empty(); });
+    }
+
+    Sample
+    draw(std::size_t size, Rng &rng) const override
+    {
+        if (size == 0)
+            WSEL_FATAL("cannot draw an empty sample");
+        std::size_t population = 0;
+        for (const auto &g : groups_)
+            population += g.size();
+        if (size > population)
+            WSEL_FATAL("sample of " << size
+                       << " exceeds clustered population of "
+                       << population);
+
+        // Proportional largest-remainder allocation, capped by
+        // cluster sizes.
+        const std::size_t n = groups_.size();
+        std::vector<std::size_t> alloc(n, 0);
+        std::vector<double> frac(n, 0.0);
+        std::size_t assigned = 0;
+        for (std::size_t h = 0; h < n; ++h) {
+            const double quota =
+                static_cast<double>(size) *
+                static_cast<double>(groups_[h].size()) /
+                static_cast<double>(population);
+            alloc[h] = std::min(static_cast<std::size_t>(quota),
+                                groups_[h].size());
+            frac[h] = quota - std::floor(quota);
+            assigned += alloc[h];
+        }
+        // Random tie-break (see core/sampling): a deterministic
+        // order would systematically favor low-indexed clusters.
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return frac[a] > frac[b];
+                         });
+        while (assigned < size) {
+            bool progressed = false;
+            for (std::size_t h : order) {
+                if (assigned == size)
+                    break;
+                if (alloc[h] < groups_[h].size()) {
+                    ++alloc[h];
+                    ++assigned;
+                    progressed = true;
+                }
+            }
+            WSEL_ASSERT(progressed,
+                        "cluster allocation failed to converge");
+        }
+
+        Sample s;
+        for (std::size_t h = 0; h < n; ++h) {
+            if (alloc[h] == 0)
+                continue;
+            Sample::Stratum st;
+            st.weight = static_cast<double>(groups_[h].size());
+            const auto picks = rng.sampleWithoutReplacement(
+                groups_[h].size(), alloc[h]);
+            for (std::size_t p : picks)
+                st.indices.push_back(groups_[h][p]);
+            s.strata.push_back(std::move(st));
+        }
+        return s;
+    }
+
+    std::string name() const override { return "workload-cluster"; }
+
+  private:
+    std::vector<std::vector<std::size_t>> groups_;
+};
+
+} // namespace
+
+std::unique_ptr<Sampler>
+makeWorkloadClusterSampler(
+    const std::vector<std::vector<double>> &workload_features,
+    std::uint32_t clusters, Rng &rng)
+{
+    return std::make_unique<WorkloadClusterSampler>(
+        workload_features, clusters, rng);
+}
+
+std::vector<std::vector<double>>
+classCountFeatures(const std::vector<Workload> &workloads,
+                   const std::vector<std::uint32_t> &benchmark_class,
+                   std::uint32_t num_classes)
+{
+    if (num_classes == 0)
+        WSEL_FATAL("need at least one class");
+    std::vector<std::vector<double>> out;
+    out.reserve(workloads.size());
+    for (const Workload &w : workloads) {
+        std::vector<double> sig(num_classes, 0.0);
+        for (std::uint32_t b : w.benchmarks()) {
+            if (b >= benchmark_class.size() ||
+                benchmark_class[b] >= num_classes)
+                WSEL_FATAL("benchmark " << b
+                           << " has no valid class");
+            sig[benchmark_class[b]] += 1.0;
+        }
+        out.push_back(std::move(sig));
+    }
+    return out;
+}
+
+} // namespace wsel

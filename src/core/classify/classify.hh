@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Automatic classification — the paper's §II-B alternatives to
+ * manual benchmark classes:
+ *
+ *  - benchmark classification by cluster analysis on feature
+ *    vectors (Vandierendonck & Seznec used cluster analysis to
+ *    define 4 classes among SPEC CPU2000);
+ *  - workload clustering (Van Biesbrouck, Eeckhout & Calder apply
+ *    cluster analysis directly on workloads), exposed here as a
+ *    fifth sampling method: cluster workloads on feature vectors
+ *    and treat the clusters as strata.
+ *
+ * This module is pure math over feature matrices; feature
+ * *extraction* by simulation lives in sim/characterize.hh.
+ */
+
+#ifndef WSEL_CORE_CLASSIFY_CLASSIFY_HH
+#define WSEL_CORE_CLASSIFY_CLASSIFY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sampling/sampling.hh"
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/**
+ * Z-normalize the columns of a feature matrix (rows = items,
+ * columns = features). Constant columns become all-zero. Fatal on
+ * ragged input.
+ */
+std::vector<std::vector<double>> normalizeFeatures(
+    const std::vector<std::vector<double>> &features);
+
+/**
+ * Cluster items into @p k classes on z-normalized features, with
+ * multiple k-means restarts, and relabel classes in increasing
+ * order of the mean of column @p order_by (so class 0 is e.g. the
+ * lowest-MPKI class, like Table IV's Low).
+ *
+ * @return class index per item, in [0, k).
+ */
+std::vector<std::uint32_t> classifyByFeatures(
+    const std::vector<std::vector<double>> &features, std::uint32_t k,
+    std::size_t order_by, Rng &rng, std::size_t restarts = 10);
+
+/**
+ * Workload-cluster sampling (the Van Biesbrouck-style §II-B method):
+ * cluster workloads on per-workload feature vectors and use the
+ * clusters as strata for the eq. (9) estimator.
+ *
+ * @param workload_features One feature vector per population-list
+ *        position (e.g. per-class benchmark counts, or approximate
+ *        throughputs under the baseline).
+ * @param clusters Number of clusters/strata.
+ * @param rng Clustering seed.
+ */
+std::unique_ptr<Sampler> makeWorkloadClusterSampler(
+    const std::vector<std::vector<double>> &workload_features,
+    std::uint32_t clusters, Rng &rng);
+
+/**
+ * Convenience feature builder: the class-count signature of each
+ * workload (how many of its benchmarks fall in each class), a
+ * microarchitecture-independent workload descriptor.
+ */
+std::vector<std::vector<double>> classCountFeatures(
+    const std::vector<Workload> &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes);
+
+} // namespace wsel
+
+#endif // WSEL_CORE_CLASSIFY_CLASSIFY_HH

@@ -1,0 +1,166 @@
+#include "core/metrics/throughput.hh"
+
+#include <cmath>
+
+#include "stats/logging.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+std::string
+toString(ThroughputMetric m)
+{
+    switch (m) {
+      case ThroughputMetric::IPCT:
+        return "IPCT";
+      case ThroughputMetric::WSU:
+        return "WSU";
+      case ThroughputMetric::HSU:
+        return "HSU";
+      case ThroughputMetric::GSU:
+        return "GSU";
+    }
+    WSEL_PANIC("invalid metric " << static_cast<int>(m));
+}
+
+ThroughputMetric
+parseMetric(const std::string &name)
+{
+    for (ThroughputMetric m :
+         {ThroughputMetric::IPCT, ThroughputMetric::WSU,
+          ThroughputMetric::HSU, ThroughputMetric::GSU}) {
+        if (toString(m) == name)
+            return m;
+    }
+    WSEL_FATAL("unknown throughput metric '" << name << "'");
+}
+
+const std::vector<ThroughputMetric> &
+paperMetrics()
+{
+    static const std::vector<ThroughputMetric> v = {
+        ThroughputMetric::IPCT,
+        ThroughputMetric::WSU,
+        ThroughputMetric::HSU,
+    };
+    return v;
+}
+
+namespace
+{
+
+/** The X-mean of eq. (1)/(2) for each metric. */
+double
+xMean(ThroughputMetric m, std::span<const double> xs)
+{
+    switch (m) {
+      case ThroughputMetric::IPCT:
+      case ThroughputMetric::WSU:
+        return arithmeticMean(xs);
+      case ThroughputMetric::HSU:
+        return harmonicMean(xs);
+      case ThroughputMetric::GSU:
+        return geometricMean(xs);
+    }
+    WSEL_PANIC("invalid metric " << static_cast<int>(m));
+}
+
+/** The weighted X-mean of eq. (9) for each metric. */
+double
+weightedXMean(ThroughputMetric m, std::span<const double> xs,
+              std::span<const double> ws)
+{
+    switch (m) {
+      case ThroughputMetric::IPCT:
+      case ThroughputMetric::WSU:
+        return weightedArithmeticMean(xs, ws);
+      case ThroughputMetric::HSU:
+        return weightedHarmonicMean(xs, ws);
+      case ThroughputMetric::GSU: {
+        // Weighted geometric mean via the log domain.
+        double num = 0.0, den = 0.0;
+        if (xs.size() != ws.size())
+            WSEL_FATAL("weighted mean size mismatch");
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (xs[i] <= 0.0)
+                WSEL_FATAL("geometric mean requires positive values");
+            num += ws[i] * std::log(xs[i]);
+            den += ws[i];
+        }
+        if (den == 0.0)
+            WSEL_FATAL("all weights are zero");
+        return std::exp(num / den);
+      }
+    }
+    WSEL_PANIC("invalid metric " << static_cast<int>(m));
+}
+
+} // namespace
+
+double
+perWorkloadThroughput(ThroughputMetric m, std::span<const double> ipcs,
+                      std::span<const double> ref_ipcs)
+{
+    if (ipcs.empty())
+        WSEL_FATAL("workload with no threads");
+    if (m != ThroughputMetric::IPCT &&
+        ref_ipcs.size() != ipcs.size()) {
+        WSEL_FATAL("need one reference IPC per core for "
+                   << toString(m));
+    }
+    std::vector<double> ratios(ipcs.size());
+    for (std::size_t k = 0; k < ipcs.size(); ++k) {
+        if (ipcs[k] <= 0.0)
+            WSEL_FATAL("non-positive IPC " << ipcs[k] << " on core "
+                                           << k);
+        if (m == ThroughputMetric::IPCT) {
+            ratios[k] = ipcs[k]; // IPCref = 1
+        } else {
+            if (ref_ipcs[k] <= 0.0)
+                WSEL_FATAL("non-positive reference IPC on core "
+                           << k);
+            ratios[k] = ipcs[k] / ref_ipcs[k];
+        }
+    }
+    return xMean(m, ratios);
+}
+
+double
+sampleThroughput(ThroughputMetric m, std::span<const double> t_values)
+{
+    if (t_values.empty())
+        WSEL_FATAL("empty workload sample");
+    return xMean(m, t_values);
+}
+
+double
+stratifiedThroughput(ThroughputMetric m,
+                     std::span<const double> stratum_means,
+                     std::span<const double> weights)
+{
+    if (stratum_means.empty())
+        WSEL_FATAL("empty stratified sample");
+    return weightedXMean(m, stratum_means, weights);
+}
+
+double
+perWorkloadDifference(ThroughputMetric m, double t_x, double t_y)
+{
+    switch (m) {
+      case ThroughputMetric::IPCT:
+      case ThroughputMetric::WSU:
+        return t_y - t_x; // eq. (4)
+      case ThroughputMetric::HSU:
+        if (t_x <= 0.0 || t_y <= 0.0)
+            WSEL_FATAL("HSU difference needs positive throughputs");
+        return 1.0 / t_x - 1.0 / t_y; // eq. (7)
+      case ThroughputMetric::GSU:
+        if (t_x <= 0.0 || t_y <= 0.0)
+            WSEL_FATAL("GSU difference needs positive throughputs");
+        return std::log(t_y) - std::log(t_x); // footnote 3
+    }
+    WSEL_PANIC("invalid metric " << static_cast<int>(m));
+}
+
+} // namespace wsel

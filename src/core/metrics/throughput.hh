@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multiprogram throughput metrics (paper §II-D and [Michaud,
+ * "Demystifying multicore throughput metrics", CAL 2012]).
+ *
+ * All metrics are instances of one formula: the per-workload
+ * throughput is an X-mean over cores of IPC_wk / IPCref[b_wk]
+ * (eq. 1) and the sample throughput is an X-mean over workloads
+ * (eq. 2). IPCT uses A-mean with IPCref = 1; WSU uses A-mean with
+ * single-thread reference IPCs; HSU uses H-mean; GSU (footnote 3)
+ * uses the geometric mean.
+ */
+
+#ifndef WSEL_CORE_METRICS_THROUGHPUT_HH
+#define WSEL_CORE_METRICS_THROUGHPUT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wsel
+{
+
+/** The throughput metrics considered in the paper. */
+enum class ThroughputMetric : std::uint8_t
+{
+    IPCT, ///< IPC throughput (A-mean of raw IPCs)
+    WSU,  ///< weighted speedup (A-mean of speedups)
+    HSU,  ///< harmonic mean of speedups
+    GSU,  ///< geometric mean of speedups (footnote 3 extension)
+};
+
+/** Short metric name ("IPCT", "WSU", "HSU", "GSU"). */
+std::string toString(ThroughputMetric m);
+
+/** Parse a metric name; fatal on unknown names. */
+ThroughputMetric parseMetric(const std::string &name);
+
+/** The three paper metrics, in paper order. */
+const std::vector<ThroughputMetric> &paperMetrics();
+
+/**
+ * Per-workload throughput t(w) (eq. 1).
+ *
+ * @param ipcs IPC of the thread on each core.
+ * @param ref_ipcs Single-thread reference IPC of the benchmark on
+ *        each core (ignored for IPCT).
+ */
+double perWorkloadThroughput(ThroughputMetric m,
+                             std::span<const double> ipcs,
+                             std::span<const double> ref_ipcs);
+
+/**
+ * Sample throughput T (eq. 2): X-mean over per-workload values.
+ */
+double sampleThroughput(ThroughputMetric m,
+                        std::span<const double> t_values);
+
+/**
+ * Stratified throughput estimate (eq. 9): weighted X-mean over
+ * per-stratum X-means.
+ *
+ * @param stratum_means X-mean of t(w) within each stratum.
+ * @param weights Stratum weights N_h / N.
+ */
+double stratifiedThroughput(ThroughputMetric m,
+                            std::span<const double> stratum_means,
+                            std::span<const double> weights);
+
+/**
+ * Per-workload difference d(w) between configurations Y and X, in
+ * the form to which the CLT applies for this metric (paper §III):
+ * t_Y - t_X for IPCT/WSU (eq. 4), 1/t_X - 1/t_Y for HSU (eq. 7),
+ * log t_Y - log t_X for GSU (footnote 3).
+ */
+double perWorkloadDifference(ThroughputMetric m, double t_x,
+                             double t_y);
+
+} // namespace wsel
+
+#endif // WSEL_CORE_METRICS_THROUGHPUT_HH

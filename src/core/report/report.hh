@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Markdown report generation: turn a Campaign-shaped result (a set
+ * of per-workload throughputs per configuration) into the analysis
+ * tables the paper's workflow produces — per-pair cv, 1/cv, eq. (8)
+ * sample sizes, §VII regimes, and stratification previews.
+ *
+ * Kept simulator-agnostic: the input is configuration names plus
+ * per-workload throughput vectors, so any simulator (or external
+ * measurements) can feed it.
+ */
+
+#ifndef WSEL_CORE_REPORT_REPORT_HH
+#define WSEL_CORE_REPORT_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics/throughput.hh"
+
+namespace wsel
+{
+
+/** Input to the report generator. */
+struct ReportInput
+{
+    /** Study title (rendered as the top heading). */
+    std::string title = "wsel study";
+
+    /** Configuration (e.g. policy) names. */
+    std::vector<std::string> configs;
+
+    /**
+     * Per-configuration per-workload throughput, one inner vector
+     * per config, all of equal length, under each metric to be
+     * reported.
+     */
+    struct MetricBlock
+    {
+        ThroughputMetric metric = ThroughputMetric::IPCT;
+        std::vector<std::vector<double>> t; ///< [config][workload]
+    };
+
+    std::vector<MetricBlock> metrics;
+
+    /** Workload-stratification preview parameters (§VI-B2). */
+    double tsd = 0.001;
+    std::size_t wt = 50;
+};
+
+/**
+ * Render the analysis as markdown: one section per metric with a
+ * pairwise table (mean difference, cv, 1/cv, eq. (8) W, §VII
+ * regime, workload-strata count), plus per-config population
+ * means with 95% confidence intervals.
+ */
+void writeMarkdownReport(const ReportInput &input, std::ostream &os);
+
+/** Convenience file wrapper; fatal when the file cannot be opened. */
+void writeMarkdownReport(const ReportInput &input,
+                         const std::string &path);
+
+} // namespace wsel
+
+#endif // WSEL_CORE_REPORT_REPORT_HH

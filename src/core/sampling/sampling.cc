@@ -1,0 +1,427 @@
+#include "core/sampling/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "stats/logging.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+std::size_t
+Sample::totalSize() const
+{
+    std::size_t n = 0;
+    for (const Stratum &s : strata)
+        n += s.indices.size();
+    return n;
+}
+
+std::vector<std::size_t>
+Sample::flatten() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(totalSize());
+    for (const Stratum &s : strata)
+        out.insert(out.end(), s.indices.begin(), s.indices.end());
+    return out;
+}
+
+double
+sampleThroughput(const Sample &sample, ThroughputMetric m,
+                 std::span<const double> t)
+{
+    if (sample.strata.empty())
+        WSEL_FATAL("empty sample");
+    std::vector<double> means;
+    std::vector<double> weights;
+    means.reserve(sample.strata.size());
+    weights.reserve(sample.strata.size());
+    std::vector<double> vals;
+    for (const Sample::Stratum &s : sample.strata) {
+        if (s.indices.empty())
+            continue;
+        vals.clear();
+        vals.reserve(s.indices.size());
+        for (std::size_t idx : s.indices) {
+            WSEL_ASSERT(idx < t.size(),
+                        "sample index beyond throughput vector");
+            vals.push_back(t[idx]);
+        }
+        means.push_back(wsel::sampleThroughput(m, vals));
+        weights.push_back(s.weight);
+    }
+    if (means.empty())
+        WSEL_FATAL("sample has no workloads");
+    if (means.size() == 1)
+        return means.front();
+    return stratifiedThroughput(m, means, weights);
+}
+
+namespace
+{
+
+/**
+ * Largest-remainder allocation of @p total draws over strata with
+ * the given allocation weights, capped by stratum size (samples are
+ * drawn without replacement within a stratum).
+ */
+std::vector<std::size_t>
+weightedAllocation(const std::vector<std::size_t> &sizes,
+                   const std::vector<double> &alloc_weight,
+                   std::size_t total, Rng &rng)
+{
+    const std::size_t population =
+        std::accumulate(sizes.begin(), sizes.end(),
+                        static_cast<std::size_t>(0));
+    if (total > population)
+        WSEL_FATAL("sample of " << total
+                                << " exceeds stratified population of "
+                                << population);
+    double weight_sum = 0.0;
+    for (double w : alloc_weight)
+        weight_sum += w;
+    if (weight_sum <= 0.0)
+        WSEL_FATAL("allocation weights must not all be zero");
+    const std::size_t n = sizes.size();
+    std::vector<std::size_t> alloc(n, 0);
+    std::vector<double> frac(n, 0.0);
+    std::size_t assigned = 0;
+    for (std::size_t h = 0; h < n; ++h) {
+        const double quota = static_cast<double>(total) *
+                             alloc_weight[h] / weight_sum;
+        alloc[h] = std::min(static_cast<std::size_t>(quota),
+                            sizes[h]);
+        frac[h] = quota - std::floor(quota);
+        assigned += alloc[h];
+    }
+    // Distribute the remainder by descending fractional part,
+    // skipping saturated strata; loop until everything is placed.
+    // Ties are broken RANDOMLY: with W below the stratum count all
+    // fractions are equal, and a deterministic tie-break would
+    // always pick the lowest-indexed strata — for d(w)-sorted
+    // strata that is the most extreme tail, which would bias the
+    // estimator catastrophically.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return frac[a] > frac[b];
+                     });
+    while (assigned < total) {
+        bool progressed = false;
+        for (std::size_t h : order) {
+            if (assigned == total)
+                break;
+            if (alloc[h] < sizes[h]) {
+                ++alloc[h];
+                ++assigned;
+                progressed = true;
+            }
+        }
+        WSEL_ASSERT(progressed, "allocation failed to converge");
+    }
+    return alloc;
+}
+
+class RandomSampler : public Sampler
+{
+  public:
+    explicit RandomSampler(std::size_t population_size)
+        : n_(population_size)
+    {
+        if (n_ == 0)
+            WSEL_FATAL("cannot sample an empty population");
+    }
+
+    Sample
+    draw(std::size_t size, Rng &rng) const override
+    {
+        if (size == 0)
+            WSEL_FATAL("cannot draw an empty sample");
+        Sample s;
+        s.strata.resize(1);
+        s.strata[0].weight = 1.0;
+        s.strata[0].indices.reserve(size);
+        for (std::size_t i = 0; i < size; ++i)
+            s.strata[0].indices.push_back(rng.nextInt(n_));
+        return s;
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    std::size_t n_;
+};
+
+class BalancedRandomSampler : public Sampler
+{
+  public:
+    BalancedRandomSampler(const WorkloadPopulation &population,
+                          std::vector<std::size_t> index_of_rank)
+        : pop_(population), indexOfRank_(std::move(index_of_rank))
+    {
+        if (indexOfRank_.size() != pop_.size())
+            WSEL_FATAL("index map covers " << indexOfRank_.size()
+                                           << " of " << pop_.size()
+                                           << " workloads");
+    }
+
+    Sample
+    draw(std::size_t size, Rng &rng) const override
+    {
+        if (size == 0)
+            WSEL_FATAL("cannot draw an empty sample");
+        const std::uint32_t b = pop_.numBenchmarks();
+        const std::uint32_t k = pop_.cores();
+        const std::size_t slots = size * k;
+
+        // Every benchmark gets floor(slots/B) occurrences; a random
+        // subset of benchmarks absorbs the remainder.
+        std::vector<std::uint32_t> pool;
+        pool.reserve(slots);
+        const std::size_t base = slots / b;
+        for (std::uint32_t bench = 0; bench < b; ++bench)
+            for (std::size_t i = 0; i < base; ++i)
+                pool.push_back(bench);
+        const std::size_t rem = slots % b;
+        if (rem > 0) {
+            const auto extra = rng.sampleWithoutReplacement(b, rem);
+            for (std::size_t bench : extra)
+                pool.push_back(static_cast<std::uint32_t>(bench));
+        }
+        rng.shuffle(pool);
+
+        Sample s;
+        s.strata.resize(1);
+        s.strata[0].weight = 1.0;
+        s.strata[0].indices.reserve(size);
+        for (std::size_t w = 0; w < size; ++w) {
+            std::vector<std::uint32_t> benches(
+                pool.begin() + static_cast<std::ptrdiff_t>(w * k),
+                pool.begin() +
+                    static_cast<std::ptrdiff_t>((w + 1) * k));
+            const Workload wl(std::move(benches));
+            s.strata[0].indices.push_back(
+                indexOfRank_[pop_.rank(wl)]);
+        }
+        return s;
+    }
+
+    std::string name() const override { return "bal-random"; }
+
+  private:
+    const WorkloadPopulation pop_;
+    std::vector<std::size_t> indexOfRank_;
+};
+
+/** Common machinery for the stratified samplers. */
+class StratifiedSamplerBase : public Sampler
+{
+  public:
+    Sample
+    draw(std::size_t size, Rng &rng) const override
+    {
+        if (size == 0)
+            WSEL_FATAL("cannot draw an empty sample");
+        std::vector<std::size_t> sizes;
+        sizes.reserve(groups_.size());
+        for (const auto &g : groups_)
+            sizes.push_back(g.size());
+        std::vector<double> weights;
+        if (allocWeights_.empty()) {
+            for (std::size_t sz : sizes)
+                weights.push_back(static_cast<double>(sz));
+        } else {
+            weights = allocWeights_;
+        }
+        const std::vector<std::size_t> alloc =
+            weightedAllocation(sizes, weights, size, rng);
+
+        Sample s;
+        for (std::size_t h = 0; h < groups_.size(); ++h) {
+            if (alloc[h] == 0)
+                continue; // unsampled stratum (W below L)
+            Sample::Stratum st;
+            st.weight = static_cast<double>(groups_[h].size());
+            const auto picks = rng.sampleWithoutReplacement(
+                groups_[h].size(), alloc[h]);
+            st.indices.reserve(picks.size());
+            for (std::size_t p : picks)
+                st.indices.push_back(groups_[h][p]);
+            s.strata.push_back(std::move(st));
+        }
+        return s;
+    }
+
+    /** Number of strata this sampler defines. */
+    std::size_t strataCount() const { return groups_.size(); }
+
+  protected:
+    /** Strata as lists of population positions. */
+    std::vector<std::vector<std::size_t>> groups_;
+
+    /**
+     * Per-stratum allocation weights; empty means proportional
+     * (weight = stratum size).
+     */
+    std::vector<double> allocWeights_;
+};
+
+class BenchmarkStratifiedSampler : public StratifiedSamplerBase
+{
+  public:
+    BenchmarkStratifiedSampler(
+        const std::vector<Workload> &workloads,
+        const std::vector<std::uint32_t> &benchmark_class,
+        std::uint32_t num_classes)
+    {
+        if (num_classes == 0)
+            WSEL_FATAL("need at least one benchmark class");
+        for (std::uint32_t c : benchmark_class) {
+            if (c >= num_classes)
+                WSEL_FATAL("benchmark class " << c << " out of range");
+        }
+        // Stratum signature: occurrences of each class (c1..cM).
+        std::map<std::vector<std::uint32_t>, std::size_t> sig_to_id;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            std::vector<std::uint32_t> sig(num_classes, 0);
+            for (std::uint32_t bench : workloads[i].benchmarks()) {
+                if (bench >= benchmark_class.size())
+                    WSEL_FATAL("workload references benchmark "
+                               << bench << " outside the suite");
+                ++sig[benchmark_class[bench]];
+            }
+            auto [it, inserted] =
+                sig_to_id.emplace(std::move(sig), groups_.size());
+            if (inserted)
+                groups_.emplace_back();
+            groups_[it->second].push_back(i);
+        }
+    }
+
+    std::string name() const override { return "bench-strata"; }
+};
+
+class WorkloadStratifiedSampler : public StratifiedSamplerBase
+{
+  public:
+    WorkloadStratifiedSampler(std::span<const double> d,
+                              const WorkloadStrataConfig &cfg)
+    {
+        if (d.empty())
+            WSEL_FATAL("workload stratification needs d(w) values");
+        if (cfg.wt == 0)
+            WSEL_FATAL("minimum stratum size cannot be zero");
+
+        // Sort population positions by d(w) (§VI-B2 step 2).
+        std::vector<std::size_t> order(d.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return d[a] < d[b];
+                         });
+
+        // Grow strata in ascending d(w) order (§VI-B2 steps 3-4).
+        std::vector<std::size_t> cur;
+        RunningStats stats;
+        for (std::size_t idx : order) {
+            cur.push_back(idx);
+            stats.add(d[idx]);
+            if (cur.size() >= cfg.wt &&
+                stats.stddevPopulation() > cfg.tsd) {
+                groups_.push_back(std::move(cur));
+                cur = {};
+                stats = RunningStats{};
+            }
+        }
+        if (!cur.empty())
+            groups_.push_back(std::move(cur));
+
+        if (cfg.allocation == Allocation::Neyman) {
+            // W_h proportional to N_h * sigma_h; strata built to be
+            // internally homogeneous get few draws, heterogeneous
+            // tails get more. Floor sigma at a tiny value so
+            // perfectly homogeneous strata keep a nonzero chance.
+            for (const auto &g : groups_) {
+                RunningStats st;
+                for (std::size_t idx : g)
+                    st.add(d[idx]);
+                const double sigma =
+                    std::max(st.stddevPopulation(), 1e-12);
+                allocWeights_.push_back(
+                    static_cast<double>(g.size()) * sigma);
+            }
+        }
+    }
+
+    std::string name() const override { return "workload-strata"; }
+};
+
+} // namespace
+
+std::unique_ptr<Sampler>
+makeRandomSampler(std::size_t population_size)
+{
+    return std::make_unique<RandomSampler>(population_size);
+}
+
+std::unique_ptr<Sampler>
+makeBalancedRandomSampler(const WorkloadPopulation &population,
+                          std::vector<std::size_t> index_of_rank)
+{
+    return std::make_unique<BalancedRandomSampler>(
+        population, std::move(index_of_rank));
+}
+
+std::unique_ptr<Sampler>
+makeBenchmarkStratifiedSampler(
+    const std::vector<Workload> &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes)
+{
+    return std::make_unique<BenchmarkStratifiedSampler>(
+        workloads, benchmark_class, num_classes);
+}
+
+std::unique_ptr<Sampler>
+makeWorkloadStratifiedSampler(std::span<const double> d,
+                              const WorkloadStrataConfig &cfg)
+{
+    return std::make_unique<WorkloadStratifiedSampler>(d, cfg);
+}
+
+std::size_t
+countWorkloadStrata(std::span<const double> d,
+                    const WorkloadStrataConfig &cfg)
+{
+    WorkloadStratifiedSampler s(d, cfg);
+    return s.strataCount();
+}
+
+double
+empiricalConfidence(const Sampler &sampler, std::size_t size,
+                    std::size_t draws, ThroughputMetric m,
+                    std::span<const double> t_x,
+                    std::span<const double> t_y, Rng &rng)
+{
+    if (draws == 0)
+        WSEL_FATAL("need at least one draw");
+    if (t_x.size() != t_y.size())
+        WSEL_FATAL("X and Y throughput vectors differ in length");
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+        const Sample s = sampler.draw(size, rng);
+        const double tx = sampleThroughput(s, m, t_x);
+        const double ty = sampleThroughput(s, m, t_y);
+        if (ty > tx)
+            ++wins;
+    }
+    return static_cast<double>(wins) / static_cast<double>(draws);
+}
+
+} // namespace wsel

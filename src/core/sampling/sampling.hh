@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Workload-sampling methods (paper Sections III and VI):
+ *
+ *  - simple random sampling (with replacement);
+ *  - balanced random sampling (§VI-A): every benchmark occurs
+ *    (as nearly as divisibility allows) equally often in the sample;
+ *  - benchmark stratification (§VI-B1): strata are class-count
+ *    tuples derived from benchmark classes (e.g. Table IV MPKI
+ *    classes), with proportional allocation and the eq. (9)
+ *    weighted estimator;
+ *  - workload stratification (§VI-B2): strata are runs of the
+ *    population sorted by the approximate per-workload difference
+ *    d(w), grown until size >= WT and stddev > TSD.
+ *
+ * A sample is represented as strata of population indices with
+ * weights so one estimator (eq. 9) serves all methods (simple
+ * methods use a single stratum of weight 1, making eq. 9 collapse
+ * to eq. 2).
+ */
+
+#ifndef WSEL_CORE_SAMPLING_SAMPLING_HH
+#define WSEL_CORE_SAMPLING_SAMPLING_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics/throughput.hh"
+#include "core/workload/workload.hh"
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/** A drawn sample: strata of indices into a population list. */
+struct Sample
+{
+    struct Stratum
+    {
+        std::vector<std::size_t> indices; ///< population positions
+        double weight = 1.0;              ///< N_h / N
+    };
+
+    std::vector<Stratum> strata;
+
+    /** Total number of workloads in the sample. */
+    std::size_t totalSize() const;
+
+    /** Flatten all indices (for handing to a detailed simulator). */
+    std::vector<std::size_t> flatten() const;
+};
+
+/**
+ * Evaluate a sample's throughput for one configuration (eq. 9;
+ * eq. 2 when there is a single stratum of weight 1).
+ *
+ * @param t Per-workload throughput of the whole population list,
+ *        indexed consistently with the sample's indices.
+ */
+double sampleThroughput(const Sample &sample, ThroughputMetric m,
+                        std::span<const double> t);
+
+/**
+ * Abstract sampling method.
+ */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /** Draw a sample of @p size workloads. */
+    virtual Sample draw(std::size_t size, Rng &rng) const = 0;
+
+    /** Method name for reports ("random", "workload-strata", ...). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Simple random sampling over a population list of @p population_size
+ * workloads (selection with replacement, paper §VI-A).
+ */
+std::unique_ptr<Sampler> makeRandomSampler(
+    std::size_t population_size);
+
+/**
+ * Balanced random sampling (§VI-A): the sample's W*K benchmark slots
+ * are filled with each benchmark occurring floor/ceil(W*K/B) times,
+ * shuffled, and cut into workloads of K. Requires the population
+ * list to locate each generated workload, so it is constructed from
+ * a population enumeration.
+ *
+ * @param population The workload population (for ranking).
+ * @param index_of_rank Maps population rank -> position in the
+ *        population list the throughput vectors are indexed by
+ *        (identity when the list is the full enumeration).
+ */
+std::unique_ptr<Sampler> makeBalancedRandomSampler(
+    const WorkloadPopulation &population,
+    std::vector<std::size_t> index_of_rank);
+
+/**
+ * Benchmark stratification (§VI-B1) from explicit benchmark classes.
+ *
+ * @param workloads The population list.
+ * @param benchmark_class Class index per benchmark, in [0, M).
+ * @param num_classes M.
+ */
+std::unique_ptr<Sampler> makeBenchmarkStratifiedSampler(
+    const std::vector<Workload> &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes);
+
+/** How stratified samplers allocate draws across strata. */
+enum class Allocation : std::uint8_t
+{
+    /** W_h proportional to N_h (the paper's implicit choice). */
+    Proportional,
+    /**
+     * Neyman-optimal: W_h proportional to N_h * sigma_h, which
+     * minimizes the estimator variance (Cochran, "Sampling
+     * Techniques"). Requires per-workload values to compute
+     * sigma_h, so it is available for workload stratification.
+     */
+    Neyman,
+};
+
+/** Tunables for workload stratification (§VI-B2). */
+struct WorkloadStrataConfig
+{
+    double tsd = 0.001;      ///< stratum stddev threshold T_SD
+    std::size_t wt = 50;     ///< minimum stratum size W_T
+    Allocation allocation = Allocation::Proportional;
+};
+
+/**
+ * Workload stratification (§VI-B2): sort the population by the
+ * approximate d(w), then grow strata until size >= wt and stddev >
+ * tsd. Valid only for the (X, Y, metric) pair that produced d.
+ *
+ * @param d Approximate per-workload difference, aligned with the
+ *        population list.
+ */
+std::unique_ptr<Sampler> makeWorkloadStratifiedSampler(
+    std::span<const double> d,
+    const WorkloadStrataConfig &cfg = WorkloadStrataConfig{});
+
+/**
+ * Count strata a workload-stratified sampler would create (for
+ * reports like the paper's §VI-B2 stratum counts).
+ */
+std::size_t countWorkloadStrata(
+    std::span<const double> d,
+    const WorkloadStrataConfig &cfg = WorkloadStrataConfig{});
+
+/**
+ * Experimental degree of confidence (paper §V-A/§VI): the fraction
+ * of @p draws samples of size @p size on which Y's sample
+ * throughput exceeds X's. X and Y are evaluated on the same drawn
+ * workloads (paired simulation, as in the paper).
+ */
+double empiricalConfidence(const Sampler &sampler, std::size_t size,
+                           std::size_t draws, ThroughputMetric m,
+                           std::span<const double> t_x,
+                           std::span<const double> t_y, Rng &rng);
+
+} // namespace wsel
+
+#endif // WSEL_CORE_SAMPLING_SAMPLING_HH

@@ -1,0 +1,135 @@
+#include "core/workload/workload.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/combinatorics.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+Workload::Workload(std::vector<std::uint32_t> benchmarks)
+    : benchmarks_(std::move(benchmarks))
+{
+    if (benchmarks_.empty())
+        WSEL_FATAL("a workload needs at least one benchmark");
+    std::sort(benchmarks_.begin(), benchmarks_.end());
+}
+
+std::uint32_t
+Workload::count(std::uint32_t b) const
+{
+    return static_cast<std::uint32_t>(
+        std::count(benchmarks_.begin(), benchmarks_.end(), b));
+}
+
+std::string
+Workload::key() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < benchmarks_.size(); ++i) {
+        if (i)
+            os << "+";
+        os << "b" << benchmarks_[i];
+    }
+    return os.str();
+}
+
+WorkloadPopulation::WorkloadPopulation(std::uint32_t num_benchmarks,
+                                       std::uint32_t cores)
+    : b_(num_benchmarks), k_(cores)
+{
+    if (b_ == 0 || k_ == 0)
+        WSEL_FATAL("population needs benchmarks and cores");
+    size_ = multisetCount(b_, k_);
+}
+
+Workload
+WorkloadPopulation::unrank(std::uint64_t index) const
+{
+    if (index >= size_)
+        WSEL_FATAL("workload index " << index
+                                     << " out of population of "
+                                     << size_);
+    std::vector<std::uint32_t> v(k_);
+    std::uint32_t min_val = 0;
+    for (std::uint32_t j = 0; j < k_; ++j) {
+        const std::uint32_t remaining = k_ - j - 1;
+        for (std::uint32_t val = min_val;; ++val) {
+            WSEL_ASSERT(val < b_, "unrank walked off the suite");
+            // Sequences with position j equal to val: the remaining
+            // slots draw from [val, B).
+            const std::uint64_t block =
+                multisetCount(b_ - val, remaining);
+            if (index < block) {
+                v[j] = val;
+                min_val = val;
+                break;
+            }
+            index -= block;
+        }
+    }
+    return Workload(std::move(v));
+}
+
+std::uint64_t
+WorkloadPopulation::rank(const Workload &w) const
+{
+    if (w.size() != k_)
+        WSEL_FATAL("workload has " << w.size() << " threads, expected "
+                                   << k_);
+    std::uint64_t index = 0;
+    std::uint32_t min_val = 0;
+    for (std::uint32_t j = 0; j < k_; ++j) {
+        const std::uint32_t val = w[j];
+        if (val >= b_ || val < min_val)
+            WSEL_FATAL("workload " << w.key()
+                                   << " outside population domain");
+        const std::uint32_t remaining = k_ - j - 1;
+        for (std::uint32_t x = min_val; x < val; ++x)
+            index += multisetCount(b_ - x, remaining);
+        min_val = val;
+    }
+    return index;
+}
+
+Workload
+WorkloadPopulation::sampleUniform(Rng &rng) const
+{
+    return unrank(rng.nextInt(size_));
+}
+
+std::vector<Workload>
+WorkloadPopulation::enumerateAll(std::uint64_t limit) const
+{
+    if (size_ > limit)
+        WSEL_FATAL("population of " << size_
+                                    << " exceeds enumeration limit "
+                                    << limit);
+    std::vector<Workload> out;
+    out.reserve(size_);
+    std::vector<std::uint32_t> cur(k_, 0);
+    while (true) {
+        out.push_back(Workload(cur));
+        // Next nondecreasing sequence.
+        std::int64_t j = static_cast<std::int64_t>(k_) - 1;
+        while (j >= 0 && cur[j] == b_ - 1)
+            --j;
+        if (j < 0)
+            break;
+        const std::uint32_t v = cur[j] + 1;
+        for (std::size_t i = static_cast<std::size_t>(j); i < k_; ++i)
+            cur[i] = v;
+    }
+    WSEL_ASSERT(out.size() == size_, "enumeration miscounted");
+    return out;
+}
+
+std::uint64_t
+WorkloadPopulation::occurrencesPerBenchmark() const
+{
+    return size_ * k_ / b_;
+}
+
+} // namespace wsel

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multiprogrammed workloads and the workload population.
+ *
+ * A workload is a combination of K benchmarks (with repetition,
+ * order-free since cores are identical and interchangeable) out of B
+ * benchmarks. The population has C(B+K-1, K) members (paper §II):
+ * 253 for B=22, K=2 and 12650 for B=22, K=4.
+ */
+
+#ifndef WSEL_CORE_WORKLOAD_WORKLOAD_HH
+#define WSEL_CORE_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/**
+ * One workload: a sorted multiset of benchmark indices in [0, B).
+ */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /** Construct from benchmark indices (sorted internally). */
+    explicit Workload(std::vector<std::uint32_t> benchmarks);
+
+    /** Benchmark index on core @p k. */
+    std::uint32_t operator[](std::size_t k) const
+    {
+        return benchmarks_[k];
+    }
+
+    /** Number of cores / threads. */
+    std::size_t size() const { return benchmarks_.size(); }
+
+    const std::vector<std::uint32_t> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+
+    /** Count occurrences of benchmark @p b. */
+    std::uint32_t count(std::uint32_t b) const;
+
+    /** "b0+b3+b3+b17"-style key (also used in result caches). */
+    std::string key() const;
+
+    bool operator==(const Workload &o) const = default;
+    auto operator<=>(const Workload &o) const = default;
+
+  private:
+    std::vector<std::uint32_t> benchmarks_;
+};
+
+/**
+ * The full population of K-combinations-with-repetition over B
+ * benchmarks, with O(K log B) ranking/unranking so huge populations
+ * (e.g. 8 cores: 4.3M workloads) can be sampled uniformly without
+ * enumeration.
+ */
+class WorkloadPopulation
+{
+  public:
+    /**
+     * @param num_benchmarks B, the benchmark-suite size.
+     * @param cores K, the core count.
+     */
+    WorkloadPopulation(std::uint32_t num_benchmarks,
+                       std::uint32_t cores);
+
+    /** Population size N = C(B+K-1, K). */
+    std::uint64_t size() const { return size_; }
+
+    std::uint32_t numBenchmarks() const { return b_; }
+    std::uint32_t cores() const { return k_; }
+
+    /** The @p index-th workload in lexicographic order. */
+    Workload unrank(std::uint64_t index) const;
+
+    /** Lexicographic index of @p w; fatal if w is out of domain. */
+    std::uint64_t rank(const Workload &w) const;
+
+    /** A uniformly random workload. */
+    Workload sampleUniform(Rng &rng) const;
+
+    /**
+     * Enumerate the whole population in lexicographic order; fatal
+     * when the population exceeds @p limit (guards against
+     * accidentally materializing the 8-core population).
+     */
+    std::vector<Workload> enumerateAll(
+        std::uint64_t limit = 2'000'000) const;
+
+    /**
+     * How often each benchmark occurs across the whole population;
+     * uniform by symmetry (paper §VI-A). Exposed for tests.
+     */
+    std::uint64_t occurrencesPerBenchmark() const;
+
+  private:
+    std::uint32_t b_;
+    std::uint32_t k_;
+    std::uint64_t size_;
+};
+
+} // namespace wsel
+
+#endif // WSEL_CORE_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Detailed-core configuration (paper Table I), with L1 capacities
+ * scaled consistently with the uncore scaling (DESIGN.md).
+ */
+
+#ifndef WSEL_CPU_CORE_CONFIG_HH
+#define WSEL_CPU_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cpu/tage.hh"
+
+namespace wsel
+{
+
+/** Out-of-order core parameters (Table I, scaled). */
+struct CoreConfig
+{
+    /** @name Pipeline widths (Table I: decode/issue/commit 4/6/4). */
+    /** @{ */
+    std::uint32_t decodeWidth = 4;
+    std::uint32_t issueWidth = 6;
+    std::uint32_t commitWidth = 4;
+    /** @} */
+
+    /** @name Window sizes (Table I: RS/LDQ/STQ/ROB 36/36/24/128). */
+    /** @{ */
+    std::uint32_t rsSize = 36;
+    std::uint32_t ldqSize = 36;
+    std::uint32_t stqSize = 24;
+    std::uint32_t robSize = 128;
+    /** @} */
+
+    /** Decoded-µop buffer between fetch and dispatch. */
+    std::uint32_t fetchBufferSize = 16;
+
+    /** Fetch-to-dispatch pipeline depth (redirect penalty base). */
+    std::uint32_t frontendDepth = 6;
+
+    /** @name L1 instruction cache (scaled from 32 kB). */
+    /** @{ */
+    CacheGeometry il1{8 * 1024, 4, 64};
+    std::uint32_t il1Latency = 2;
+    /** @} */
+
+    /** @name L1 data cache (scaled from 32 kB). */
+    /** @{ */
+    CacheGeometry dl1{8 * 1024, 8, 64};
+    std::uint32_t dl1Latency = 2;
+    std::uint32_t dl1Mshrs = 16;
+    /** @} */
+
+    /** @name TLBs (Table I: ITLB 128, DTLB 512; scaled). */
+    /** @{ */
+    std::uint32_t itlbEntries = 64;
+    std::uint32_t itlbWays = 4;
+    std::uint32_t dtlbEntries = 128;
+    std::uint32_t dtlbWays = 4;
+    std::uint32_t pageWalkCycles = 30;
+    /** @} */
+
+    /** @name L1 prefetchers (Table I: next-line + IP-stride). */
+    /** @{ */
+    bool dl1NextLinePrefetch = true;
+    bool dl1IpStridePrefetch = true;
+    std::uint32_t dl1PrefetchDegree = 1;
+    bool il1NextLinePrefetch = true;
+    /** @} */
+
+    /** Branch predictor shape. */
+    TageConfig tage{};
+
+    /** One-line description for reports. */
+    std::string describe() const;
+};
+
+} // namespace wsel
+
+#endif // WSEL_CPU_CORE_CONFIG_HH

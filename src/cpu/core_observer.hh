@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Observation hooks on the detailed core, used by the BADCO model
+ * builder to capture the core's external behaviour (the stream of
+ * uncore requests, their µop positions and their dependences).
+ */
+
+#ifndef WSEL_CPU_CORE_OBSERVER_HH
+#define WSEL_CPU_CORE_OBSERVER_HH
+
+#include <cstdint>
+
+namespace wsel
+{
+
+/** One uncore request emitted by the detailed core. */
+struct UncoreRequestEvent
+{
+    /** Dynamic µop sequence number that triggered the request. */
+    std::uint64_t uopSeq = 0;
+
+    /** Virtual byte address. */
+    std::uint64_t vaddr = 0;
+
+    /** PC of the triggering instruction. */
+    std::uint64_t pc = 0;
+
+    /** Store-miss refill (true) vs load refill (false). */
+    bool isWrite = false;
+
+    /** Dirty-eviction writeback rather than a demand request. */
+    bool isWriteback = false;
+
+    /** Issued by an L1 prefetcher (non-blocking on replay). */
+    bool isPrefetch = false;
+
+    /** IL1 refill (fetch-side demand read). */
+    bool isInstruction = false;
+
+    /** Blocking demand load (replay must respect its dependency). */
+    bool
+    isBlockingLoad() const
+    {
+        return !isWrite && !isWriteback && !isPrefetch;
+    }
+
+    /**
+     * Index (in emission order, 0-based) of the most recent earlier
+     * demand request whose data this request transitively depends
+     * on; -1 when independent. Captured from the core's dataflow.
+     */
+    std::int64_t dependsOn = -1;
+
+    /** Core cycle at which the request left the core. */
+    std::uint64_t issueCycle = 0;
+};
+
+/**
+ * Observer interface. The detailed core invokes it for every demand
+ * request and writeback it sends to the uncore.
+ */
+class CoreObserver
+{
+  public:
+    virtual ~CoreObserver() = default;
+
+    /** Called in request emission order. */
+    virtual void onUncoreRequest(const UncoreRequestEvent &ev) = 0;
+};
+
+} // namespace wsel
+
+#endif // WSEL_CPU_CORE_OBSERVER_HH

@@ -1,0 +1,221 @@
+#include "cpu/tage.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+/** Saturating add on a signed counter with the given bit width. */
+void
+ctrUpdate(std::int8_t &ctr, bool up, int bits)
+{
+    const int max = (1 << (bits - 1)) - 1;
+    const int min = -(1 << (bits - 1));
+    if (up) {
+        if (ctr < max)
+            ++ctr;
+    } else {
+        if (ctr > min)
+            --ctr;
+    }
+}
+
+} // namespace
+
+Tage::Tage(const TageConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    if (cfg_.numTables < 2)
+        WSEL_FATAL("TAGE needs at least two tagged tables");
+    if (cfg_.minHistory == 0 || cfg_.maxHistory <= cfg_.minHistory)
+        WSEL_FATAL("TAGE history lengths must grow");
+
+    bimodal_.assign(1u << cfg_.bimodalBits, 0);
+    tables_.assign(cfg_.numTables,
+                   std::vector<TaggedEntry>(1u << cfg_.taggedBits));
+
+    // Geometric history series between minHistory and maxHistory.
+    historyLengths_.resize(cfg_.numTables);
+    const double ratio =
+        std::pow(static_cast<double>(cfg_.maxHistory) /
+                     static_cast<double>(cfg_.minHistory),
+                 1.0 / static_cast<double>(cfg_.numTables - 1));
+    for (std::uint32_t t = 0; t < cfg_.numTables; ++t) {
+        historyLengths_[t] = static_cast<std::uint32_t>(
+            std::lround(cfg_.minHistory * std::pow(ratio, t)));
+    }
+
+    history_.assign(cfg_.maxHistory + 1, 0);
+    foldedIndex_.assign(cfg_.numTables, 0);
+    foldedTag_.assign(cfg_.numTables, 0);
+}
+
+std::uint32_t
+Tage::tableIndex(std::uint64_t pc, std::uint32_t table) const
+{
+    const std::uint64_t mask = (1ULL << cfg_.taggedBits) - 1;
+    const std::uint64_t h = foldedIndex_[table];
+    return static_cast<std::uint32_t>(
+        ((pc >> 2) ^ (pc >> (cfg_.taggedBits + 2)) ^ h ^
+         (static_cast<std::uint64_t>(table) << 3)) &
+        mask);
+}
+
+std::uint16_t
+Tage::tableTag(std::uint64_t pc, std::uint32_t table) const
+{
+    const std::uint64_t mask = (1ULL << cfg_.tagWidth) - 1;
+    const std::uint64_t h = foldedTag_[table];
+    return static_cast<std::uint16_t>(
+        ((pc >> 2) ^ (pc >> (cfg_.tagWidth + 2)) ^ (h << 1)) & mask);
+}
+
+void
+Tage::updateHistory(bool taken)
+{
+    const std::uint8_t new_bit = taken ? 1 : 0;
+    for (std::uint32_t t = 0; t < cfg_.numTables; ++t) {
+        const std::uint32_t len = historyLengths_[t];
+        // Outgoing bit is the one that falls off this table's window.
+        const std::uint32_t out_pos =
+            (historyPos_ + history_.size() - len) % history_.size();
+        const std::uint8_t out_bit = history_[out_pos];
+
+        auto fold = [&](std::uint64_t &reg, std::uint32_t width) {
+            reg = (reg << 1) | new_bit;
+            reg ^= static_cast<std::uint64_t>(out_bit)
+                   << (len % width);
+            reg ^= (reg >> width) & 1;
+            reg &= (1ULL << width) - 1;
+        };
+        fold(foldedIndex_[t], cfg_.taggedBits);
+        fold(foldedTag_[t], cfg_.tagWidth);
+    }
+    history_[historyPos_] = new_bit;
+    historyPos_ = (historyPos_ + 1) %
+                  static_cast<std::uint32_t>(history_.size());
+}
+
+bool
+Tage::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    ++predictions_;
+
+    const std::uint32_t bim_idx =
+        static_cast<std::uint32_t>(pc >> 2) &
+        ((1u << cfg_.bimodalBits) - 1);
+
+    // Find provider (longest history with a tag match) and the
+    // alternate prediction (next matching component, else bimodal).
+    int provider = -1, alt = -1;
+    std::uint32_t prov_idx = 0, alt_idx = 0;
+    for (int t = static_cast<int>(cfg_.numTables) - 1; t >= 0; --t) {
+        const std::uint32_t idx =
+            tableIndex(pc, static_cast<std::uint32_t>(t));
+        const std::uint16_t tag =
+            tableTag(pc, static_cast<std::uint32_t>(t));
+        if (tables_[t][idx].tag == tag) {
+            if (provider < 0) {
+                provider = t;
+                prov_idx = idx;
+            } else {
+                alt = t;
+                alt_idx = idx;
+                break;
+            }
+        }
+    }
+
+    const bool bim_pred = bimodal_[bim_idx] >= 0;
+    bool alt_pred = bim_pred;
+    if (alt >= 0)
+        alt_pred = tables_[alt][alt_idx].ctr >= 0;
+
+    bool pred;
+    bool provider_weak = false;
+    if (provider >= 0) {
+        const TaggedEntry &e = tables_[provider][prov_idx];
+        provider_weak = (e.ctr == 0 || e.ctr == -1) && e.useful == 0;
+        // "Use alt on newly allocated" heuristic.
+        if (provider_weak && useAltOnNa_ >= 8)
+            pred = alt_pred;
+        else
+            pred = e.ctr >= 0;
+    } else {
+        pred = bim_pred;
+    }
+
+    const bool correct = (pred == taken);
+    if (!correct)
+        ++mispredictions_;
+
+    // ---- Update ----
+    if (provider >= 0) {
+        TaggedEntry &e = tables_[provider][prov_idx];
+        const bool prov_pred = e.ctr >= 0;
+        // Track whether alt would have done better on weak entries.
+        if (provider_weak && prov_pred != alt_pred) {
+            if (alt_pred == taken) {
+                if (useAltOnNa_ < 15)
+                    ++useAltOnNa_;
+            } else if (useAltOnNa_ > 0) {
+                --useAltOnNa_;
+            }
+        }
+        // Useful bit: provider correct and alternate wrong.
+        if (prov_pred == taken && alt_pred != taken && e.useful < 3)
+            ++e.useful;
+        ctrUpdate(e.ctr, taken, 3);
+        if (alt < 0 || provider_weak) {
+            // Also train the bimodal for weak providers.
+            ctrUpdate(bimodal_[bim_idx], taken, 2);
+        }
+    } else {
+        ctrUpdate(bimodal_[bim_idx], taken, 2);
+    }
+
+    // Allocate on misprediction in a longer-history table.
+    if (!correct &&
+        provider < static_cast<int>(cfg_.numTables) - 1) {
+        // Choose among tables with useful == 0 above the provider;
+        // prefer the shortest, with some randomization.
+        int start = provider + 1;
+        if (start < static_cast<int>(cfg_.numTables) - 1 &&
+            rng_.nextBool(0.5))
+            ++start;
+        bool allocated = false;
+        for (int t = start; t < static_cast<int>(cfg_.numTables);
+             ++t) {
+            const std::uint32_t idx =
+                tableIndex(pc, static_cast<std::uint32_t>(t));
+            TaggedEntry &e = tables_[t][idx];
+            if (e.useful == 0) {
+                e.tag = tableTag(pc, static_cast<std::uint32_t>(t));
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // Decay useful bits to enable future allocation.
+            for (int t = start; t < static_cast<int>(cfg_.numTables);
+                 ++t) {
+                const std::uint32_t idx =
+                    tableIndex(pc, static_cast<std::uint32_t>(t));
+                if (tables_[t][idx].useful > 0)
+                    --tables_[t][idx].useful;
+            }
+        }
+    }
+
+    updateHistory(taken);
+    return correct;
+}
+
+} // namespace wsel

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TAGE conditional branch predictor (Seznec & Michaud, "A case for
+ * (partially) TAgged GEometric history length branch predictors").
+ *
+ * Table I of the paper equips each core with a ~4 kB TAGE. We
+ * implement a compact TAGE: bimodal base predictor plus four tagged
+ * tables with geometrically increasing history lengths, useful bits,
+ * and the standard allocation/update rules.
+ */
+
+#ifndef WSEL_CPU_TAGE_HH
+#define WSEL_CPU_TAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/** TAGE size/shape parameters. */
+struct TageConfig
+{
+    std::uint32_t bimodalBits = 12;  ///< log2 of bimodal entries
+    std::uint32_t taggedBits = 10;   ///< log2 of entries per table
+    std::uint32_t tagWidth = 9;      ///< tag bits per tagged entry
+    std::uint32_t numTables = 4;     ///< tagged tables
+    std::uint32_t minHistory = 5;    ///< shortest history length
+    std::uint32_t maxHistory = 130;  ///< longest history length
+};
+
+/**
+ * TAGE predictor. Trace-driven usage: call predictAndUpdate() with
+ * the actual outcome; it returns whether the prediction was correct.
+ */
+class Tage
+{
+  public:
+    explicit Tage(const TageConfig &cfg = TageConfig{},
+                  std::uint64_t seed = 0x7a6e5eedULL);
+
+    /**
+     * Predict the branch at @p pc, then train with @p taken.
+     * @return true when the prediction matched the outcome.
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Misprediction rate so far (0 when no predictions). */
+    double
+    mispredictRate() const
+    {
+        return predictions_
+                   ? static_cast<double>(mispredictions_) /
+                         static_cast<double>(predictions_)
+                   : 0.0;
+    }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;   ///< signed 3-bit counter
+        std::uint8_t useful = 0;
+    };
+
+    std::uint32_t tableIndex(std::uint64_t pc,
+                             std::uint32_t table) const;
+    std::uint16_t tableTag(std::uint64_t pc,
+                           std::uint32_t table) const;
+    void updateHistory(bool taken);
+
+    TageConfig cfg_;
+    std::vector<std::int8_t> bimodal_; ///< 2-bit counters
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<std::uint32_t> historyLengths_;
+    std::vector<std::uint64_t> foldedIndex_;
+    std::vector<std::uint64_t> foldedTag_;
+    std::vector<std::uint8_t> history_; ///< circular global history
+    std::uint32_t historyPos_ = 0;
+    Rng rng_;
+    std::uint8_t useAltOnNa_ = 8; ///< 4-bit "use alt on new" counter
+
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+} // namespace wsel
+
+#endif // WSEL_CPU_TAGE_HH

@@ -1,0 +1,240 @@
+#include "mem/uncore.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+Uncore::Uncore(const UncoreConfig &cfg, std::uint32_t num_cores,
+               std::uint64_t seed)
+    : cfg_(cfg), numCores_(num_cores),
+      llc_(cfg.llc, cfg.policy, seed, "llc"), coreStats_(num_cores)
+{
+    if (num_cores == 0)
+        WSEL_FATAL("uncore needs at least one core");
+    if (cfg.mshrs == 0 || cfg.writeBufferEntries == 0)
+        WSEL_FATAL("uncore needs MSHRs and write-buffer entries");
+    mshrs_.reserve(cfg.mshrs);
+    writeBuffer_.reserve(cfg.writeBufferEntries);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        std::vector<std::unique_ptr<Prefetcher>> parts;
+        if (cfg.ipStridePrefetch)
+            parts.push_back(
+                makeIpStridePrefetcher(64, cfg.prefetchDegree));
+        if (cfg.streamPrefetch)
+            parts.push_back(
+                makeStreamPrefetcher(8, cfg.prefetchDegree));
+        if (parts.empty())
+            prefetchers_.push_back(makeNullPrefetcher());
+        else
+            prefetchers_.push_back(
+                makeCompositePrefetcher(std::move(parts)));
+    }
+}
+
+std::uint32_t
+Uncore::hitLatency() const
+{
+    return cfg_.llcHitLatency;
+}
+
+const UncoreCoreStats &
+Uncore::coreStats(std::uint32_t core_id) const
+{
+    WSEL_ASSERT(core_id < numCores_, "core id out of range");
+    return coreStats_[core_id];
+}
+
+std::uint64_t
+Uncore::translate(std::uint32_t core_id, std::uint64_t vaddr)
+{
+    const std::uint64_t page_shift =
+        std::countr_zero(static_cast<std::uint64_t>(cfg_.pageBytes));
+    const std::uint64_t vpn = vaddr >> page_shift;
+    // Key combines core and VPN: threads do not share pages.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(core_id) << 52) ^ vpn;
+    auto it = pageTable_.find(key);
+    std::uint64_t ppn;
+    if (it == pageTable_.end()) {
+        // First touch: allocate the next physical page (the paper's
+        // BADCO "allocates a new physical page" on a page miss).
+        ppn = nextPpn_++;
+        pageTable_.emplace(key, ppn);
+    } else {
+        ppn = it->second;
+    }
+    return (ppn << page_shift) |
+           (vaddr & (cfg_.pageBytes - 1));
+}
+
+std::uint64_t
+Uncore::busTransfer(std::uint64_t earliest)
+{
+    const std::uint64_t start = std::max(earliest, fsbNextFree_);
+    fsbNextFree_ = start + cfg_.fsbCyclesPerTransfer;
+    fsbBusy_ += cfg_.fsbCyclesPerTransfer;
+    return start;
+}
+
+void
+Uncore::expireMshrs(std::uint64_t now)
+{
+    std::erase_if(mshrs_,
+                  [now](const Mshr &m) { return m.completion <= now; });
+}
+
+std::uint64_t
+Uncore::missPath(std::uint64_t start, std::uint64_t paddr,
+                 bool is_write, bool is_prefetch)
+{
+    const std::uint64_t line = llc_.lineAddr(paddr);
+
+    // MSHR merge: an outstanding miss to the same line completes
+    // both requests at once.
+    expireMshrs(start);
+    for (const Mshr &m : mshrs_) {
+        if (m.lineAddr == line)
+            return m.completion;
+    }
+
+    // MSHR structural hazard: wait for the earliest completion.
+    std::uint64_t t = start;
+    if (mshrs_.size() >= cfg_.mshrs) {
+        std::uint64_t earliest = UINT64_MAX;
+        for (const Mshr &m : mshrs_)
+            earliest = std::min(earliest, m.completion);
+        t = std::max(t, earliest);
+        expireMshrs(t);
+    }
+
+    // Fetch the line: FSB request + DRAM access + FSB transfer.
+    const std::uint64_t bus_start = busTransfer(t);
+    const std::uint64_t completion =
+        bus_start + cfg_.dramLatency + cfg_.fsbCyclesPerTransfer;
+
+    mshrs_.push_back(Mshr{line, completion});
+
+    // Fill the LLC now (tag state is updated in request order).
+    const Cache::Result fill =
+        llc_.access(paddr, is_write, is_prefetch);
+    WSEL_ASSERT(!fill.hit, "missPath called on an LLC hit");
+    if (fill.evicted.valid && fill.evicted.dirty) {
+        // The dirty victim leaves eagerly through the write buffer:
+        // it may use the FSB as soon as a buffer slot and the bus
+        // are free (it must not wait for the fill to return, or the
+        // single bus timeline would block for a full DRAM round
+        // trip per eviction).
+        std::uint64_t wb_start = t;
+        std::erase_if(writeBuffer_, [wb_start](std::uint64_t c) {
+            return c <= wb_start;
+        });
+        if (writeBuffer_.size() >= cfg_.writeBufferEntries) {
+            std::uint64_t earliest = UINT64_MAX;
+            for (std::uint64_t c : writeBuffer_)
+                earliest = std::min(earliest, c);
+            wb_start = std::max(wb_start, earliest);
+            std::erase_if(writeBuffer_,
+                          [wb_start](std::uint64_t c) {
+                              return c <= wb_start;
+                          });
+        }
+        const std::uint64_t wb_done =
+            busTransfer(wb_start) + cfg_.fsbCyclesPerTransfer;
+        writeBuffer_.push_back(wb_done);
+    }
+    return completion;
+}
+
+std::uint64_t
+Uncore::access(std::uint64_t cycle, std::uint32_t core_id,
+               std::uint64_t vaddr, bool is_write, std::uint64_t pc,
+               bool is_prefetch)
+{
+    WSEL_ASSERT(core_id < numCores_, "core id out of range");
+    UncoreCoreStats &cs = coreStats_[core_id];
+    if (!is_prefetch) {
+        if (is_write)
+            ++cs.writes;
+        else
+            ++cs.reads;
+    }
+
+    const std::uint64_t paddr = translate(core_id, vaddr);
+
+    // One request occupies the LLC port per cycle.
+    const std::uint64_t start = std::max(cycle, portNextFree_);
+    portNextFree_ = start + 1;
+
+    const bool hit = llc_.probe(paddr);
+
+    std::uint64_t completion;
+    if (hit) {
+        const Cache::Result r =
+            llc_.access(paddr, is_write, is_prefetch);
+        WSEL_ASSERT(r.hit, "probe/access disagreement");
+        completion = start + cfg_.llcHitLatency;
+        // The tags fill at request time, so a "hit" may target a
+        // line whose data is still in flight: wait for its MSHR.
+        const std::uint64_t line = llc_.lineAddr(paddr);
+        for (const Mshr &m : mshrs_) {
+            if (m.lineAddr == line)
+                completion = std::max(completion, m.completion);
+        }
+    } else {
+        if (!is_prefetch)
+            ++cs.demandMisses;
+        completion = missPath(start + cfg_.llcHitLatency, paddr,
+                              is_write, is_prefetch);
+    }
+
+    // Core prefetches train the LLC prefetchers like demand traffic;
+    // their own proposals are not re-observed.
+    if (!is_prefetch) {
+        cs.totalDemandLatency += completion - cycle;
+        maybePrefetch(start, core_id, pc, paddr, !hit);
+    }
+    return completion;
+}
+
+void
+Uncore::maybePrefetch(std::uint64_t start, std::uint32_t core_id,
+                      std::uint64_t pc, std::uint64_t paddr,
+                      bool was_miss)
+{
+    std::vector<std::uint64_t> proposals;
+    prefetchers_[core_id]->observe(pc, llc_.lineAddr(paddr), was_miss,
+                                   proposals);
+    for (std::uint64_t line : proposals) {
+        const std::uint64_t byte_addr = line * cfg_.llc.lineBytes;
+        if (llc_.probe(byte_addr))
+            continue;
+        missPath(start + cfg_.llcHitLatency, byte_addr, false, true);
+    }
+}
+
+void
+Uncore::writeback(std::uint64_t cycle, std::uint32_t core_id,
+                  std::uint64_t vaddr)
+{
+    WSEL_ASSERT(core_id < numCores_, "core id out of range");
+    ++coreStats_[core_id].writebacksIn;
+
+    const std::uint64_t paddr = translate(core_id, vaddr);
+    const std::uint64_t start = std::max(cycle, portNextFree_);
+    portNextFree_ = start + 1;
+
+    const Cache::Result r = llc_.writeback(paddr);
+    if (!r.hit && r.evicted.valid && r.evicted.dirty) {
+        const std::uint64_t wb_done =
+            busTransfer(start) + cfg_.fsbCyclesPerTransfer;
+        writeBuffer_.push_back(wb_done);
+        if (writeBuffer_.size() > cfg_.writeBufferEntries)
+            writeBuffer_.erase(writeBuffer_.begin());
+    }
+}
+
+} // namespace wsel

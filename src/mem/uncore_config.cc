@@ -1,0 +1,49 @@
+#include "mem/uncore_config.hh"
+
+#include <sstream>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+UncoreConfig
+UncoreConfig::forCores(std::uint32_t cores, PolicyKind policy)
+{
+    UncoreConfig cfg;
+    cfg.policy = policy;
+    switch (cores) {
+      case 1:
+      case 2:
+        cfg.llc.sizeBytes = 64 * 1024;
+        cfg.llcHitLatency = 5;
+        break;
+      case 4:
+        cfg.llc.sizeBytes = 128 * 1024;
+        cfg.llcHitLatency = 6;
+        break;
+      case 8:
+        cfg.llc.sizeBytes = 256 * 1024;
+        cfg.llcHitLatency = 7;
+        break;
+      default:
+        WSEL_FATAL("no Table II uncore configuration for " << cores
+                                                           << " cores");
+    }
+    return cfg;
+}
+
+std::string
+UncoreConfig::describe() const
+{
+    std::ostringstream os;
+    os << "LLC " << llc.sizeBytes / 1024 << "kB/" << llc.ways
+       << "-way/" << llc.lineBytes << "B, " << llcHitLatency
+       << "-cycle hit, " << toString(policy) << ", " << mshrs
+       << " MSHRs, " << writeBufferEntries << "-entry WB, FSB "
+       << fsbCyclesPerTransfer << " cyc/line, DRAM " << dramLatency
+       << " cyc";
+    return os.str();
+}
+
+} // namespace wsel

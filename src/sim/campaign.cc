@@ -1,0 +1,292 @@
+#include "sim/campaign.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+void
+progress(const CampaignOptions &opts, const std::string &what,
+         std::size_t done, std::size_t total)
+{
+    if (!opts.verbose || opts.progressEvery == 0)
+        return;
+    if (done % opts.progressEvery == 0 || done == total) {
+        std::cerr << "  [" << what << "] " << done << "/" << total
+                  << "\n";
+    }
+}
+
+} // namespace
+
+std::size_t
+Campaign::policyIndex(PolicyKind kind) const
+{
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        if (policies[i] == kind)
+            return i;
+    }
+    WSEL_FATAL("campaign has no data for policy " << toString(kind));
+}
+
+std::vector<double>
+Campaign::perWorkloadThroughputs(std::size_t policy_idx,
+                                 ThroughputMetric m) const
+{
+    if (policy_idx >= policies.size())
+        WSEL_FATAL("policy index " << policy_idx << " out of range");
+    std::vector<double> t;
+    t.reserve(workloads.size());
+    std::vector<double> refs(cores, 1.0);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::vector<double> &ipcs = ipc[policy_idx][w];
+        for (std::size_t k = 0; k < cores; ++k)
+            refs[k] = refIpc[workloads[w][k]];
+        t.push_back(perWorkloadThroughput(m, ipcs, refs));
+    }
+    return t;
+}
+
+double
+Campaign::mips() const
+{
+    if (simSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(instructions) / simSeconds / 1e6;
+}
+
+void
+Campaign::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        WSEL_FATAL("cannot open '" << path << "' for writing");
+    os << "wsel-campaign,v1\n";
+    os << "simulator," << simulator << "\n";
+    os << "cores," << cores << "\n";
+    os << "target," << targetUops << "\n";
+    os << "simseconds," << simSeconds << "\n";
+    os << "instructions," << instructions << "\n";
+    os << "policies,";
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        os << (i ? ";" : "") << toString(policies[i]);
+    os << "\n";
+    os << "benchmarks,";
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        os << (i ? ";" : "") << benchmarks[i];
+    os << "\n";
+    os << "refipc,";
+    os.precision(17);
+    for (std::size_t i = 0; i < refIpc.size(); ++i)
+        os << (i ? ";" : "") << refIpc[i];
+    os << "\n";
+    os << "nworkloads," << workloads.size() << "\n";
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        os << "w,";
+        for (std::size_t k = 0; k < workloads[w].size(); ++k)
+            os << (k ? ";" : "") << workloads[w][k];
+        os << "\n";
+    }
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            os << "i," << p << "," << w << ",";
+            for (std::size_t k = 0; k < ipc[p][w].size(); ++k)
+                os << (k ? ";" : "") << ipc[p][w][k];
+            os << "\n";
+        }
+    }
+}
+
+Campaign
+Campaign::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        WSEL_FATAL("cannot open '" << path << "' for reading");
+    Campaign c;
+    std::string line;
+    auto next = [&](const std::string &tag) -> std::string {
+        if (!std::getline(is, line))
+            WSEL_FATAL("truncated campaign file " << path);
+        const auto f = splitOn(line, ',');
+        if (f.size() < 2 || f[0] != tag)
+            WSEL_FATAL("expected '" << tag << "' line in " << path
+                                    << ", got '" << line << "'");
+        return f[1];
+    };
+    if (next("wsel-campaign") != "v1")
+        WSEL_FATAL("unsupported campaign version in " << path);
+    c.simulator = next("simulator");
+    c.cores = static_cast<std::uint32_t>(std::stoul(next("cores")));
+    c.targetUops = std::stoull(next("target"));
+    c.simSeconds = std::stod(next("simseconds"));
+    c.instructions = std::stoull(next("instructions"));
+    for (const std::string &p : splitOn(next("policies"), ';'))
+        c.policies.push_back(parsePolicyKind(p));
+    for (const std::string &b : splitOn(next("benchmarks"), ';'))
+        c.benchmarks.push_back(b);
+    for (const std::string &r : splitOn(next("refipc"), ';'))
+        c.refIpc.push_back(std::stod(r));
+    const std::size_t nw = std::stoull(next("nworkloads"));
+    c.workloads.reserve(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+        if (!std::getline(is, line))
+            WSEL_FATAL("truncated workload list in " << path);
+        const auto f = splitOn(line, ',');
+        if (f.size() != 2 || f[0] != "w")
+            WSEL_FATAL("bad workload line '" << line << "'");
+        std::vector<std::uint32_t> benches;
+        for (const std::string &b : splitOn(f[1], ';'))
+            benches.push_back(
+                static_cast<std::uint32_t>(std::stoul(b)));
+        c.workloads.push_back(Workload(std::move(benches)));
+    }
+    c.ipc.assign(c.policies.size(),
+                 std::vector<std::vector<double>>(nw));
+    std::size_t rows = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const auto f = splitOn(line, ',');
+        if (f.size() != 4 || f[0] != "i")
+            WSEL_FATAL("bad ipc line '" << line << "'");
+        const std::size_t p = std::stoull(f[1]);
+        const std::size_t w = std::stoull(f[2]);
+        if (p >= c.policies.size() || w >= nw)
+            WSEL_FATAL("ipc line out of range in " << path);
+        std::vector<double> ipcs;
+        for (const std::string &v : splitOn(f[3], ';'))
+            ipcs.push_back(std::stod(v));
+        c.ipc[p][w] = std::move(ipcs);
+        ++rows;
+    }
+    if (rows != c.policies.size() * nw)
+        WSEL_FATAL("campaign file " << path << " has " << rows
+                   << " ipc rows, expected "
+                   << c.policies.size() * nw);
+    return c;
+}
+
+Campaign
+runBadcoCampaign(const std::vector<Workload> &workloads,
+                 const std::vector<PolicyKind> &policies,
+                 std::uint32_t cores, std::uint64_t target_uops,
+                 BadcoModelStore &store,
+                 const std::vector<BenchmarkProfile> &suite,
+                 const CampaignOptions &opts)
+{
+    if (workloads.empty() || policies.empty())
+        WSEL_FATAL("campaign needs workloads and policies");
+    Campaign c;
+    c.simulator = "badco";
+    c.cores = cores;
+    c.targetUops = target_uops;
+    c.policies = policies;
+    for (const BenchmarkProfile &p : suite)
+        c.benchmarks.push_back(p.name);
+    c.workloads = workloads;
+
+    const std::vector<const BadcoModel *> models =
+        store.getSuite(suite);
+
+    {
+        UncoreConfig ref =
+            UncoreConfig::forCores(cores, PolicyKind::LRU);
+        BadcoMulticoreSim ref_sim(ref, 1, target_uops, opts.seed);
+        c.refIpc = ref_sim.referenceIpcs(models);
+    }
+
+    c.ipc.assign(policies.size(),
+                 std::vector<std::vector<double>>(workloads.size()));
+    const std::size_t total = policies.size() * workloads.size();
+    std::size_t done = 0;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const UncoreConfig ucfg =
+            UncoreConfig::forCores(cores, policies[p]);
+        const BadcoMulticoreSim sim(ucfg, cores, target_uops,
+                                    opts.seed);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const SimResult r = sim.run(workloads[w], models);
+            c.ipc[p][w] = r.ipc;
+            c.simSeconds += r.wallSeconds;
+            c.instructions += r.instructions;
+            progress(opts, "badco " + toString(policies[p]), ++done,
+                     total);
+        }
+    }
+    return c;
+}
+
+Campaign
+runDetailedCampaign(const std::vector<Workload> &workloads,
+                    const std::vector<PolicyKind> &policies,
+                    std::uint32_t cores, std::uint64_t target_uops,
+                    const CoreConfig &core_cfg,
+                    const std::vector<BenchmarkProfile> &suite,
+                    const CampaignOptions &opts)
+{
+    if (workloads.empty() || policies.empty())
+        WSEL_FATAL("campaign needs workloads and policies");
+    Campaign c;
+    c.simulator = "detailed";
+    c.cores = cores;
+    c.targetUops = target_uops;
+    c.policies = policies;
+    for (const BenchmarkProfile &p : suite)
+        c.benchmarks.push_back(p.name);
+    c.workloads = workloads;
+
+    {
+        UncoreConfig ref =
+            UncoreConfig::forCores(cores, PolicyKind::LRU);
+        DetailedMulticoreSim ref_sim(core_cfg, ref, 1, target_uops,
+                                     opts.seed);
+        c.refIpc = ref_sim.referenceIpcs(suite);
+    }
+
+    c.ipc.assign(policies.size(),
+                 std::vector<std::vector<double>>(workloads.size()));
+    const std::size_t total = policies.size() * workloads.size();
+    std::size_t done = 0;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const UncoreConfig ucfg =
+            UncoreConfig::forCores(cores, policies[p]);
+        const DetailedMulticoreSim sim(core_cfg, ucfg, cores,
+                                       target_uops, opts.seed);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const SimResult r = sim.run(workloads[w], suite);
+            c.ipc[p][w] = r.ipc;
+            c.simSeconds += r.wallSeconds;
+            c.instructions += r.instructions;
+            progress(opts, "detailed " + toString(policies[p]),
+                     ++done, total);
+        }
+    }
+    return c;
+}
+
+} // namespace wsel

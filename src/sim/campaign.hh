@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Simulation campaigns: run a workload list under several uncore
+ * policies with one simulator, collect the full IPC matrix, and
+ * persist it, so the expensive simulation step is decoupled from
+ * the sampling analyses (the paper's workflow: simulate the large
+ * sample once with BADCO, then study sampling methods on the
+ * resulting numbers).
+ */
+
+#ifndef WSEL_SIM_CAMPAIGN_HH
+#define WSEL_SIM_CAMPAIGN_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "core/metrics/throughput.hh"
+#include "core/workload/workload.hh"
+#include "cpu/core_config.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+
+namespace wsel
+{
+
+/** The full result of simulating workloads x policies. */
+struct Campaign
+{
+    std::string simulator; ///< "badco" or "detailed"
+    std::uint32_t cores = 0;
+    std::uint64_t targetUops = 0;
+    std::vector<PolicyKind> policies;
+    std::vector<std::string> benchmarks; ///< suite names
+    std::vector<double> refIpc; ///< single-thread IPC per benchmark
+    std::vector<Workload> workloads;
+
+    /** ipc[policy][workload][core]. */
+    std::vector<std::vector<std::vector<double>>> ipc;
+
+    /** Host seconds spent simulating. */
+    double simSeconds = 0.0;
+
+    /** Total µops simulated (for MIPS reporting). */
+    std::uint64_t instructions = 0;
+
+    /** Index of @p kind in policies; fatal when absent. */
+    std::size_t policyIndex(PolicyKind kind) const;
+
+    /**
+     * Per-workload throughput t(w) (eq. 1) for one policy under one
+     * metric, aligned with the workloads list.
+     */
+    std::vector<double> perWorkloadThroughputs(
+        std::size_t policy_idx, ThroughputMetric m) const;
+
+    /** Simulation speed in MIPS. */
+    double mips() const;
+
+    /** Persist as CSV. */
+    void save(const std::string &path) const;
+
+    /** Load a persisted campaign; fatal on malformed input. */
+    static Campaign load(const std::string &path);
+};
+
+/** Options shared by the campaign runners. */
+struct CampaignOptions
+{
+    std::uint64_t seed = 1;
+    bool verbose = false;      ///< progress lines on stderr
+    std::size_t progressEvery = 500;
+};
+
+/**
+ * Run a BADCO campaign: simulate every workload under every policy
+ * with the behavioural simulator.
+ */
+Campaign runBadcoCampaign(const std::vector<Workload> &workloads,
+                          const std::vector<PolicyKind> &policies,
+                          std::uint32_t cores,
+                          std::uint64_t target_uops,
+                          BadcoModelStore &store,
+                          const std::vector<BenchmarkProfile> &suite,
+                          const CampaignOptions &opts = {});
+
+/**
+ * Run a detailed campaign with the cycle-level simulator.
+ */
+Campaign runDetailedCampaign(
+    const std::vector<Workload> &workloads,
+    const std::vector<PolicyKind> &policies, std::uint32_t cores,
+    std::uint64_t target_uops, const CoreConfig &core_cfg,
+    const std::vector<BenchmarkProfile> &suite,
+    const CampaignOptions &opts = {});
+
+/**
+ * Load the campaign cached under @p cache_key in the WSEL cache
+ * directory if present; otherwise invoke @p produce and persist the
+ * result. With no cache directory configured, always produces.
+ */
+template <typename ProduceFn>
+Campaign
+cachedCampaign(const std::string &cache_key, ProduceFn &&produce)
+{
+    const std::string dir = defaultCacheDir();
+    if (dir.empty())
+        return produce();
+    const std::string path = dir + "/campaign_v1_" + cache_key +
+                             ".csv";
+    if (std::filesystem::exists(path))
+        return Campaign::load(path);
+    Campaign c = produce();
+    c.save(path);
+    return c;
+}
+
+} // namespace wsel
+
+#endif // WSEL_SIM_CAMPAIGN_HH

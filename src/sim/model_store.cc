@@ -1,0 +1,94 @@
+#include "sim/model_store.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+BadcoModelStore::BadcoModelStore(const CoreConfig &core_cfg,
+                                 std::uint64_t target_uops,
+                                 std::uint32_t llc_hit_latency,
+                                 std::string cache_dir)
+    : coreCfg_(core_cfg), targetUops_(target_uops),
+      llcHitLatency_(llc_hit_latency), cacheDir_(std::move(cache_dir))
+{
+    if (!cacheDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir_, ec);
+        if (ec) {
+            warn("cannot create cache dir '" + cacheDir_ +
+                 "'; continuing without persistence");
+            cacheDir_.clear();
+        }
+    }
+}
+
+std::string
+BadcoModelStore::cachePath(const BenchmarkProfile &profile) const
+{
+    std::ostringstream os;
+    os << cacheDir_ << "/badco_v2_" << profile.name << "_"
+       << targetUops_ << "u_" << llcHitLatency_ << "c_" << std::hex
+       << profile.parameterHash() << ".bin";
+    return os.str();
+}
+
+const BadcoModel &
+BadcoModelStore::get(const BenchmarkProfile &profile)
+{
+    auto it = models_.find(profile.name);
+    if (it != models_.end())
+        return it->second;
+
+    if (!cacheDir_.empty()) {
+        const std::string path = cachePath(profile);
+        if (std::filesystem::exists(path)) {
+            BadcoModel m = BadcoModel::loadFile(path);
+            if (m.traceUops == targetUops_) {
+                return models_.emplace(profile.name, std::move(m))
+                    .first->second;
+            }
+            warn("stale BADCO model cache at " + path +
+                 "; rebuilding");
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    BadcoModel m = buildBadcoModel(profile, coreCfg_, targetUops_,
+                                   llcHitLatency_);
+    buildSeconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    ++built_;
+
+    if (!cacheDir_.empty())
+        m.saveFile(cachePath(profile));
+    return models_.emplace(profile.name, std::move(m)).first->second;
+}
+
+std::vector<const BadcoModel *>
+BadcoModelStore::getSuite(const std::vector<BenchmarkProfile> &suite)
+{
+    std::vector<const BadcoModel *> out;
+    out.reserve(suite.size());
+    for (const BenchmarkProfile &p : suite)
+        out.push_back(&get(p));
+    return out;
+}
+
+std::string
+defaultCacheDir()
+{
+    // Results persist under ./.wsel_cache by default so repeated
+    // bench/tool invocations share models and campaigns; set
+    // WSEL_CACHE_DIR to move it, or to "" to disable persistence.
+    const char *env = std::getenv("WSEL_CACHE_DIR");
+    return env ? std::string(env) : std::string(".wsel_cache");
+}
+
+} // namespace wsel

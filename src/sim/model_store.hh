@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Builds and caches BADCO models per (benchmark, core-count) pair,
+ * with optional on-disk persistence so the one-off model-building
+ * cost (the paper's "2 traces per benchmark" step, §VII-A) is paid
+ * once across tools.
+ */
+
+#ifndef WSEL_SIM_MODEL_STORE_HH
+#define WSEL_SIM_MODEL_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "badco/badco_model.hh"
+#include "cpu/core_config.hh"
+#include "trace/benchmark_profile.hh"
+
+namespace wsel
+{
+
+/**
+ * Store of BADCO models for one core configuration and slice length.
+ */
+class BadcoModelStore
+{
+  public:
+    /**
+     * @param core_cfg The detailed-core configuration modelled.
+     * @param target_uops Slice length in µops.
+     * @param llc_hit_latency Perfect-uncore latency used when
+     *        building (the target uncore's hit latency).
+     * @param cache_dir Directory for on-disk persistence; empty
+     *        keeps models in memory only.
+     */
+    BadcoModelStore(const CoreConfig &core_cfg,
+                    std::uint64_t target_uops,
+                    std::uint32_t llc_hit_latency,
+                    std::string cache_dir = "");
+
+    /** Get (building or loading if needed) a benchmark's model. */
+    const BadcoModel &get(const BenchmarkProfile &profile);
+
+    /** Models for a whole suite, indexed like the suite. */
+    std::vector<const BadcoModel *> getSuite(
+        const std::vector<BenchmarkProfile> &suite);
+
+    /** Host seconds spent building models so far. */
+    double buildSeconds() const { return buildSeconds_; }
+
+    /** Number of models built (not loaded from disk). */
+    std::size_t modelsBuilt() const { return built_; }
+
+  private:
+    std::string cachePath(const BenchmarkProfile &profile) const;
+
+    CoreConfig coreCfg_;
+    std::uint64_t targetUops_;
+    std::uint32_t llcHitLatency_;
+    std::string cacheDir_;
+    std::map<std::string, BadcoModel> models_;
+    double buildSeconds_ = 0.0;
+    std::size_t built_ = 0;
+};
+
+/**
+ * Shared results directory: $WSEL_CACHE_DIR when set (empty
+ * disables persistence), else "./.wsel_cache".
+ */
+std::string defaultCacheDir();
+
+} // namespace wsel
+
+#endif // WSEL_SIM_MODEL_STORE_HH

@@ -1,0 +1,241 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "cpu/detailed_core.hh"
+#include "badco/badco_machine.hh"
+#include "stats/logging.hh"
+#include "trace/trace_generator.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+} // namespace
+
+double
+SimResult::mips() const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(instructions) / wallSeconds / 1e6;
+}
+
+// -------------------------------------------------------------------
+// Detailed simulator
+// -------------------------------------------------------------------
+
+DetailedMulticoreSim::DetailedMulticoreSim(
+    const CoreConfig &core_cfg, const UncoreConfig &uncore_cfg,
+    std::uint32_t cores, std::uint64_t target_uops,
+    std::uint64_t seed)
+    : coreCfg_(core_cfg), uncoreCfg_(uncore_cfg), cores_(cores),
+      targetUops_(target_uops), seed_(seed)
+{
+    if (cores_ == 0)
+        WSEL_FATAL("need at least one core");
+    if (targetUops_ == 0)
+        WSEL_FATAL("target µop count cannot be zero");
+}
+
+SimResult
+DetailedMulticoreSim::run(
+    const Workload &workload,
+    const std::vector<BenchmarkProfile> &suite) const
+{
+    if (workload.size() != cores_)
+        WSEL_FATAL("workload has " << workload.size()
+                                   << " threads for " << cores_
+                                   << " cores");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    Uncore uncore(uncoreCfg_, cores_, seed_);
+    std::vector<std::unique_ptr<TraceGenerator>> traces;
+    std::vector<std::unique_ptr<DetailedCore>> coresv;
+    traces.reserve(cores_);
+    coresv.reserve(cores_);
+    for (std::uint32_t k = 0; k < cores_; ++k) {
+        const std::uint32_t bench = workload[k];
+        if (bench >= suite.size())
+            WSEL_FATAL("workload references benchmark " << bench
+                       << " outside the suite");
+        traces.push_back(
+            std::make_unique<TraceGenerator>(suite[bench]));
+        coresv.push_back(std::make_unique<DetailedCore>(
+            coreCfg_, *traces.back(), uncore, k, targetUops_,
+            seed_ + 0x1000 * (k + 1)));
+    }
+
+    std::uint64_t now = 0;
+    while (true) {
+        bool all_done = true;
+        for (auto &c : coresv) {
+            c->tick(now);
+            all_done = all_done && c->reachedTarget();
+        }
+        if (all_done)
+            break;
+        // Skip cycles in which no unfinished core can progress.
+        std::uint64_t next = UINT64_MAX;
+        for (auto &c : coresv) {
+            if (c->reachedTarget())
+                continue;
+            next = std::min(next, c->nextEventCycle(now));
+        }
+        now = std::max(now + 1, next == UINT64_MAX ? now + 1 : next);
+    }
+
+    SimResult res;
+    res.ipc.reserve(cores_);
+    res.llcDemandMisses.reserve(cores_);
+    for (std::uint32_t k = 0; k < cores_; ++k) {
+        res.ipc.push_back(coresv[k]->ipc());
+        res.cycles = std::max(res.cycles,
+                              coresv[k]->stats().cyclesToTarget);
+        res.llcDemandMisses.push_back(
+            uncore.coreStats(k).demandMisses);
+    }
+    res.instructions = static_cast<std::uint64_t>(cores_) *
+                       targetUops_;
+    res.wallSeconds = elapsedSeconds(t0);
+    return res;
+}
+
+std::vector<double>
+DetailedMulticoreSim::referenceIpcs(
+    const std::vector<BenchmarkProfile> &suite) const
+{
+    // The reference machine: the same uncore with the baseline LRU
+    // policy, running the benchmark alone.
+    UncoreConfig ref_cfg = uncoreCfg_;
+    ref_cfg.policy = PolicyKind::LRU;
+    std::vector<double> refs;
+    refs.reserve(suite.size());
+    for (const BenchmarkProfile &p : suite) {
+        Uncore uncore(ref_cfg, 1, seed_);
+        TraceGenerator trace(p);
+        DetailedCore core(coreCfg_, trace, uncore, 0, targetUops_,
+                          seed_ + 0x51);
+        std::uint64_t now = 0;
+        while (!core.reachedTarget()) {
+            core.tick(now);
+            const std::uint64_t next = core.nextEventCycle(now);
+            now = std::max(now + 1,
+                           next == UINT64_MAX ? now + 1 : next);
+        }
+        refs.push_back(core.ipc());
+    }
+    return refs;
+}
+
+// -------------------------------------------------------------------
+// BADCO simulator
+// -------------------------------------------------------------------
+
+BadcoMulticoreSim::BadcoMulticoreSim(const UncoreConfig &uncore_cfg,
+                                     std::uint32_t cores,
+                                     std::uint64_t target_uops,
+                                     std::uint64_t seed,
+                                     std::uint32_t window,
+                                     std::uint32_t max_outstanding,
+                                     std::uint64_t quantum)
+    : uncoreCfg_(uncore_cfg), cores_(cores),
+      targetUops_(target_uops), seed_(seed), window_(window),
+      maxOutstanding_(max_outstanding), quantum_(quantum)
+{
+    if (cores_ == 0)
+        WSEL_FATAL("need at least one core");
+    if (targetUops_ == 0)
+        WSEL_FATAL("target µop count cannot be zero");
+    if (quantum_ == 0)
+        WSEL_FATAL("quantum cannot be zero");
+}
+
+SimResult
+BadcoMulticoreSim::run(
+    const Workload &workload,
+    const std::vector<const BadcoModel *> &models) const
+{
+    if (workload.size() != cores_)
+        WSEL_FATAL("workload has " << workload.size()
+                                   << " threads for " << cores_
+                                   << " cores");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    Uncore uncore(uncoreCfg_, cores_, seed_);
+    std::vector<std::unique_ptr<BadcoMachine>> machines;
+    machines.reserve(cores_);
+    for (std::uint32_t k = 0; k < cores_; ++k) {
+        const std::uint32_t bench = workload[k];
+        if (bench >= models.size() || models[bench] == nullptr)
+            WSEL_FATAL("no BADCO model for benchmark " << bench);
+        machines.push_back(std::make_unique<BadcoMachine>(
+            *models[bench], uncore, k, targetUops_, window_,
+            maxOutstanding_));
+        machines.back()->stopAtTarget(!restartThreads_);
+    }
+
+    // Round-robin quanta with rotating start for fairness.
+    std::uint64_t t = 0;
+    std::uint32_t first = 0;
+    while (true) {
+        bool all_done = true;
+        for (const auto &m : machines)
+            all_done = all_done && m->reachedTarget();
+        if (all_done)
+            break;
+        t += quantum_;
+        for (std::uint32_t i = 0; i < cores_; ++i)
+            machines[(first + i) % cores_]->run(t);
+        first = (first + 1) % cores_;
+    }
+
+    SimResult res;
+    res.ipc.reserve(cores_);
+    res.llcDemandMisses.reserve(cores_);
+    for (std::uint32_t k = 0; k < cores_; ++k) {
+        res.ipc.push_back(machines[k]->ipc());
+        res.cycles = std::max(res.cycles,
+                              machines[k]->stats().cyclesToTarget);
+        res.llcDemandMisses.push_back(
+            uncore.coreStats(k).demandMisses);
+    }
+    res.instructions = static_cast<std::uint64_t>(cores_) *
+                       targetUops_;
+    res.wallSeconds = elapsedSeconds(t0);
+    return res;
+}
+
+std::vector<double>
+BadcoMulticoreSim::referenceIpcs(
+    const std::vector<const BadcoModel *> &models) const
+{
+    UncoreConfig ref_cfg = uncoreCfg_;
+    ref_cfg.policy = PolicyKind::LRU;
+    std::vector<double> refs;
+    refs.reserve(models.size());
+    for (const BadcoModel *m : models) {
+        if (m == nullptr)
+            WSEL_FATAL("missing BADCO model");
+        Uncore uncore(ref_cfg, 1, seed_);
+        BadcoMachine machine(*m, uncore, 0, targetUops_, window_,
+                             maxOutstanding_);
+        while (!machine.reachedTarget())
+            machine.run(machine.localClock() + quantum_);
+        refs.push_back(machine.ipc());
+    }
+    return refs;
+}
+
+} // namespace wsel

@@ -1,0 +1,36 @@
+#include "stats/combinatorics.hh"
+
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+std::uint64_t
+binomial(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return 0;
+    if (k > n - k)
+        k = n - k;
+    // result * (n-k+i) is exactly divisible by i at every step; do
+    // the multiply in 128 bits so only the final value must fit.
+    __uint128_t result = 1;
+    for (std::uint64_t i = 1; i <= k; ++i) {
+        result = result * (n - k + i) / i;
+        if (result > UINT64_MAX)
+            WSEL_FATAL("binomial(" << n << ", " << k
+                                   << ") overflows 64 bits");
+    }
+    return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t
+multisetCount(std::uint64_t n, std::uint64_t k)
+{
+    if (n == 0)
+        return k == 0 ? 1 : 0;
+    return binomial(n + k - 1, k);
+}
+
+} // namespace wsel

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Combinatorial helpers for workload-population arithmetic: the
+ * population of K-combinations-with-repetition over B benchmarks has
+ * size C(B+K-1, K) (paper, Section II).
+ */
+
+#ifndef WSEL_STATS_COMBINATORICS_HH
+#define WSEL_STATS_COMBINATORICS_HH
+
+#include <cstdint>
+
+namespace wsel
+{
+
+/**
+ * Binomial coefficient C(n, k) in exact 64-bit arithmetic.
+ * Fatal on overflow.
+ */
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/**
+ * Number of multisets of size @p k over @p n distinct items,
+ * i.e. C(n+k-1, k). This is the workload-population size for n
+ * benchmarks on k interchangeable cores.
+ */
+std::uint64_t multisetCount(std::uint64_t n, std::uint64_t k);
+
+} // namespace wsel
+
+#endif // WSEL_STATS_COMBINATORICS_HH

@@ -1,0 +1,70 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi)
+{
+    if (!(hi > lo))
+        WSEL_FATAL("histogram range [" << lo << ", " << hi
+                                       << "] is empty");
+    if (bins == 0)
+        WSEL_FATAL("histogram needs at least one bin");
+    counts_.assign(bins, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    double t = (x - lo_) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    std::size_t bin = static_cast<std::size_t>(
+        t * static_cast<double>(counts_.size()));
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(bins());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t len =
+            peak ? counts_[i] * width / peak : 0;
+        os.setf(std::ios::fixed);
+        os.precision(4);
+        os << binCenter(i) << " | " << std::string(len, '#') << " "
+           << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wsel

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-bin histogram for distribution inspection (used by the
+ * workload-stratification diagnostics and the bench harnesses).
+ */
+
+#ifndef WSEL_STATS_HISTOGRAM_HH
+#define WSEL_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsel
+{
+
+/**
+ * Equal-width histogram over [lo, hi] with out-of-range clamping.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin (must exceed lo).
+     * @param bins Number of bins (must be >= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation; values outside [lo, hi] clamp. */
+    void add(double x);
+
+    /** Number of observations added. */
+    std::size_t count() const { return total_; }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of observations in bin @p i (0 when empty). */
+    double binFraction(std::size_t i) const;
+
+    /** Render a terminal-friendly ASCII bar chart. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace wsel
+
+#endif // WSEL_STATS_HISTOGRAM_HH

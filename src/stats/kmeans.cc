@@ -1,0 +1,134 @@
+#include "stats/kmeans.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       Rng &rng, std::size_t max_iterations)
+{
+    const std::size_t n = points.size();
+    if (k == 0 || k > n)
+        WSEL_FATAL("kmeans: k=" << k << " invalid for " << n
+                                << " points");
+    const std::size_t dim = points.front().size();
+    for (const auto &p : points) {
+        if (p.size() != dim)
+            WSEL_FATAL("kmeans: inconsistent point dimensions");
+    }
+
+    KMeansResult res;
+    res.centroids.reserve(k);
+
+    // k-means++ seeding.
+    res.centroids.push_back(points[rng.nextInt(n)]);
+    std::vector<double> d2(n);
+    while (res.centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : res.centroids)
+                best = std::min(best, sqDist(points[i], c));
+            d2[i] = best;
+            total += best;
+        }
+        std::size_t pick;
+        if (total <= 0.0) {
+            pick = rng.nextInt(n);
+        } else {
+            double r = rng.nextDouble() * total;
+            pick = n - 1;
+            for (std::size_t i = 0; i < n; ++i) {
+                r -= d2[i];
+                if (r <= 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        res.centroids.push_back(points[pick]);
+    }
+
+    res.assignment.assign(n, 0);
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        res.iterations = iter + 1;
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], res.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (res.assignment[i] != best) {
+                res.assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[res.assignment[i]];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[res.assignment[i]][d] += points[i][d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster on a random point.
+                res.centroids[c] = points[rng.nextInt(n)];
+                changed = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d)
+                res.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+        if (!changed)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        res.inertia += sqDist(points[i],
+                              res.centroids[res.assignment[i]]);
+    return res;
+}
+
+KMeansResult
+kmeans1d(const std::vector<double> &values, std::size_t k, Rng &rng,
+         std::size_t max_iterations)
+{
+    std::vector<std::vector<double>> pts;
+    pts.reserve(values.size());
+    for (double v : values)
+        pts.push_back({v});
+    return kmeans(pts, k, rng, max_iterations);
+}
+
+} // namespace wsel

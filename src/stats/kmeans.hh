@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small k-means implementation used for automatic benchmark
+ * classification (the cluster-analysis alternative to manual MPKI
+ * classes discussed in the paper's Section II-B).
+ */
+
+#ifndef WSEL_STATS_KMEANS_HH
+#define WSEL_STATS_KMEANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    /** Cluster index per input point, in [0, k). */
+    std::vector<std::size_t> assignment;
+    /** Final centroids, k rows of dim columns. */
+    std::vector<std::vector<double>> centroids;
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0.0;
+    /** Iterations executed before convergence / cap. */
+    std::size_t iterations = 0;
+};
+
+/**
+ * Lloyd's k-means with k-means++ seeding.
+ *
+ * @param points Input points; all rows must share one dimension.
+ * @param k Number of clusters; must satisfy 1 <= k <= points.size().
+ * @param rng Seeding randomness (deterministic given the Rng state).
+ * @param max_iterations Iteration cap.
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, Rng &rng,
+                    std::size_t max_iterations = 100);
+
+/**
+ * Convenience 1-D k-means (e.g. clustering benchmarks by MPKI).
+ */
+KMeansResult kmeans1d(const std::vector<double> &values, std::size_t k,
+                      Rng &rng, std::size_t max_iterations = 100);
+
+} // namespace wsel
+
+#endif // WSEL_STATS_KMEANS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting macros, mirroring gem5's fatal/panic distinction.
+ *
+ * WSEL_FATAL is for conditions that are the user's fault (bad
+ * configuration, invalid arguments): it throws wsel::FatalError so
+ * that library users (and tests) can catch it.
+ *
+ * WSEL_PANIC is for conditions that should never happen regardless of
+ * what the user does, i.e. an internal bug: it aborts.
+ */
+
+#ifndef WSEL_STATS_LOGGING_HH
+#define WSEL_STATS_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wsel
+{
+
+/** Exception thrown for user-caused errors (bad config, bad args). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Build a "file:line: message" string for diagnostics. */
+inline std::string
+formatMessage(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(formatMessage(file, line, msg));
+}
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << formatMessage(file, line, msg)
+              << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+
+/** Emit a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+} // namespace wsel
+
+/** User error: throw wsel::FatalError with a streamed message. */
+#define WSEL_FATAL(msg_expr)                                          \
+    do {                                                              \
+        std::ostringstream wsel_fatal_os_;                            \
+        wsel_fatal_os_ << msg_expr;                                   \
+        ::wsel::detail::fatalImpl(__FILE__, __LINE__,                 \
+                                  wsel_fatal_os_.str());              \
+    } while (0)
+
+/** Internal bug: print a message and abort. */
+#define WSEL_PANIC(msg_expr)                                          \
+    do {                                                              \
+        std::ostringstream wsel_panic_os_;                            \
+        wsel_panic_os_ << msg_expr;                                   \
+        ::wsel::detail::panicImpl(__FILE__, __LINE__,                 \
+                                  wsel_panic_os_.str());              \
+    } while (0)
+
+/** Panic unless an internal invariant holds. */
+#define WSEL_ASSERT(cond, msg_expr)                                   \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            WSEL_PANIC("assertion failed: " #cond ": " << msg_expr);  \
+        }                                                             \
+    } while (0)
+
+#endif // WSEL_STATS_LOGGING_HH

@@ -1,0 +1,172 @@
+#include "stats/rng.hh"
+
+#include <cmath>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Avoid the all-zero state, which xoshiro cannot escape.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 1;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextInt(std::uint64_t bound)
+{
+    WSEL_ASSERT(bound > 0, "nextInt bound must be positive");
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextIntRange(std::int64_t lo, std::int64_t hi)
+{
+    WSEL_ASSERT(lo <= hi, "nextIntRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextInt(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * mul;
+    hasSpareGaussian_ = true;
+    return u * mul;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    WSEL_ASSERT(p > 0.0 && p <= 1.0, "geometric p out of range");
+    if (p >= 1.0)
+        return 0;
+    const double u = 1.0 - nextDouble(); // u in (0, 1]
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    WSEL_ASSERT(rate > 0.0, "exponential rate must be positive");
+    return -std::log(1.0 - nextDouble()) / rate;
+}
+
+std::vector<std::size_t>
+Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    if (k > n)
+        WSEL_FATAL("cannot sample " << k << " items from " << n);
+    // Floyd's algorithm preserves O(k) memory; we then shuffle to
+    // return items in uniform random order.
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    std::vector<bool> seen;
+    if (k * 16 >= n) {
+        // Dense case: partial Fisher-Yates over an index array.
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        for (std::size_t i = 0; i < k; ++i) {
+            std::size_t j = i + nextInt(n - i);
+            std::swap(idx[i], idx[j]);
+            out.push_back(idx[i]);
+        }
+        return out;
+    }
+    seen.assign(n, false);
+    for (std::size_t j = n - k; j < n; ++j) {
+        std::size_t t = nextInt(j + 1);
+        if (seen[t])
+            t = j;
+        seen[t] = true;
+        out.push_back(t);
+    }
+    shuffle(out);
+    return out;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace wsel

@@ -1,0 +1,214 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+RunningStats::variancePopulation() const
+{
+    return n_ ? m2_ / static_cast<double>(n_)
+              : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+RunningStats::varianceSample() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1)
+                   : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+RunningStats::stddevPopulation() const
+{
+    return std::sqrt(variancePopulation());
+}
+
+double
+RunningStats::stddevSample() const
+{
+    return std::sqrt(varianceSample());
+}
+
+double
+RunningStats::coefficientOfVariation() const
+{
+    if (n_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    const double sigma = stddevPopulation();
+    if (mean_ == 0.0) {
+        return sigma == 0.0 ? std::numeric_limits<double>::quiet_NaN()
+                            : std::numeric_limits<double>::infinity();
+    }
+    return sigma / mean_;
+}
+
+RunningStats
+summarize(std::span<const double> xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    return s;
+}
+
+double
+arithmeticMean(std::span<const double> xs)
+{
+    return summarize(xs).mean();
+}
+
+double
+harmonicMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double inv_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            WSEL_FATAL("harmonic mean requires positive values, got "
+                       << x);
+        inv_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double
+geometricMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            WSEL_FATAL("geometric mean requires positive values, got "
+                       << x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+weightedArithmeticMean(std::span<const double> xs,
+                       std::span<const double> ws)
+{
+    if (xs.size() != ws.size())
+        WSEL_FATAL("weighted mean: " << xs.size() << " values but "
+                                     << ws.size() << " weights");
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (ws[i] < 0.0)
+            WSEL_FATAL("negative weight " << ws[i]);
+        num += ws[i] * xs[i];
+        den += ws[i];
+    }
+    if (den == 0.0)
+        WSEL_FATAL("weighted mean: all weights are zero");
+    return num / den;
+}
+
+double
+weightedHarmonicMean(std::span<const double> xs,
+                     std::span<const double> ws)
+{
+    if (xs.size() != ws.size())
+        WSEL_FATAL("weighted mean: " << xs.size() << " values but "
+                                     << ws.size() << " weights");
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (ws[i] < 0.0)
+            WSEL_FATAL("negative weight " << ws[i]);
+        if (xs[i] <= 0.0)
+            WSEL_FATAL("weighted harmonic mean requires positive "
+                       "values, got " << xs[i]);
+        num += ws[i];
+        den += ws[i] / xs[i];
+    }
+    if (num == 0.0)
+        WSEL_FATAL("weighted mean: all weights are zero");
+    return num / den;
+}
+
+double
+pearsonCorrelation(std::span<const double> xs,
+                   std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        WSEL_FATAL("correlation needs equal-length series, got "
+                   << xs.size() << " and " << ys.size());
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    const RunningStats sx = summarize(xs);
+    const RunningStats sy = summarize(ys);
+    const double denom =
+        sx.stddevPopulation() * sy.stddevPopulation();
+    if (denom == 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    double cov = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+    cov /= static_cast<double>(xs.size());
+    return cov / denom;
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0 || q > 1.0)
+        WSEL_FATAL("quantile " << q << " outside [0, 1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+} // namespace wsel

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Streaming summary statistics used throughout the library: Welford
+ * running moments, weighted variants, and the coefficient of
+ * variation that drives the paper's sample-size model.
+ */
+
+#ifndef WSEL_STATS_SUMMARY_HH
+#define WSEL_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace wsel
+{
+
+/**
+ * Single-pass running mean/variance/min/max (Welford's algorithm).
+ *
+ * Numerically stable; population and sample variance both exposed.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; NaN when empty. */
+    double mean() const;
+
+    /** Population variance (divide by n); NaN when empty. */
+    double variancePopulation() const;
+
+    /** Sample variance (divide by n-1); NaN when n < 2. */
+    double varianceSample() const;
+
+    /** Population standard deviation. */
+    double stddevPopulation() const;
+
+    /** Sample standard deviation. */
+    double stddevSample() const;
+
+    /**
+     * Coefficient of variation sigma/mu (population sigma), the
+     * quantity cv in the paper's eq. (5)/(8). Returns +inf when the
+     * mean is zero and sigma nonzero, NaN when empty.
+     */
+    double coefficientOfVariation() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Compute RunningStats over a span in one call. */
+RunningStats summarize(std::span<const double> xs);
+
+/** Arithmetic mean of a span; NaN when empty. */
+double arithmeticMean(std::span<const double> xs);
+
+/** Harmonic mean of a span; requires all-positive values. */
+double harmonicMean(std::span<const double> xs);
+
+/** Geometric mean of a span; requires all-positive values. */
+double geometricMean(std::span<const double> xs);
+
+/** Weighted arithmetic mean; weights need not be normalized. */
+double weightedArithmeticMean(std::span<const double> xs,
+                              std::span<const double> ws);
+
+/** Weighted harmonic mean; requires positive values and weights. */
+double weightedHarmonicMean(std::span<const double> xs,
+                            std::span<const double> ws);
+
+/**
+ * Empirical quantile with linear interpolation (type-7, the numpy
+ * default). @p q must be in [0, 1]; the input is copied and sorted.
+ */
+double quantile(std::vector<double> xs, double q);
+
+/**
+ * Pearson correlation coefficient of two equal-length series; NaN
+ * when either series is constant or empty.
+ */
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+} // namespace wsel
+
+#endif // WSEL_STATS_SUMMARY_HH

@@ -1,0 +1,411 @@
+#include "trace/benchmark_profile.hh"
+
+#include <cmath>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+std::string
+toString(MpkiClass c)
+{
+    switch (c) {
+      case MpkiClass::Low:
+        return "Low";
+      case MpkiClass::Medium:
+        return "Medium";
+      case MpkiClass::High:
+        return "High";
+    }
+    WSEL_PANIC("invalid MpkiClass " << static_cast<int>(c));
+}
+
+MpkiClass
+classifyMpki(double mpki, double scale)
+{
+    if (scale <= 0.0)
+        WSEL_FATAL("MPKI threshold scale must be positive");
+    if (mpki < 1.0 * scale)
+        return MpkiClass::Low;
+    if (mpki < 5.0 * scale)
+        return MpkiClass::Medium;
+    return MpkiClass::High;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    auto in01 = [](double x) { return x >= 0.0 && x <= 1.0; };
+    if (!in01(loadFrac) || !in01(storeFrac) || !in01(branchFrac) ||
+        !in01(fpFrac) || loadFrac + storeFrac + branchFrac + fpFrac > 1.0)
+        WSEL_FATAL("benchmark " << name << ": bad instruction mix");
+    const double msum = l1Frac + hotFrac + streamFrac + randomFrac +
+                        chaseFrac;
+    if (std::abs(msum - 1.0) > 1e-9)
+        WSEL_FATAL("benchmark " << name
+                                << ": memory mixture sums to " << msum);
+    if (hotStrideBytes == 0 || hotBytes == 0 || l1Bytes == 0 ||
+        footprintBytes < 64 || chaseBytes < 64)
+        WSEL_FATAL("benchmark " << name << ": bad region sizes");
+    if (staticBranches == 0 || staticBlocks == 0)
+        WSEL_FATAL("benchmark " << name << ": bad code shape");
+    if (!in01(branchBias) || !in01(branchNoise) || !in01(depProb) ||
+        depDecay <= 0.0 || depDecay >= 1.0)
+        WSEL_FATAL("benchmark " << name << ": bad behaviour params");
+}
+
+std::uint64_t
+BenchmarkProfile::parameterHash() const
+{
+    // FNV-1a over the parameter bytes, field by field.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const void *p, std::size_t n) {
+        const unsigned char *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    auto mix_d = [&](double v) { mix(&v, sizeof(v)); };
+    auto mix_u = [&](std::uint64_t v) { mix(&v, sizeof(v)); };
+    mix(name.data(), name.size());
+    mix_u(seed);
+    mix_d(loadFrac); mix_d(storeFrac); mix_d(branchFrac);
+    mix_d(fpFrac);
+    mix_d(l1Frac); mix_d(hotFrac); mix_d(streamFrac);
+    mix_d(randomFrac); mix_d(chaseFrac);
+    mix_u(l1Bytes); mix_u(hotBytes); mix_u(footprintBytes);
+    mix_u(chaseBytes); mix_u(hotStrideBytes);
+    mix_u(staticBranches);
+    mix_d(branchBias); mix_d(branchNoise);
+    mix_d(depProb); mix_d(depDecay);
+    mix_u(fpLatency); mix_u(staticBlocks);
+    return h;
+}
+
+namespace
+{
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/** Builder with fluent-ish field tweaks to keep the table readable. */
+BenchmarkProfile
+base(const std::string &name, std::uint64_t seed, MpkiClass cls)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.paperClass = cls;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+makeSuite()
+{
+    std::vector<BenchmarkProfile> v;
+
+    // ---------------- Low MPKI class (LLC MPKI < 1) ----------------
+    // Mostly L1-resident working sets; small LLC-level hot sets and
+    // negligible streaming. FP benchmarks get higher fpFrac and
+    // longer dependence chains.
+
+    {
+        auto p = base("povray", 101, MpkiClass::Low);
+        p.loadFrac = 0.28; p.storeFrac = 0.09; p.branchFrac = 0.14;
+        p.fpFrac = 0.22;
+        p.l1Frac = 0.97; p.hotFrac = 0.028; p.streamFrac = 0.001;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 6 * kKiB;
+        p.footprintBytes = 2 * kMiB;
+        p.branchBias = 0.80; p.branchNoise = 0.10;
+        v.push_back(p);
+    }
+    {
+        auto p = base("gromacs", 102, MpkiClass::Low);
+        p.loadFrac = 0.30; p.storeFrac = 0.12; p.branchFrac = 0.08;
+        p.fpFrac = 0.30;
+        p.l1Frac = 0.944; p.hotFrac = 0.053; p.streamFrac = 0.002;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 7 * kKiB; p.hotBytes = 10 * kKiB;
+        p.footprintBytes = 4 * kMiB;
+        p.branchBias = 0.92; p.branchNoise = 0.03;
+        p.depProb = 0.85; p.depDecay = 0.45;
+        v.push_back(p);
+    }
+    {
+        auto p = base("milc", 103, MpkiClass::Low);
+        p.loadFrac = 0.33; p.storeFrac = 0.14; p.branchFrac = 0.05;
+        p.fpFrac = 0.28;
+        p.l1Frac = 0.968; p.hotFrac = 0.028; p.streamFrac = 0.003;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 5 * kKiB; p.hotBytes = 8 * kKiB;
+        p.footprintBytes = 8 * kMiB;
+        p.branchBias = 0.95; p.branchNoise = 0.02;
+        v.push_back(p);
+    }
+    {
+        auto p = base("calculix", 104, MpkiClass::Low);
+        p.loadFrac = 0.29; p.storeFrac = 0.10; p.branchFrac = 0.07;
+        p.fpFrac = 0.32;
+        p.l1Frac = 0.955; p.hotFrac = 0.041; p.streamFrac = 0.003;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 16 * kKiB;
+        p.footprintBytes = 2 * kMiB;
+        p.branchBias = 0.90; p.branchNoise = 0.04;
+        p.depProb = 0.85; p.depDecay = 0.5;
+        v.push_back(p);
+    }
+    {
+        auto p = base("namd", 105, MpkiClass::Low);
+        p.loadFrac = 0.31; p.storeFrac = 0.09; p.branchFrac = 0.09;
+        p.fpFrac = 0.34;
+        p.l1Frac = 0.975; p.hotFrac = 0.022; p.streamFrac = 0.002;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 10 * kKiB;
+        p.footprintBytes = 2 * kMiB;
+        p.branchBias = 0.93; p.branchNoise = 0.02;
+        p.depProb = 0.75; p.depDecay = 0.3;
+        v.push_back(p);
+    }
+    {
+        auto p = base("dealII", 106, MpkiClass::Low);
+        p.loadFrac = 0.32; p.storeFrac = 0.11; p.branchFrac = 0.13;
+        p.fpFrac = 0.18;
+        p.l1Frac = 0.95; p.hotFrac = 0.045; p.streamFrac = 0.002;
+        p.randomFrac = 0.001; p.chaseFrac = 0.002;
+        p.l1Bytes = 7 * kKiB; p.hotBytes = 10 * kKiB;
+        p.footprintBytes = 4 * kMiB; p.chaseBytes = 16 * kKiB;
+        p.branchBias = 0.86; p.branchNoise = 0.06;
+        v.push_back(p);
+    }
+    {
+        auto p = base("perlbench", 107, MpkiClass::Low);
+        p.loadFrac = 0.30; p.storeFrac = 0.16; p.branchFrac = 0.20;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.962; p.hotFrac = 0.034; p.streamFrac = 0.002;
+        p.randomFrac = 0.001; p.chaseFrac = 0.001;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 10 * kKiB;
+        p.footprintBytes = 4 * kMiB; p.chaseBytes = 16 * kKiB;
+        p.staticBlocks = 512; p.staticBranches = 256;
+        p.branchBias = 0.72; p.branchNoise = 0.12;
+        v.push_back(p);
+    }
+    {
+        auto p = base("gobmk", 108, MpkiClass::Low);
+        p.loadFrac = 0.26; p.storeFrac = 0.12; p.branchFrac = 0.22;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.952; p.hotFrac = 0.044; p.streamFrac = 0.001;
+        p.randomFrac = 0.002; p.chaseFrac = 0.001;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 14 * kKiB;
+        p.footprintBytes = 2 * kMiB;
+        p.staticBlocks = 512; p.staticBranches = 512;
+        p.branchBias = 0.62; p.branchNoise = 0.18;
+        v.push_back(p);
+    }
+    {
+        auto p = base("h264ref", 109, MpkiClass::Low);
+        p.loadFrac = 0.34; p.storeFrac = 0.13; p.branchFrac = 0.10;
+        p.fpFrac = 0.04;
+        p.l1Frac = 0.952; p.hotFrac = 0.043; p.streamFrac = 0.003;
+        p.randomFrac = 0.002; p.chaseFrac = 0.0;
+        p.l1Bytes = 7 * kKiB; p.hotBytes = 12 * kKiB;
+        p.footprintBytes = 2 * kMiB;
+        p.branchBias = 0.88; p.branchNoise = 0.05;
+        p.depProb = 0.7; p.depDecay = 0.3;
+        v.push_back(p);
+    }
+    {
+        auto p = base("hmmer", 110, MpkiClass::Low);
+        p.loadFrac = 0.35; p.storeFrac = 0.15; p.branchFrac = 0.08;
+        p.fpFrac = 0.02;
+        p.l1Frac = 0.972; p.hotFrac = 0.025; p.streamFrac = 0.002;
+        p.randomFrac = 0.001; p.chaseFrac = 0.0;
+        p.l1Bytes = 5 * kKiB; p.hotBytes = 12 * kKiB;
+        p.footprintBytes = 1 * kMiB;
+        p.branchBias = 0.94; p.branchNoise = 0.02;
+        p.depProb = 0.6; p.depDecay = 0.25;
+        v.push_back(p);
+    }
+    {
+        auto p = base("sjeng", 111, MpkiClass::Low);
+        p.loadFrac = 0.24; p.storeFrac = 0.10; p.branchFrac = 0.21;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.952; p.hotFrac = 0.042; p.streamFrac = 0.001;
+        p.randomFrac = 0.003; p.chaseFrac = 0.002;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 10 * kKiB;
+        p.footprintBytes = 8 * kMiB; p.chaseBytes = 16 * kKiB;
+        p.staticBlocks = 512; p.staticBranches = 384;
+        p.branchBias = 0.65; p.branchNoise = 0.15;
+        v.push_back(p);
+    }
+
+    // -------------- Medium MPKI class (1 <= MPKI < 5) --------------
+    // LLC-scale hot working sets plus light streaming/random traffic.
+    // These are the benchmarks whose data fits the LLC when running
+    // alone but contends under sharing, which is where replacement
+    // policy choices start to matter.
+
+    {
+        auto p = base("bzip2", 201, MpkiClass::Medium);
+        p.loadFrac = 0.30; p.storeFrac = 0.14; p.branchFrac = 0.16;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.84; p.hotFrac = 0.125; p.streamFrac = 0.015;
+        p.randomFrac = 0.015; p.chaseFrac = 0.005;
+        p.l1Bytes = 7 * kKiB; p.hotBytes = 24 * kKiB;
+        p.footprintBytes = 8 * kMiB;
+        p.branchBias = 0.75; p.branchNoise = 0.10;
+        v.push_back(p);
+    }
+    {
+        auto p = base("gcc", 202, MpkiClass::Medium);
+        p.loadFrac = 0.29; p.storeFrac = 0.15; p.branchFrac = 0.20;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.866; p.hotFrac = 0.10; p.streamFrac = 0.012;
+        p.randomFrac = 0.012; p.chaseFrac = 0.01;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 28 * kKiB;
+        p.footprintBytes = 16 * kMiB;
+        p.staticBlocks = 768; p.staticBranches = 768;
+        p.branchBias = 0.70; p.branchNoise = 0.12;
+        v.push_back(p);
+    }
+    {
+        auto p = base("astar", 203, MpkiClass::Medium);
+        p.loadFrac = 0.32; p.storeFrac = 0.10; p.branchFrac = 0.18;
+        p.fpFrac = 0.02;
+        p.l1Frac = 0.88; p.hotFrac = 0.09; p.streamFrac = 0.006;
+        p.randomFrac = 0.012; p.chaseFrac = 0.012;
+        p.l1Bytes = 7 * kKiB; p.hotBytes = 26 * kKiB;
+        p.footprintBytes = 8 * kMiB; p.chaseBytes = 96 * kKiB;
+        p.branchBias = 0.68; p.branchNoise = 0.14;
+        v.push_back(p);
+    }
+    {
+        auto p = base("zeusmp", 204, MpkiClass::Medium);
+        p.loadFrac = 0.31; p.storeFrac = 0.13; p.branchFrac = 0.06;
+        p.fpFrac = 0.30;
+        p.l1Frac = 0.874; p.hotFrac = 0.10; p.streamFrac = 0.018;
+        p.randomFrac = 0.008; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 28 * kKiB;
+        p.footprintBytes = 16 * kMiB;
+        p.branchBias = 0.93; p.branchNoise = 0.03;
+        p.depProb = 0.85; p.depDecay = 0.5;
+        v.push_back(p);
+    }
+    {
+        auto p = base("cactusADM", 205, MpkiClass::Medium);
+        p.loadFrac = 0.33; p.storeFrac = 0.12; p.branchFrac = 0.04;
+        p.fpFrac = 0.35;
+        p.l1Frac = 0.878; p.hotFrac = 0.096; p.streamFrac = 0.016;
+        p.randomFrac = 0.010; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 30 * kKiB;
+        p.footprintBytes = 16 * kMiB;
+        p.branchBias = 0.96; p.branchNoise = 0.01;
+        p.depProb = 0.9; p.depDecay = 0.55;
+        v.push_back(p);
+    }
+
+    // ---------------- High MPKI class (MPKI >= 5) -------------------
+    // Streaming scans (libquantum, bwaves, leslie3d), large random /
+    // pointer-chasing footprints (mcf, omnetpp), and a thrashing
+    // LLC-sized working set (soplex). These stress the LLC and
+    // differentiate scan-resistant policies (DIP/DRRIP) from LRU.
+
+    {
+        auto p = base("libquantum", 301, MpkiClass::High);
+        p.loadFrac = 0.28; p.storeFrac = 0.14; p.branchFrac = 0.14;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.80; p.hotFrac = 0.02; p.streamFrac = 0.17;
+        p.randomFrac = 0.01; p.chaseFrac = 0.0;
+        p.l1Bytes = 4 * kKiB; p.hotBytes = 8 * kKiB;
+        p.footprintBytes = 16 * kMiB;
+        p.branchBias = 0.97; p.branchNoise = 0.01;
+        p.depProb = 0.55; p.depDecay = 0.25;
+        v.push_back(p);
+    }
+    {
+        auto p = base("omnetpp", 302, MpkiClass::High);
+        p.loadFrac = 0.31; p.storeFrac = 0.16; p.branchFrac = 0.19;
+        p.fpFrac = 0.01;
+        p.l1Frac = 0.81; p.hotFrac = 0.08; p.streamFrac = 0.01;
+        p.randomFrac = 0.05; p.chaseFrac = 0.05;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 64 * kKiB;
+        p.footprintBytes = 16 * kMiB; p.chaseBytes = 2 * kMiB;
+        p.staticBlocks = 640; p.staticBranches = 512;
+        p.branchBias = 0.70; p.branchNoise = 0.13;
+        v.push_back(p);
+    }
+    {
+        auto p = base("leslie3d", 303, MpkiClass::High);
+        p.loadFrac = 0.33; p.storeFrac = 0.13; p.branchFrac = 0.05;
+        p.fpFrac = 0.30;
+        p.l1Frac = 0.80; p.hotFrac = 0.08; p.streamFrac = 0.06;
+        p.randomFrac = 0.06; p.chaseFrac = 0.0;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 56 * kKiB;
+        p.footprintBytes = 12 * kMiB;
+        p.branchBias = 0.94; p.branchNoise = 0.02;
+        p.depProb = 0.8; p.depDecay = 0.45;
+        v.push_back(p);
+    }
+    {
+        auto p = base("bwaves", 304, MpkiClass::High);
+        p.loadFrac = 0.34; p.storeFrac = 0.11; p.branchFrac = 0.04;
+        p.fpFrac = 0.34;
+        p.l1Frac = 0.81; p.hotFrac = 0.04; p.streamFrac = 0.11;
+        p.randomFrac = 0.04; p.chaseFrac = 0.0;
+        p.l1Bytes = 5 * kKiB; p.hotBytes = 16 * kKiB;
+        p.footprintBytes = 16 * kMiB;
+        p.branchBias = 0.97; p.branchNoise = 0.01;
+        p.depProb = 0.85; p.depDecay = 0.5;
+        v.push_back(p);
+    }
+    {
+        auto p = base("mcf", 305, MpkiClass::High);
+        p.loadFrac = 0.35; p.storeFrac = 0.09; p.branchFrac = 0.19;
+        p.fpFrac = 0.0;
+        p.l1Frac = 0.76; p.hotFrac = 0.06; p.streamFrac = 0.01;
+        p.randomFrac = 0.09; p.chaseFrac = 0.08;
+        p.l1Bytes = 8 * kKiB; p.hotBytes = 64 * kKiB;
+        p.footprintBytes = 16 * kMiB; p.chaseBytes = 2 * kMiB;
+        p.branchBias = 0.72; p.branchNoise = 0.12;
+        p.depProb = 0.85; p.depDecay = 0.45;
+        v.push_back(p);
+    }
+    {
+        auto p = base("soplex", 306, MpkiClass::High);
+        p.loadFrac = 0.33; p.storeFrac = 0.10; p.branchFrac = 0.14;
+        p.fpFrac = 0.12;
+        p.l1Frac = 0.70; p.hotFrac = 0.22; p.streamFrac = 0.03;
+        p.randomFrac = 0.04; p.chaseFrac = 0.01;
+        p.l1Bytes = 6 * kKiB; p.hotBytes = 112 * kKiB;
+        p.footprintBytes = 24 * kMiB;
+        p.branchBias = 0.80; p.branchNoise = 0.08;
+        v.push_back(p);
+    }
+
+    for (auto &p : v)
+        p.validate();
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2006Suite()
+{
+    static const std::vector<BenchmarkProfile> suite = makeSuite();
+    return suite;
+}
+
+const BenchmarkProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &p : spec2006Suite()) {
+        if (p.name == name)
+            return p;
+    }
+    WSEL_FATAL("unknown benchmark '" << name << "'");
+}
+
+} // namespace wsel

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parametric behaviour profiles for the synthetic SPEC-CPU2006-like
+ * benchmarks.
+ *
+ * The paper builds workloads from 22 SPEC CPU2006 benchmarks. We
+ * cannot ship SPEC traces, so each benchmark is replaced by a
+ * synthetic profile whose parameters are tuned to land in the same
+ * memory-intensity class the paper reports (Table IV) and to exhibit
+ * the qualitative access patterns (streaming, thrashing, pointer
+ * chasing, cache-friendly reuse) that differentiate LLC replacement
+ * policies.
+ */
+
+#ifndef WSEL_TRACE_BENCHMARK_PROFILE_HH
+#define WSEL_TRACE_BENCHMARK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsel
+{
+
+/** Memory-intensity classes from the paper's Table IV. */
+enum class MpkiClass : std::uint8_t
+{
+    Low,    ///< LLC MPKI < 1
+    Medium, ///< 1 <= LLC MPKI < 5
+    High,   ///< LLC MPKI >= 5
+};
+
+/** Human-readable name of an MpkiClass. */
+std::string toString(MpkiClass c);
+
+/**
+ * Scale applied to the paper's Table IV MPKI thresholds (Low < 1,
+ * Medium < 5, High >= 5). Our traces are ~1000x shorter than the
+ * paper's 100M-instruction slices, so cold misses set an MPKI floor
+ * of (touched lines)/(kilo-instructions); scaling the class
+ * boundaries by 4x restores the paper's relative classification
+ * (see DESIGN.md, scaling substitutions).
+ */
+inline constexpr double kMpkiClassScale = 4.0;
+
+/**
+ * Classify an MPKI value with the paper's Table IV thresholds
+ * multiplied by @p scale: Low < 1*scale, Medium < 5*scale,
+ * High >= 5*scale.
+ */
+MpkiClass classifyMpki(double mpki, double scale = kMpkiClassScale);
+
+/**
+ * Static description of one synthetic benchmark.
+ *
+ * Memory accesses are drawn from a five-component mixture:
+ *  - l1: a small stack-like region that stays L1-resident;
+ *  - hot: cyclic walk over an LLC-scale working set (recency-friendly
+ *    when it fits the cache, thrashing when slightly larger);
+ *  - stream: sequential scan over a large footprint (no LLC reuse);
+ *  - random: uniform accesses over the footprint;
+ *  - chase: serialized dependent loads over a shuffled table.
+ */
+struct BenchmarkProfile
+{
+    /** Benchmark name (SPEC CPU2006 namesake). */
+    std::string name;
+
+    /** Deterministic seed for this benchmark's trace stream. */
+    std::uint64_t seed = 1;
+
+    /** @name Instruction mix (fractions must sum to <= 1). */
+    /** @{ */
+    double loadFrac = 0.25;   ///< fraction of µops that are loads
+    double storeFrac = 0.10;  ///< fraction of µops that are stores
+    double branchFrac = 0.15; ///< fraction of µops that are branches
+    double fpFrac = 0.10;     ///< fraction of µops that are FP ALU
+    /** @} */
+
+    /** @name Memory access mixture (fractions must sum to 1). */
+    /** @{ */
+    double l1Frac = 0.60;     ///< accesses to the L1-resident region
+    double hotFrac = 0.30;    ///< accesses to the hot working set
+    double streamFrac = 0.05; ///< streaming accesses
+    double randomFrac = 0.04; ///< random accesses over footprint
+    double chaseFrac = 0.01;  ///< dependent pointer-chase accesses
+    /** @} */
+
+    /** L1-resident region size in bytes. */
+    std::uint64_t l1Bytes = 8 * 1024;
+
+    /** Hot working-set size in bytes. */
+    std::uint64_t hotBytes = 16 * 1024;
+
+    /** Streaming / random footprint in bytes. */
+    std::uint64_t footprintBytes = 4 * 1024 * 1024;
+
+    /** Pointer-chase table size in bytes. */
+    std::uint64_t chaseBytes = 64 * 1024;
+
+    /** Hot-set stride in bytes (typically one cache line). */
+    std::uint32_t hotStrideBytes = 64;
+
+    /** @name Control behaviour. */
+    /** @{ */
+    std::uint32_t staticBranches = 64; ///< distinct branch sites
+    double branchBias = 0.85;  ///< mean per-branch taken probability
+    double branchNoise = 0.08; ///< per-branch outcome noise
+    /** @} */
+
+    /** @name Dataflow (ILP) behaviour. */
+    /** @{ */
+    double depProb = 0.8;      ///< probability a µop has a producer
+    double depDecay = 0.35;    ///< geometric parameter of dep distance
+    std::uint8_t fpLatency = 4; ///< FP op latency in cycles
+    /** @} */
+
+    /** Code footprint: number of static basic blocks. */
+    std::uint32_t staticBlocks = 256;
+
+    /** The class the paper assigns this benchmark (Table IV). */
+    MpkiClass paperClass = MpkiClass::Low;
+
+    /** Validate parameter ranges; fatal on nonsense. */
+    void validate() const;
+
+    /**
+     * Deterministic hash of all behaviour parameters, used to key
+     * on-disk model caches so profile retuning invalidates them.
+     */
+    std::uint64_t parameterHash() const;
+};
+
+/**
+ * The 22-benchmark suite used by the paper (the 22 of 29 SPEC
+ * CPU2006 benchmarks the authors could run under Zesto), with
+ * parameters tuned so the measured LLC MPKI under the default 4-core
+ * uncore falls in each benchmark's Table IV class.
+ */
+const std::vector<BenchmarkProfile> &spec2006Suite();
+
+/** Look up a suite profile by name; fatal if absent. */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+} // namespace wsel
+
+#endif // WSEL_TRACE_BENCHMARK_PROFILE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The µop record produced by the synthetic trace generators and
+ * consumed by the detailed core model.
+ *
+ * A trace is a deterministic stream of MicroOps: same benchmark
+ * profile + same seed => bit-identical stream. This mirrors the
+ * paper's use of EIO traces ("we assume that simulations are
+ * reproducible, so that traces represent exactly the same sequence of
+ * dynamic µops").
+ */
+
+#ifndef WSEL_TRACE_MICROOP_HH
+#define WSEL_TRACE_MICROOP_HH
+
+#include <cstdint>
+
+namespace wsel
+{
+
+/** Functional class of a µop. */
+enum class OpKind : std::uint8_t
+{
+    IntAlu,  ///< integer ALU / address arithmetic
+    FpAlu,   ///< floating-point operation (longer latency)
+    Load,    ///< memory read
+    Store,   ///< memory write
+    Branch,  ///< conditional branch (has an outcome)
+};
+
+/**
+ * One dynamic µop.
+ *
+ * Register dependences are encoded as distances (in dynamic µops) to
+ * the producing µop; 0 means "no register input from the window".
+ * This keeps the trace compact and renaming-free.
+ */
+struct MicroOp
+{
+    /** Functional class. */
+    OpKind kind = OpKind::IntAlu;
+
+    /** Virtual byte address (loads/stores only). */
+    std::uint64_t addr = 0;
+
+    /** Instruction-fetch virtual address of the µop. */
+    std::uint64_t pc = 0;
+
+    /** Distance to first producer µop; 0 = none. */
+    std::uint16_t dep1 = 0;
+
+    /** Distance to second producer µop; 0 = none. */
+    std::uint16_t dep2 = 0;
+
+    /** Execution latency in cycles for non-memory ops. */
+    std::uint8_t latency = 1;
+
+    /** Branch outcome (branches only). */
+    bool taken = false;
+
+    /** True when kind is Load or Store. */
+    bool isMemory() const
+    {
+        return kind == OpKind::Load || kind == OpKind::Store;
+    }
+};
+
+} // namespace wsel
+
+#endif // WSEL_TRACE_MICROOP_HH

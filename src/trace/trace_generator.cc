@@ -1,0 +1,313 @@
+#include "trace/trace_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+/** Cap register-dependence distances to something a ROB can track. */
+constexpr std::uint16_t kMaxDepDist = 64;
+
+/** Fraction of branch sites that behave like loop back-edges. */
+constexpr double kLoopSiteFrac = 0.5;
+
+/** Strongly-biased sites' probability of the dominant direction. */
+constexpr double kBiasedSiteProb = 0.985;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile)
+    : profile_(profile), dyn_(profile.seed * 0x2545f4914f6cdd1dULL + 1)
+{
+    profile_.validate();
+    buildStaticLayout();
+    reset();
+}
+
+void
+TraceGenerator::buildStaticLayout()
+{
+    // The static layout is derived from a separate generator so the
+    // dynamic stream seed does not perturb the code shape.
+    Rng layout(profile_.seed * 0x9e3779b97f4a7c15ULL + 7);
+
+    const double branch_frac = std::max(profile_.branchFrac, 0.02);
+    const double mean_len = 1.0 / branch_frac;
+    const double nb = 1.0 - profile_.branchFrac;
+    const double load_end = profile_.loadFrac / nb;
+    const double store_end = load_end + profile_.storeFrac / nb;
+    const double fp_end = store_end + profile_.fpFrac / nb;
+
+    blocks_.resize(profile_.staticBlocks);
+    slots_.clear();
+    for (std::uint32_t b = 0; b < profile_.staticBlocks; ++b) {
+        Block &blk = blocks_[b];
+        blk.firstSlot = static_cast<std::uint32_t>(slots_.size());
+        const std::uint32_t lo = std::max<std::uint32_t>(
+            2, static_cast<std::uint32_t>(mean_len * 0.5));
+        const std::uint32_t hi = std::max<std::uint32_t>(
+            lo + 1, static_cast<std::uint32_t>(mean_len * 1.5));
+        blk.length =
+            static_cast<std::uint32_t>(layout.nextIntRange(lo, hi));
+
+        // Static kinds for the body slots; the final slot is the
+        // terminating branch. Region bindings are assigned in a
+        // second, quota-exact pass below.
+        for (std::uint32_t i = 0; i + 1 < blk.length; ++i) {
+            Slot s;
+            const double r = layout.nextDouble();
+            if (r < load_end) {
+                s.kind = OpKind::Load;
+            } else if (r < store_end) {
+                s.kind = OpKind::Store;
+            } else if (r < fp_end) {
+                s.kind = OpKind::FpAlu;
+            } else {
+                s.kind = OpKind::IntAlu;
+            }
+            slots_.push_back(s);
+        }
+        Slot br;
+        br.kind = OpKind::Branch;
+        slots_.push_back(br);
+
+        // Control flow is a forward sweep with bounded self-loops:
+        // loop sites repeat their own block loopPeriod-1 times, all
+        // other branches fall through either way. Outcomes still
+        // exercise the branch predictor (and mispredict stalls), but
+        // block visit rates stay uniform, so the realized
+        // instruction/region mix matches the profile.
+        blk.fallTarget = (b + 1) % profile_.staticBlocks;
+        blk.takenTarget = blk.fallTarget;
+
+        // Branch-site behaviour: loop back-edges (predictable),
+        // strongly-biased sites (predictable) and a branchNoise
+        // fraction of weakly-biased "hard" sites.
+        if (layout.nextDouble() < kLoopSiteFrac) {
+            blk.site = BranchSite::Loop;
+            // Trip counts below ~7 degrade to bimodal accuracy in
+            // small TAGE configurations; real inner loops are
+            // longer, so floor the effective bias.
+            const double p =
+                std::clamp(profile_.branchBias, 0.85, 0.97);
+            blk.loopPeriod = std::max<std::uint32_t>(
+                2, static_cast<std::uint32_t>(
+                       std::lround(1.0 / (1.0 - p))));
+            blk.takenTarget = b; // self-loop back-edge
+        } else if (layout.nextDouble() < profile_.branchNoise) {
+            blk.site = BranchSite::Hard;
+            blk.takenProb = 0.3 + 0.4 * layout.nextDouble();
+        } else {
+            blk.site = BranchSite::Biased;
+            // Dominant direction follows the profile bias.
+            blk.takenProb = layout.nextBool(profile_.branchBias)
+                                ? kBiasedSiteProb
+                                : 1.0 - kBiasedSiteProb;
+        }
+    }
+    loopCounters_.assign(blocks_.size(), 0);
+
+    // Second pass: bind memory slots to regions with quota-exact
+    // largest-remainder allocation, so even per-mille mixture
+    // fractions are realized faithfully regardless of slot count.
+    std::vector<std::size_t> mem_slots;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].kind == OpKind::Load ||
+            slots_[i].kind == OpKind::Store)
+            mem_slots.push_back(i);
+    }
+    const std::size_t m = mem_slots.size();
+    const double fracs[5] = {profile_.l1Frac, profile_.hotFrac,
+                             profile_.streamFrac,
+                             profile_.randomFrac,
+                             profile_.chaseFrac};
+    const Region regions[5] = {Region::L1, Region::Hot,
+                               Region::Stream, Region::Random,
+                               Region::Chase};
+    std::size_t counts[5];
+    std::size_t assigned = 0;
+    double rema[5];
+    for (int r = 0; r < 5; ++r) {
+        const double q = fracs[r] * static_cast<double>(m);
+        counts[r] = static_cast<std::size_t>(q);
+        rema[r] = q - std::floor(q);
+        assigned += counts[r];
+    }
+    while (assigned < m) {
+        int best = 0;
+        for (int r = 1; r < 5; ++r) {
+            if (rema[r] > rema[best])
+                best = r;
+        }
+        ++counts[best];
+        rema[best] = -1.0;
+        ++assigned;
+    }
+    std::vector<Region> pool;
+    pool.reserve(m);
+    for (int r = 0; r < 5; ++r)
+        pool.insert(pool.end(), counts[r], regions[r]);
+    layout.shuffle(pool);
+    for (std::size_t i = 0; i < m; ++i)
+        slots_[mem_slots[i]].region = pool[i];
+}
+
+void
+TraceGenerator::reset()
+{
+    dyn_ = Rng(profile_.seed * 0x2545f4914f6cdd1dULL + 1);
+    generated_ = 0;
+    curBlock_ = 0;
+    curOffset_ = 0;
+    l1Pos_ = 0;
+    hotPos_ = 0;
+    streamPos_ = 0;
+    chaseCur_ = 0;
+    lastChaseAge_ = 0;
+    haveChase_ = false;
+    std::fill(loopCounters_.begin(), loopCounters_.end(), 0);
+}
+
+std::uint64_t
+TraceGenerator::regionAddress(Region r)
+{
+    switch (r) {
+      case Region::L1:
+        // L1-resident region: short-stride cyclic walk.
+        l1Pos_ = (l1Pos_ + 16) % profile_.l1Bytes;
+        return l1Base + l1Pos_;
+      case Region::Hot:
+        // Hot working set: line-stride cyclic walk.
+        hotPos_ = (hotPos_ + profile_.hotStrideBytes) %
+                  profile_.hotBytes;
+        return hotBase + hotPos_;
+      case Region::Stream:
+        // Streaming scan, one line per access, wrapping at the
+        // footprint (period far exceeds any trace we simulate).
+        streamPos_ = (streamPos_ + 64) % profile_.footprintBytes;
+        return streamBase + streamPos_;
+      case Region::Random: {
+        const std::uint64_t lines = profile_.footprintBytes / 64;
+        return randomBase + 64 * dyn_.nextInt(lines);
+      }
+      case Region::Chase: {
+        // Pointer chase: an LCG walk over the chase table.
+        const std::uint64_t entries =
+            std::max<std::uint64_t>(2, profile_.chaseBytes / 64);
+        chaseCur_ = (chaseCur_ * 6364136223846793005ULL +
+                     1442695040888963407ULL) % entries;
+        return chaseBase + chaseCur_ * 64;
+      }
+    }
+    WSEL_PANIC("invalid region");
+}
+
+void
+TraceGenerator::emitBranch(const Block &blk,
+                           std::uint32_t block_index)
+{
+    out_.kind = OpKind::Branch;
+    out_.latency = 1;
+    bool taken;
+    if (blk.site == BranchSite::Loop) {
+        std::uint32_t &cnt = loopCounters_[block_index];
+        ++cnt;
+        if (cnt >= blk.loopPeriod) {
+            cnt = 0;
+            taken = false;
+        } else {
+            taken = true;
+        }
+    } else {
+        taken = dyn_.nextBool(blk.takenProb);
+    }
+    out_.taken = taken;
+    curBlock_ = taken ? blk.takenTarget : blk.fallTarget;
+    curOffset_ = 0;
+}
+
+const MicroOp &
+TraceGenerator::next()
+{
+    const std::uint32_t bidx = curBlock_;
+    const Block &blk = blocks_[bidx];
+    const Slot &slot = slots_[blk.firstSlot + curOffset_];
+
+    out_ = MicroOp{};
+    out_.pc = codeBase + 4ULL * (blk.firstSlot + curOffset_);
+
+    auto draw_dep = [this]() -> std::uint16_t {
+        if (!dyn_.nextBool(profile_.depProb))
+            return 0;
+        const std::uint64_t d =
+            1 + dyn_.nextGeometric(profile_.depDecay);
+        return static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(d, kMaxDepDist));
+    };
+
+    switch (slot.kind) {
+      case OpKind::Branch:
+        out_.dep1 = draw_dep();
+        emitBranch(blk, bidx);
+        break;
+
+      case OpKind::Load:
+        out_.kind = OpKind::Load;
+        out_.addr = regionAddress(slot.region);
+        out_.latency = 0; // determined by the memory hierarchy
+        out_.dep1 = draw_dep();
+        if (slot.region == Region::Chase) {
+            // Serialize on the previous chase load.
+            if (haveChase_ && lastChaseAge_ + 1 <= kMaxDepDist) {
+                out_.dep1 = static_cast<std::uint16_t>(
+                    lastChaseAge_ + 1);
+            }
+            haveChase_ = true;
+            lastChaseAge_ = 0;
+        }
+        ++curOffset_;
+        break;
+
+      case OpKind::Store:
+        out_.kind = OpKind::Store;
+        out_.addr = regionAddress(slot.region);
+        out_.latency = 1;
+        out_.dep1 = draw_dep();
+        out_.dep2 = draw_dep();
+        ++curOffset_;
+        break;
+
+      case OpKind::FpAlu:
+        out_.kind = OpKind::FpAlu;
+        out_.latency = profile_.fpLatency;
+        out_.dep1 = draw_dep();
+        out_.dep2 = draw_dep();
+        ++curOffset_;
+        break;
+
+      case OpKind::IntAlu:
+        out_.kind = OpKind::IntAlu;
+        out_.latency = 1;
+        out_.dep1 = draw_dep();
+        out_.dep2 = draw_dep();
+        ++curOffset_;
+        break;
+    }
+
+    if (haveChase_ &&
+        !(out_.kind == OpKind::Load && out_.addr >= chaseBase &&
+          out_.addr < streamBase)) {
+        ++lastChaseAge_;
+    }
+
+    ++generated_;
+    return out_;
+}
+
+} // namespace wsel

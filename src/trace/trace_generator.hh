@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic synthetic µop stream generator.
+ *
+ * A TraceGenerator turns a BenchmarkProfile into an endless,
+ * reproducible stream of MicroOps. A static code layout (basic
+ * blocks; per-slot µop kinds; per-memory-slot region bindings;
+ * per-branch-site outcome behaviour) is synthesized from the profile
+ * seed, then a dynamic walk over the blocks emits µops whose
+ * addresses follow the bound region's cursor. Binding kinds and
+ * regions to static slots mirrors real code (a given static load
+ * walks one data structure), which is what makes IP-indexed
+ * predictors and prefetchers behave sensibly.
+ *
+ * reset() replays the identical stream, which implements the
+ * paper's thread-restart rule ("when a thread has finished executing
+ * its N instructions earlier than the other threads, it is
+ * restarted").
+ */
+
+#ifndef WSEL_TRACE_TRACE_GENERATOR_HH
+#define WSEL_TRACE_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/microop.hh"
+
+namespace wsel
+{
+
+/**
+ * Endless deterministic µop stream for one benchmark.
+ */
+class TraceGenerator
+{
+  public:
+    /** Build the static code layout and start the stream. */
+    explicit TraceGenerator(const BenchmarkProfile &profile);
+
+    /** Generate the next µop. */
+    const MicroOp &next();
+
+    /** Number of µops generated since construction / reset(). */
+    std::uint64_t generated() const { return generated_; }
+
+    /** Restart the stream from the beginning (identical replay). */
+    void reset();
+
+    /** The profile driving this stream. */
+    const BenchmarkProfile &profile() const { return profile_; }
+
+    /**
+     * @name Virtual-region base addresses (for tests/tools).
+     * Bases are staggered by distinct page offsets so the regions'
+     * leading pages do not all collide in one TLB set.
+     */
+    /** @{ */
+    static constexpr std::uint64_t l1Base = 0x10000000ULL;
+    static constexpr std::uint64_t hotBase = 0x20004000ULL;
+    static constexpr std::uint64_t chaseBase = 0x30008000ULL;
+    static constexpr std::uint64_t streamBase = 0x4000c000ULL;
+    static constexpr std::uint64_t randomBase = 0x80010000ULL;
+    static constexpr std::uint64_t codeBase = 0x00400000ULL;
+    /** @} */
+
+  private:
+    /** Data region a static memory slot is bound to. */
+    enum class Region : std::uint8_t
+    {
+        L1,
+        Hot,
+        Stream,
+        Random,
+        Chase,
+    };
+
+    /** Static behaviour class of a branch site. */
+    enum class BranchSite : std::uint8_t
+    {
+        Loop,   ///< taken (period-1) times, then not taken
+        Biased, ///< nearly always one direction
+        Hard,   ///< weakly biased i.i.d. outcomes
+    };
+
+    /** One static µop slot. */
+    struct Slot
+    {
+        OpKind kind = OpKind::IntAlu;
+        Region region = Region::L1; ///< memory slots only
+    };
+
+    /** One static basic block. */
+    struct Block
+    {
+        std::uint32_t firstSlot = 0; ///< index into slots_
+        std::uint32_t length = 0;    ///< µops incl. final branch
+        std::uint32_t takenTarget = 0;
+        std::uint32_t fallTarget = 0;
+        BranchSite site = BranchSite::Biased;
+        double takenProb = 0.9;     ///< Biased/Hard sites
+        std::uint32_t loopPeriod = 0; ///< Loop sites
+    };
+
+    void buildStaticLayout();
+    std::uint64_t regionAddress(Region r);
+    void emitBranch(const Block &blk, std::uint32_t block_index);
+
+    const BenchmarkProfile profile_;
+
+    std::vector<Block> blocks_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> loopCounters_;
+
+    Rng dyn_;
+    std::uint64_t generated_ = 0;
+    std::uint32_t curBlock_ = 0;
+    std::uint32_t curOffset_ = 0;
+
+    /** @name Region cursors. */
+    /** @{ */
+    std::uint64_t l1Pos_ = 0;
+    std::uint64_t hotPos_ = 0;
+    std::uint64_t streamPos_ = 0;
+    std::uint64_t chaseCur_ = 0;
+    /** @} */
+
+    /** µops since the previous chase load (dependency distance). */
+    std::uint64_t lastChaseAge_ = 0;
+    bool haveChase_ = false;
+
+    MicroOp out_;
+};
+
+} // namespace wsel
+
+#endif // WSEL_TRACE_TRACE_GENERATOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Umbrella header: pulls in the whole public wsel API.
+ *
+ * Fine-grained includes are preferred inside the library itself;
+ * this header is a convenience for applications and examples.
+ */
+
+#ifndef WSEL_WSEL_HH
+#define WSEL_WSEL_HH
+
+// Statistics substrate.
+#include "stats/combinatorics.hh"
+#include "stats/histogram.hh"
+#include "stats/kmeans.hh"
+#include "stats/logging.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+// Synthetic benchmarks and traces.
+#include "trace/benchmark_profile.hh"
+#include "trace/microop.hh"
+#include "trace/trace_generator.hh"
+
+// Cache hierarchy building blocks.
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "cache/replacement.hh"
+#include "cache/tlb.hh"
+
+// Shared uncore.
+#include "mem/uncore.hh"
+#include "mem/uncore_config.hh"
+
+// Detailed core model.
+#include "cpu/core_config.hh"
+#include "cpu/core_observer.hh"
+#include "cpu/detailed_core.hh"
+#include "cpu/tage.hh"
+
+// BADCO behavioural model.
+#include "badco/badco_machine.hh"
+#include "badco/badco_model.hh"
+
+// Simulation harnesses.
+#include "sim/campaign.hh"
+#include "sim/characterize.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+
+// The paper's contribution.
+#include "core/classify/classify.hh"
+#include "core/confidence/confidence.hh"
+#include "core/metrics/throughput.hh"
+#include "core/report/report.hh"
+#include "core/sampling/sampling.hh"
+#include "core/workload/workload.hh"
+
+#endif // WSEL_WSEL_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for campaign running, persistence and throughput extraction.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hh"
+#include "stats/logging.hh"
+#include "test_util.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+std::vector<BenchmarkProfile>
+testSuite()
+{
+    std::vector<BenchmarkProfile> s;
+    s.push_back(test::lightProfile(7));
+    s.push_back(test::heavyProfile(11));
+    return s;
+}
+
+Campaign
+tinyCampaign()
+{
+    const auto suite = testSuite();
+    const WorkloadPopulation pop(2, 2); // 3 workloads
+    BadcoModelStore store(CoreConfig{}, 6000, 5);
+    return runBadcoCampaign(pop.enumerateAll(),
+                            {PolicyKind::LRU, PolicyKind::DIP}, 2,
+                            6000, store, suite);
+}
+
+} // namespace
+
+TEST(Campaign, ShapeAndContents)
+{
+    const Campaign c = tinyCampaign();
+    EXPECT_EQ(c.simulator, "badco");
+    EXPECT_EQ(c.cores, 2u);
+    EXPECT_EQ(c.targetUops, 6000u);
+    ASSERT_EQ(c.policies.size(), 2u);
+    ASSERT_EQ(c.workloads.size(), 3u);
+    ASSERT_EQ(c.refIpc.size(), 2u);
+    ASSERT_EQ(c.ipc.size(), 2u);
+    for (const auto &per_policy : c.ipc) {
+        ASSERT_EQ(per_policy.size(), 3u);
+        for (const auto &per_workload : per_policy) {
+            ASSERT_EQ(per_workload.size(), 2u);
+            for (double ipc : per_workload)
+                EXPECT_GT(ipc, 0.0);
+        }
+    }
+    EXPECT_GT(c.simSeconds, 0.0);
+    EXPECT_EQ(c.instructions, 2u * 3u * 2u * 6000u);
+    EXPECT_GT(c.mips(), 0.0);
+}
+
+TEST(Campaign, PolicyIndexLookup)
+{
+    const Campaign c = tinyCampaign();
+    EXPECT_EQ(c.policyIndex(PolicyKind::LRU), 0u);
+    EXPECT_EQ(c.policyIndex(PolicyKind::DIP), 1u);
+    EXPECT_THROW(c.policyIndex(PolicyKind::FIFO), FatalError);
+}
+
+TEST(Campaign, PerWorkloadThroughputsMatchManualFormula)
+{
+    const Campaign c = tinyCampaign();
+    const auto t =
+        c.perWorkloadThroughputs(0, ThroughputMetric::WSU);
+    ASSERT_EQ(t.size(), c.workloads.size());
+    for (std::size_t w = 0; w < t.size(); ++w) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < c.cores; ++k)
+            sum += c.ipc[0][w][k] / c.refIpc[c.workloads[w][k]];
+        EXPECT_NEAR(t[w], sum / c.cores, 1e-12);
+    }
+}
+
+TEST(Campaign, SaveLoadRoundTrip)
+{
+    const Campaign c = tinyCampaign();
+    const auto path = std::filesystem::temp_directory_path() /
+                      "wsel_test_campaign.csv";
+    c.save(path.string());
+    const Campaign r = Campaign::load(path.string());
+    EXPECT_EQ(r.simulator, c.simulator);
+    EXPECT_EQ(r.cores, c.cores);
+    EXPECT_EQ(r.targetUops, c.targetUops);
+    EXPECT_EQ(r.policies, c.policies);
+    EXPECT_EQ(r.benchmarks, c.benchmarks);
+    ASSERT_EQ(r.workloads.size(), c.workloads.size());
+    for (std::size_t w = 0; w < c.workloads.size(); ++w)
+        EXPECT_EQ(r.workloads[w], c.workloads[w]);
+    for (std::size_t i = 0; i < c.refIpc.size(); ++i)
+        EXPECT_DOUBLE_EQ(r.refIpc[i], c.refIpc[i]);
+    for (std::size_t p = 0; p < c.policies.size(); ++p)
+        for (std::size_t w = 0; w < c.workloads.size(); ++w)
+            for (std::size_t k = 0; k < c.cores; ++k)
+                EXPECT_DOUBLE_EQ(r.ipc[p][w][k], c.ipc[p][w][k]);
+    std::filesystem::remove(path);
+}
+
+TEST(Campaign, LoadRejectsGarbage)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "wsel_test_garbage.csv";
+    {
+        std::ofstream os(path);
+        os << "hello,world\n";
+    }
+    EXPECT_THROW(Campaign::load(path.string()), FatalError);
+    std::filesystem::remove(path);
+}
+
+TEST(Campaign, CachedCampaignProducesOnceThenLoads)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "wsel_test_campaign_cache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    setenv("WSEL_CACHE_DIR", dir.c_str(), 1);
+    int produced = 0;
+    auto produce = [&]() {
+        ++produced;
+        return tinyCampaign();
+    };
+    const Campaign a = cachedCampaign("unit_test_key", produce);
+    const Campaign b = cachedCampaign("unit_test_key", produce);
+    EXPECT_EQ(produced, 1);
+    EXPECT_EQ(a.workloads.size(), b.workloads.size());
+    unsetenv("WSEL_CACHE_DIR");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, DetailedCampaignRuns)
+{
+    const auto suite = testSuite();
+    const WorkloadPopulation pop(2, 2);
+    const Campaign c = runDetailedCampaign(
+        pop.enumerateAll(), {PolicyKind::LRU}, 2, 4000,
+        CoreConfig{}, suite);
+    EXPECT_EQ(c.simulator, "detailed");
+    EXPECT_EQ(c.workloads.size(), 3u);
+    for (double ipc : c.ipc[0][0])
+        EXPECT_GT(ipc, 0.0);
+}
+
+TEST(Campaign, EmptyInputsFatal)
+{
+    const auto suite = testSuite();
+    BadcoModelStore store(CoreConfig{}, 1000, 5);
+    EXPECT_THROW(runBadcoCampaign({}, {PolicyKind::LRU}, 2, 1000,
+                                  store, suite),
+                 FatalError);
+}
+
+} // namespace wsel

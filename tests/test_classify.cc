@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for automatic classification (core/classify) and benchmark
+ * characterization (sim/characterize).
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/classify/classify.hh"
+#include "sim/characterize.hh"
+#include "stats/logging.hh"
+#include "stats/summary.hh"
+#include "test_util.hh"
+
+namespace wsel
+{
+
+TEST(NormalizeFeatures, ZeroMeanUnitVariance)
+{
+    const std::vector<std::vector<double>> f = {
+        {1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}, {4.0, 400.0}};
+    const auto n = normalizeFeatures(f);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double mean = 0.0, var = 0.0;
+        for (const auto &row : n)
+            mean += row[c];
+        mean /= static_cast<double>(n.size());
+        for (const auto &row : n)
+            var += (row[c] - mean) * (row[c] - mean);
+        var /= static_cast<double>(n.size());
+        EXPECT_NEAR(mean, 0.0, 1e-12);
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(NormalizeFeatures, ConstantColumnBecomesZero)
+{
+    const std::vector<std::vector<double>> f = {{5.0, 1.0},
+                                                {5.0, 2.0}};
+    const auto n = normalizeFeatures(f);
+    EXPECT_DOUBLE_EQ(n[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(n[1][0], 0.0);
+}
+
+TEST(NormalizeFeatures, RaggedInputFatal)
+{
+    const std::vector<std::vector<double>> f = {{1.0}, {1.0, 2.0}};
+    EXPECT_THROW(normalizeFeatures(f), FatalError);
+}
+
+TEST(ClassifyByFeatures, OrdersClassesByKeyColumn)
+{
+    // Three obvious groups on column 1; labels must come out
+    // ordered by that column's group means.
+    // Both columns carry the group signal (z-normalization gives
+    // every column unit variance, so a pure-noise column would
+    // carry as much weight as a signal column).
+    std::vector<std::vector<double>> f;
+    Rng noise(3);
+    for (int i = 0; i < 8; ++i)
+        f.push_back({1.0 + 0.1 * noise.nextDouble(),
+                     0.5 + 0.1 * i});
+    for (int i = 0; i < 8; ++i)
+        f.push_back({5.0 + 0.1 * noise.nextDouble(),
+                     50.0 + 0.1 * i});
+    for (int i = 0; i < 8; ++i)
+        f.push_back({9.0 + 0.1 * noise.nextDouble(),
+                     100.0 + 0.1 * i});
+    Rng rng(7);
+    const auto cls = classifyByFeatures(f, 3, 1, rng);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(cls[i], 0u);
+        EXPECT_EQ(cls[8 + i], 1u);
+        EXPECT_EQ(cls[16 + i], 2u);
+    }
+}
+
+TEST(ClassifyByFeatures, BadOrderColumnFatal)
+{
+    const std::vector<std::vector<double>> f = {{1.0}, {2.0}};
+    Rng rng(1);
+    EXPECT_THROW(classifyByFeatures(f, 2, 3, rng), FatalError);
+}
+
+TEST(ClassCountFeatures, SignatureCounts)
+{
+    const std::vector<Workload> ws = {Workload({0, 1, 3, 3}),
+                                      Workload({2, 2, 2, 2})};
+    const std::vector<std::uint32_t> cls = {0, 0, 1, 2};
+    const auto f = classCountFeatures(ws, cls, 3);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0], (std::vector<double>{2.0, 0.0, 2.0}));
+    EXPECT_EQ(f[1], (std::vector<double>{0.0, 4.0, 0.0}));
+}
+
+TEST(WorkloadClusterSampler, StrataPartitionThePopulation)
+{
+    // Features with clear cluster structure.
+    std::vector<std::vector<double>> f;
+    Rng noise(5);
+    for (int i = 0; i < 60; ++i) {
+        const double base = (i % 3) * 50.0;
+        f.push_back({base + noise.nextDouble(),
+                     base * 2 + noise.nextDouble()});
+    }
+    Rng rng(9);
+    auto s = makeWorkloadClusterSampler(f, 3, rng);
+    EXPECT_EQ(s->name(), "workload-cluster");
+    Rng draw_rng(11);
+    const Sample sample = s->draw(60, draw_rng); // everything
+    std::set<std::size_t> seen;
+    double weight_total = 0.0;
+    for (const auto &st : sample.strata) {
+        weight_total += st.weight;
+        for (std::size_t idx : st.indices)
+            EXPECT_TRUE(seen.insert(idx).second)
+                << "duplicate index";
+    }
+    EXPECT_EQ(seen.size(), 60u);
+    EXPECT_DOUBLE_EQ(weight_total, 60.0);
+}
+
+TEST(WorkloadClusterSampler, ActsAsVarianceReducer)
+{
+    // When the clustering lines up with the structure of t(w), the
+    // cluster-stratified estimate of the mean is at least as tight
+    // as random sampling's.
+    const std::size_t n = 300;
+    std::vector<std::vector<double>> f;
+    std::vector<double> t;
+    Rng gen(13);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int group = static_cast<int>(i % 3);
+        f.push_back({static_cast<double>(group)});
+        t.push_back(group * 2.0 + 0.05 * gen.nextGaussian() + 1.0);
+    }
+    double truth = 0.0;
+    for (double v : t)
+        truth += v;
+    truth /= static_cast<double>(n);
+
+    Rng rng(15);
+    auto clustered = makeWorkloadClusterSampler(f, 3, rng);
+    auto random = makeRandomSampler(n);
+    RunningStats err_c, err_r;
+    Rng draw(17);
+    for (int trial = 0; trial < 400; ++trial) {
+        const Sample sc = clustered->draw(9, draw);
+        const Sample sr = random->draw(9, draw);
+        err_c.add(std::abs(sampleThroughput(
+                      sc, ThroughputMetric::IPCT, t) -
+                  truth));
+        err_r.add(std::abs(sampleThroughput(
+                      sr, ThroughputMetric::IPCT, t) -
+                  truth));
+    }
+    EXPECT_LT(err_c.mean(), err_r.mean());
+}
+
+TEST(Characterize, FeaturesAreMeasuredAndSane)
+{
+    const BenchmarkProfile light = test::lightProfile();
+    const BenchmarkProfile heavy = test::heavyProfile();
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(4, PolicyKind::LRU);
+    const auto fl = characterizeBenchmark(light, CoreConfig{}, ucfg,
+                                          20000);
+    const auto fh = characterizeBenchmark(heavy, CoreConfig{}, ucfg,
+                                          20000);
+    EXPECT_EQ(fl.name, "test-light");
+    EXPECT_NEAR(fl.loadFrac, light.loadFrac, 0.06);
+    EXPECT_GT(fl.ipc, fh.ipc);
+    EXPECT_LT(fl.llcMpki, fh.llcMpki);
+    EXPECT_GT(fh.dl1Mpki, 0.0);
+    EXPECT_GE(fl.branchMispredictRate, 0.0);
+    EXPECT_LE(fl.branchMispredictRate, 0.5);
+    const auto v = fl.toVector();
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_DOUBLE_EQ(v[BenchmarkFeatures::kLlcMpkiColumn],
+                     fl.llcMpki);
+}
+
+TEST(Characterize, SuiteAndMatrixShapes)
+{
+    std::vector<BenchmarkProfile> suite = {test::lightProfile(),
+                                           test::heavyProfile()};
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(2, PolicyKind::LRU);
+    const auto feats =
+        characterizeSuite(suite, CoreConfig{}, ucfg, 8000);
+    ASSERT_EQ(feats.size(), 2u);
+    const auto m = featureMatrix(feats);
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0].size(), m[1].size());
+}
+
+} // namespace wsel

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for binomial / multiset counting, including the paper's
+ * population sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/combinatorics.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+TEST(Binomial, SmallValues)
+{
+    EXPECT_EQ(binomial(0, 0), 1u);
+    EXPECT_EQ(binomial(5, 0), 1u);
+    EXPECT_EQ(binomial(5, 5), 1u);
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(10, 3), 120u);
+    EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero)
+{
+    EXPECT_EQ(binomial(3, 4), 0u);
+}
+
+TEST(Binomial, Symmetry)
+{
+    for (std::uint64_t n = 0; n <= 30; ++n)
+        for (std::uint64_t k = 0; k <= n; ++k)
+            EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+}
+
+TEST(Binomial, PascalIdentity)
+{
+    for (std::uint64_t n = 1; n <= 40; ++n) {
+        for (std::uint64_t k = 1; k <= n; ++k) {
+            EXPECT_EQ(binomial(n, k),
+                      binomial(n - 1, k - 1) + binomial(n - 1, k));
+        }
+    }
+}
+
+TEST(Binomial, LargeExactValue)
+{
+    EXPECT_EQ(binomial(60, 30), 118264581564861424ULL);
+}
+
+TEST(Binomial, OverflowIsFatal)
+{
+    EXPECT_THROW(binomial(128, 64), FatalError);
+}
+
+TEST(MultisetCount, PaperPopulationSizes)
+{
+    // Section IV-A: 253 workloads for 2 cores, 12650 for 4 cores
+    // out of 22 benchmarks.
+    EXPECT_EQ(multisetCount(22, 2), 253u);
+    EXPECT_EQ(multisetCount(22, 4), 12650u);
+    // 8 cores: C(29, 8).
+    EXPECT_EQ(multisetCount(22, 8), 4292145u);
+}
+
+TEST(MultisetCount, Edges)
+{
+    EXPECT_EQ(multisetCount(0, 0), 1u);
+    EXPECT_EQ(multisetCount(0, 3), 0u);
+    EXPECT_EQ(multisetCount(5, 0), 1u);
+    EXPECT_EQ(multisetCount(1, 7), 1u);
+    EXPECT_EQ(multisetCount(7, 1), 7u);
+}
+
+} // namespace wsel

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for Histogram and k-means clustering.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/kmeans.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+TEST(Histogram, BinsCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double x : {0.5, 1.5, 1.6, 9.9})
+        h.add(x);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin)
+{
+    Histogram h(0.0, 1.0, 5);
+    h.add(0.5);
+    const std::string out = h.render();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(Histogram, BadRangeFatal)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    std::vector<std::vector<double>> pts;
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        pts.push_back({rng.nextGaussian() * 0.1,
+                       rng.nextGaussian() * 0.1});
+    for (int i = 0; i < 50; ++i)
+        pts.push_back({10.0 + rng.nextGaussian() * 0.1,
+                       10.0 + rng.nextGaussian() * 0.1});
+    Rng seed(5);
+    const KMeansResult res = kmeans(pts, 2, seed);
+    // All first-half points share a cluster, all second-half points
+    // share the other.
+    for (int i = 1; i < 50; ++i)
+        EXPECT_EQ(res.assignment[i], res.assignment[0]);
+    for (int i = 51; i < 100; ++i)
+        EXPECT_EQ(res.assignment[i], res.assignment[50]);
+    EXPECT_NE(res.assignment[0], res.assignment[50]);
+}
+
+TEST(KMeans, OneDimensionalMpkiLikeClasses)
+{
+    // Values resembling per-benchmark MPKIs: three obvious groups.
+    const std::vector<double> mpki = {0.2, 0.4, 0.3, 0.5, 3.0,
+                                      3.5,  2.8, 20.0, 25.0, 30.0};
+    Rng rng(9);
+    const KMeansResult res = kmeans1d(mpki, 3, rng);
+    EXPECT_EQ(res.assignment[0], res.assignment[1]);
+    EXPECT_EQ(res.assignment[4], res.assignment[5]);
+    EXPECT_EQ(res.assignment[7], res.assignment[8]);
+    EXPECT_NE(res.assignment[0], res.assignment[4]);
+    EXPECT_NE(res.assignment[4], res.assignment[7]);
+}
+
+TEST(KMeans, InertiaNonIncreasingInK)
+{
+    Rng data(13);
+    std::vector<double> vals;
+    for (int i = 0; i < 60; ++i)
+        vals.push_back(data.nextDouble() * 100.0);
+    double prev = 1e300;
+    for (std::size_t k = 1; k <= 6; ++k) {
+        // Best of a few restarts to smooth local minima.
+        double best = 1e300;
+        for (int r = 0; r < 5; ++r) {
+            Rng rng(100 + r);
+            best = std::min(best, kmeans1d(vals, k, rng).inertia);
+        }
+        EXPECT_LE(best, prev + 1e-9);
+        prev = best;
+    }
+}
+
+TEST(KMeans, KEqualsNIsPerfect)
+{
+    const std::vector<double> vals = {1.0, 2.0, 3.0};
+    Rng rng(1);
+    const KMeansResult res = kmeans1d(vals, 3, rng);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidKFatal)
+{
+    const std::vector<std::vector<double>> pts = {{1.0}, {2.0}};
+    Rng rng(1);
+    EXPECT_THROW(kmeans(pts, 0, rng), FatalError);
+    EXPECT_THROW(kmeans(pts, 3, rng), FatalError);
+}
+
+TEST(KMeans, InconsistentDimensionsFatal)
+{
+    const std::vector<std::vector<double>> pts = {{1.0}, {2.0, 3.0}};
+    Rng rng(1);
+    EXPECT_THROW(kmeans(pts, 1, rng), FatalError);
+}
+
+} // namespace wsel

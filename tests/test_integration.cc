@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end integration test: the paper's methodology in miniature
+ * on a 2-core population — simulate with BADCO, estimate cv, check
+ * the analytical confidence model against empirical resampling, and
+ * verify that workload stratification needs fewer workloads than
+ * random sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/confidence/confidence.hh"
+#include "core/sampling/sampling.hh"
+#include "sim/campaign.hh"
+#include "stats/logging.hh"
+#include "test_util.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+/** Six-benchmark mini-suite spanning the three behaviour classes. */
+std::vector<BenchmarkProfile>
+miniSuite()
+{
+    std::vector<BenchmarkProfile> s;
+    for (int i = 0; i < 3; ++i) {
+        auto p = test::lightProfile(100 + i);
+        p.name = "mini-light-" + std::to_string(i);
+        p.hotBytes = (8 + 8 * i) * 1024;
+        s.push_back(p);
+    }
+    for (int i = 0; i < 3; ++i) {
+        auto p = test::heavyProfile(200 + i);
+        p.name = "mini-heavy-" + std::to_string(i);
+        p.streamFrac = 0.06 + 0.02 * i;
+        p.l1Frac = 1.0 - p.hotFrac - p.streamFrac - p.randomFrac -
+                   p.chaseFrac;
+        s.push_back(p);
+    }
+    return s;
+}
+
+/** Shared fixture: one BADCO campaign over the full population. */
+class MiniStudy : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const auto suite = miniSuite();
+        const WorkloadPopulation pop(
+            static_cast<std::uint32_t>(suite.size()), 2);
+        store_ = new BadcoModelStore(CoreConfig{}, kTarget, 5);
+        campaign_ = new Campaign(runBadcoCampaign(
+            pop.enumerateAll(),
+            {PolicyKind::LRU, PolicyKind::DRRIP}, 2, kTarget,
+            *store_, suite));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete campaign_;
+        delete store_;
+        campaign_ = nullptr;
+        store_ = nullptr;
+    }
+
+    static constexpr std::uint64_t kTarget = 25000;
+    static Campaign *campaign_;
+    static BadcoModelStore *store_;
+};
+
+Campaign *MiniStudy::campaign_ = nullptr;
+BadcoModelStore *MiniStudy::store_ = nullptr;
+
+} // namespace
+
+TEST_F(MiniStudy, PopulationIsFullyCovered)
+{
+    EXPECT_EQ(campaign_->workloads.size(), 21u); // C(7,2)
+    EXPECT_EQ(campaign_->policies.size(), 2u);
+}
+
+TEST_F(MiniStudy, ModelConfidenceMatchesEmpiricalResampling)
+{
+    // The §V-A validation: eq. (5) vs. measured confidence over
+    // random samples, for each metric and several sample sizes.
+    Rng rng(77);
+    for (ThroughputMetric m : paperMetrics()) {
+        const auto tx = campaign_->perWorkloadThroughputs(0, m);
+        const auto ty = campaign_->perWorkloadThroughputs(1, m);
+        const DifferenceStats ds = differenceStats(m, tx, ty);
+        auto sampler = makeRandomSampler(tx.size());
+        for (std::size_t w : {4u, 10u, 25u}) {
+            const double model = modelConfidence(ds.cv, w);
+            const double emp = empiricalConfidence(
+                *sampler, w, 3000, m, tx, ty, rng);
+            EXPECT_NEAR(emp, model, 0.08)
+                << toString(m) << " W=" << w;
+        }
+    }
+}
+
+TEST_F(MiniStudy, MetricsAgreeOnTheWinner)
+{
+    // §V-C: on a large enough sample all metrics rank the two
+    // policies identically (the magnitude of cv differs).
+    double sign = 0.0;
+    for (ThroughputMetric m : paperMetrics()) {
+        const auto tx = campaign_->perWorkloadThroughputs(0, m);
+        const auto ty = campaign_->perWorkloadThroughputs(1, m);
+        const DifferenceStats ds = differenceStats(m, tx, ty);
+        if (sign == 0.0)
+            sign = ds.mu > 0 ? 1.0 : -1.0;
+        EXPECT_GT(ds.mu * sign, 0.0) << toString(m);
+    }
+}
+
+TEST_F(MiniStudy, StratificationNeedsFewerWorkloads)
+{
+    const ThroughputMetric m = ThroughputMetric::IPCT;
+    const auto tx = campaign_->perWorkloadThroughputs(0, m);
+    const auto ty = campaign_->perWorkloadThroughputs(1, m);
+    const auto d = perWorkloadDifferences(m, tx, ty);
+
+    auto rnd = makeRandomSampler(tx.size());
+    WorkloadStrataConfig cfg;
+    cfg.wt = 4;
+    cfg.tsd = 1e-4;
+    auto strat = makeWorkloadStratifiedSampler(d, cfg);
+
+    Rng r1(5), r2(5);
+    const std::size_t w = 6;
+    const double c_rnd =
+        empiricalConfidence(*rnd, w, 3000, m, tx, ty, r1);
+    const double c_str =
+        empiricalConfidence(*strat, w, 3000, m, tx, ty, r2);
+    // Stratification must not be worse; in the common case it is
+    // strictly better at small sizes.
+    EXPECT_GE(c_str + 0.02, c_rnd);
+}
+
+TEST_F(MiniStudy, RequiredSampleSizeIsConsistent)
+{
+    // Drawing eq. (8)'s W random workloads should reach ~99.7%
+    // confidence empirically (when W fits in the population many
+    // times over, the approximation holds).
+    const ThroughputMetric m = ThroughputMetric::WSU;
+    const auto tx = campaign_->perWorkloadThroughputs(0, m);
+    const auto ty = campaign_->perWorkloadThroughputs(1, m);
+    const DifferenceStats ds = differenceStats(m, tx, ty);
+    if (std::abs(ds.cv) < 1.5) {
+        const std::size_t w = requiredSampleSize(ds.cv);
+        auto sampler = makeRandomSampler(tx.size());
+        Rng rng(9);
+        const double emp = empiricalConfidence(*sampler, w, 2000, m,
+                                               tx, ty, rng);
+        EXPECT_GT(ds.mu > 0 ? emp : 1.0 - emp, 0.95);
+    }
+}
+
+} // namespace wsel

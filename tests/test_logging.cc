@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the fatal/panic error-reporting macros and the Pearson
+ * correlation helper.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/logging.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+TEST(Logging, FatalThrowsWithStreamedMessage)
+{
+    try {
+        WSEL_FATAL("bad value " << 42 << " in " << "context");
+        FAIL() << "WSEL_FATAL did not throw";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad value 42 in context"),
+                  std::string::npos);
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, FatalIsCatchableAsRuntimeError)
+{
+    EXPECT_THROW(WSEL_FATAL("boom"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    // Must not throw or abort.
+    WSEL_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(Logging, AssertAbortsOnFalseCondition)
+{
+    EXPECT_DEATH(WSEL_ASSERT(false, "invariant " << 7),
+                 "assertion failed");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(WSEL_PANIC("internal bug " << 3), "panic");
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(pearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependenceIsNearZero)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.nextGaussian());
+        ys.push_back(rng.nextGaussian());
+    }
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 0.0, 0.03);
+}
+
+TEST(Pearson, ConstantSeriesIsNaN)
+{
+    const std::vector<double> xs = {1.0, 1.0, 1.0};
+    const std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_TRUE(std::isnan(pearsonCorrelation(xs, ys)));
+}
+
+TEST(Pearson, LengthMismatchFatal)
+{
+    const std::vector<double> xs = {1.0, 2.0};
+    const std::vector<double> ys = {1.0};
+    EXPECT_THROW(pearsonCorrelation(xs, ys), FatalError);
+}
+
+} // namespace wsel

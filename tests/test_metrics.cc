@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the throughput-metric framework (paper eqs. 1, 2, 9 and
+ * the d(w) definitions).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics/throughput.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+TEST(MetricNames, RoundTrip)
+{
+    for (ThroughputMetric m :
+         {ThroughputMetric::IPCT, ThroughputMetric::WSU,
+          ThroughputMetric::HSU, ThroughputMetric::GSU}) {
+        EXPECT_EQ(parseMetric(toString(m)), m);
+    }
+    EXPECT_THROW(parseMetric("STP"), FatalError);
+    ASSERT_EQ(paperMetrics().size(), 3u);
+}
+
+TEST(PerWorkload, IpctIsPlainMeanOfIpcs)
+{
+    const std::vector<double> ipcs = {1.0, 2.0, 3.0, 2.0};
+    const std::vector<double> refs = {9.0, 9.0, 9.0, 9.0};
+    // IPCT ignores references (IPCref = 1).
+    EXPECT_DOUBLE_EQ(
+        perWorkloadThroughput(ThroughputMetric::IPCT, ipcs, refs),
+        2.0);
+}
+
+TEST(PerWorkload, WsuIsMeanOfSpeedups)
+{
+    const std::vector<double> ipcs = {1.0, 1.0};
+    const std::vector<double> refs = {2.0, 4.0};
+    // Speedups 0.5 and 0.25; A-mean = 0.375.
+    EXPECT_DOUBLE_EQ(
+        perWorkloadThroughput(ThroughputMetric::WSU, ipcs, refs),
+        0.375);
+}
+
+TEST(PerWorkload, HsuIsHarmonicMeanOfSpeedups)
+{
+    const std::vector<double> ipcs = {1.0, 1.0};
+    const std::vector<double> refs = {2.0, 4.0};
+    // Speedups 0.5 and 0.25; H-mean = 2/(2+4) = 1/3.
+    EXPECT_NEAR(
+        perWorkloadThroughput(ThroughputMetric::HSU, ipcs, refs),
+        1.0 / 3.0, 1e-12);
+}
+
+TEST(PerWorkload, GsuIsGeometricMeanOfSpeedups)
+{
+    const std::vector<double> ipcs = {1.0, 1.0};
+    const std::vector<double> refs = {2.0, 8.0};
+    // Speedups 0.5, 0.125; G-mean = 0.25.
+    EXPECT_NEAR(
+        perWorkloadThroughput(ThroughputMetric::GSU, ipcs, refs),
+        0.25, 1e-12);
+}
+
+TEST(PerWorkload, MetricOrderingOnSkewedWorkloads)
+{
+    // H-mean <= G-mean <= A-mean of the same speedups.
+    const std::vector<double> ipcs = {0.4, 1.8, 0.9};
+    const std::vector<double> refs = {1.0, 2.0, 1.5};
+    const double w =
+        perWorkloadThroughput(ThroughputMetric::WSU, ipcs, refs);
+    const double g =
+        perWorkloadThroughput(ThroughputMetric::GSU, ipcs, refs);
+    const double h =
+        perWorkloadThroughput(ThroughputMetric::HSU, ipcs, refs);
+    EXPECT_LE(h, g + 1e-12);
+    EXPECT_LE(g, w + 1e-12);
+}
+
+TEST(PerWorkload, RejectsBadInputs)
+{
+    const std::vector<double> ipcs = {1.0, -1.0};
+    const std::vector<double> refs = {1.0, 1.0};
+    EXPECT_THROW(
+        perWorkloadThroughput(ThroughputMetric::WSU, ipcs, refs),
+        FatalError);
+    const std::vector<double> short_refs = {1.0};
+    const std::vector<double> ok = {1.0, 1.0};
+    EXPECT_THROW(perWorkloadThroughput(ThroughputMetric::WSU, ok,
+                                       short_refs),
+                 FatalError);
+    // IPCT does not need references.
+    EXPECT_NO_THROW(perWorkloadThroughput(ThroughputMetric::IPCT, ok,
+                                          short_refs));
+}
+
+TEST(SampleThroughput, XMeanPerMetric)
+{
+    const std::vector<double> t = {0.5, 1.0, 2.0};
+    EXPECT_NEAR(sampleThroughput(ThroughputMetric::IPCT, t),
+                3.5 / 3.0, 1e-12);
+    EXPECT_NEAR(sampleThroughput(ThroughputMetric::WSU, t),
+                3.5 / 3.0, 1e-12);
+    EXPECT_NEAR(sampleThroughput(ThroughputMetric::HSU, t),
+                3.0 / (2.0 + 1.0 + 0.5), 1e-12);
+    EXPECT_NEAR(sampleThroughput(ThroughputMetric::GSU, t), 1.0,
+                1e-12);
+}
+
+TEST(StratifiedThroughput, WeightedMeansMatchHandCalc)
+{
+    // Two strata with means 1.0 and 3.0, weights 0.75/0.25 (eq. 9).
+    const std::vector<double> means = {1.0, 3.0};
+    const std::vector<double> weights = {0.75, 0.25};
+    EXPECT_DOUBLE_EQ(stratifiedThroughput(ThroughputMetric::IPCT,
+                                          means, weights),
+                     1.5);
+    EXPECT_DOUBLE_EQ(stratifiedThroughput(ThroughputMetric::HSU,
+                                          means, weights),
+                     1.0 / (0.75 / 1.0 + 0.25 / 3.0));
+}
+
+TEST(StratifiedThroughput, UniformWeightsReduceToPlainMean)
+{
+    const std::vector<double> means = {0.8, 1.3, 2.1};
+    const std::vector<double> weights = {1.0, 1.0, 1.0};
+    for (ThroughputMetric m :
+         {ThroughputMetric::IPCT, ThroughputMetric::HSU,
+          ThroughputMetric::GSU}) {
+        EXPECT_NEAR(stratifiedThroughput(m, means, weights),
+                    sampleThroughput(m, means), 1e-12);
+    }
+}
+
+TEST(Difference, PerMetricForms)
+{
+    // eq. (4): plain difference.
+    EXPECT_DOUBLE_EQ(
+        perWorkloadDifference(ThroughputMetric::IPCT, 1.0, 1.5),
+        0.5);
+    EXPECT_DOUBLE_EQ(
+        perWorkloadDifference(ThroughputMetric::WSU, 2.0, 1.0),
+        -1.0);
+    // eq. (7): reciprocal difference.
+    EXPECT_DOUBLE_EQ(
+        perWorkloadDifference(ThroughputMetric::HSU, 2.0, 4.0),
+        0.5 - 0.25);
+    // footnote 3: log difference.
+    EXPECT_NEAR(
+        perWorkloadDifference(ThroughputMetric::GSU, 1.0,
+                              std::exp(1.0)),
+        1.0, 1e-12);
+}
+
+TEST(Difference, SignConventionYBetterIsPositive)
+{
+    for (ThroughputMetric m :
+         {ThroughputMetric::IPCT, ThroughputMetric::WSU,
+          ThroughputMetric::HSU, ThroughputMetric::GSU}) {
+        EXPECT_GT(perWorkloadDifference(m, 1.0, 1.2), 0.0);
+        EXPECT_LT(perWorkloadDifference(m, 1.2, 1.0), 0.0);
+        EXPECT_NEAR(perWorkloadDifference(m, 1.1, 1.1), 0.0, 1e-12);
+    }
+}
+
+} // namespace wsel

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration test of the case study's scientific property: on a
+ * BADCO-simulated 2-core workload sample from the real 22-benchmark
+ * suite, the five LLC policies order the way the paper's evaluation
+ * shows — LRU above RND and FIFO, DIP/DRRIP at or above LRU — and
+ * all three throughput metrics agree on the signs.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/confidence/confidence.hh"
+#include "sim/campaign.hh"
+#include "sim/model_store.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+/** One shared campaign for the whole suite of checks. */
+class PolicyOrdering : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const auto &suite = spec2006Suite();
+        const WorkloadPopulation pop(
+            static_cast<std::uint32_t>(suite.size()), 2);
+        // A balanced slice of the 2-core population keeps this test
+        // fast while exercising every benchmark.
+        Rng rng(1);
+        std::vector<Workload> ws;
+        for (std::size_t i : rng.sampleWithoutReplacement(
+                 static_cast<std::size_t>(pop.size()), 60))
+            ws.push_back(pop.unrank(i));
+
+        const UncoreConfig ucfg =
+            UncoreConfig::forCores(2, PolicyKind::LRU);
+        store_ = new BadcoModelStore(CoreConfig{}, kTarget,
+                                     ucfg.llcHitLatency);
+        campaign_ = new Campaign(
+            runBadcoCampaign(ws, paperPolicies(), 2, kTarget,
+                             *store_, suite));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete campaign_;
+        delete store_;
+        campaign_ = nullptr;
+        store_ = nullptr;
+    }
+
+    static double
+    meanThroughput(PolicyKind p, ThroughputMetric m)
+    {
+        const auto t = campaign_->perWorkloadThroughputs(
+            campaign_->policyIndex(p), m);
+        return sampleThroughput(m, t);
+    }
+
+    static constexpr std::uint64_t kTarget = 50000;
+    static Campaign *campaign_;
+    static BadcoModelStore *store_;
+};
+
+Campaign *PolicyOrdering::campaign_ = nullptr;
+BadcoModelStore *PolicyOrdering::store_ = nullptr;
+
+} // namespace
+
+TEST_F(PolicyOrdering, LruBeatsRandomAndFifo)
+{
+    for (ThroughputMetric m : paperMetrics()) {
+        EXPECT_GT(meanThroughput(PolicyKind::LRU, m),
+                  meanThroughput(PolicyKind::Random, m))
+            << toString(m);
+        EXPECT_GT(meanThroughput(PolicyKind::LRU, m),
+                  meanThroughput(PolicyKind::FIFO, m))
+            << toString(m);
+    }
+}
+
+TEST_F(PolicyOrdering, AdaptiveInsertionBeatsLru)
+{
+    for (ThroughputMetric m : paperMetrics()) {
+        EXPECT_GT(meanThroughput(PolicyKind::DIP, m),
+                  meanThroughput(PolicyKind::LRU, m))
+            << toString(m);
+        EXPECT_GT(meanThroughput(PolicyKind::DRRIP, m),
+                  meanThroughput(PolicyKind::LRU, m))
+            << toString(m);
+    }
+}
+
+TEST_F(PolicyOrdering, DrripVsDipIsTheClosePair)
+{
+    // The DRRIP-DIP gap must be the smallest of the DIP/DRRIP
+    // comparisons against the classical policies (the paper's
+    // "closest pair" that motivates large samples).
+    const ThroughputMetric m = ThroughputMetric::IPCT;
+    const auto t_lru = campaign_->perWorkloadThroughputs(
+        campaign_->policyIndex(PolicyKind::LRU), m);
+    const auto t_dip = campaign_->perWorkloadThroughputs(
+        campaign_->policyIndex(PolicyKind::DIP), m);
+    const auto t_drrip = campaign_->perWorkloadThroughputs(
+        campaign_->policyIndex(PolicyKind::DRRIP), m);
+    const double close =
+        std::abs(differenceStats(m, t_dip, t_drrip).inverseCv());
+    const double far =
+        std::abs(differenceStats(m, t_lru, t_drrip).inverseCv());
+    EXPECT_LT(close, far);
+}
+
+TEST_F(PolicyOrdering, MetricsAgreeOnEverySign)
+{
+    const auto &policies = campaign_->policies;
+    for (std::size_t a = 0; a < policies.size(); ++a) {
+        for (std::size_t b = a + 1; b < policies.size(); ++b) {
+            double first_sign = 0.0;
+            for (ThroughputMetric m : paperMetrics()) {
+                const auto tx =
+                    campaign_->perWorkloadThroughputs(a, m);
+                const auto ty =
+                    campaign_->perWorkloadThroughputs(b, m);
+                const double mu = differenceStats(m, tx, ty).mu;
+                if (std::abs(mu) < 1e-6)
+                    continue; // genuinely tied under this metric
+                const double sign = mu > 0 ? 1.0 : -1.0;
+                if (first_sign == 0.0)
+                    first_sign = sign;
+                EXPECT_EQ(sign, first_sign)
+                    << toString(policies[a]) << " vs "
+                    << toString(policies[b]) << " under "
+                    << toString(m);
+            }
+        }
+    }
+}
+
+} // namespace wsel

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/logging.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextIntRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(r.nextInt(bound), bound);
+    }
+}
+
+TEST(Rng, NextIntCoversAllResidues)
+{
+    Rng r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntIsRoughlyUniform)
+{
+    Rng r(11);
+    const int buckets = 10, n = 100000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextInt(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / buckets * 0.9);
+        EXPECT_LT(c, n / buckets * 1.1);
+    }
+}
+
+TEST(Rng, NextIntRangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = r.nextIntRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(9);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = r.nextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        s.add(x);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variancePopulation(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.nextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.variancePopulation(), 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(17);
+    const double p = 0.25;
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(r.nextGeometric(p)));
+    // Mean number of failures before success: (1-p)/p = 3.
+    EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(23);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    auto sorted = v;
+    r.shuffle(v);
+    EXPECT_NE(v, sorted); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng r(29);
+    for (std::size_t n : {10u, 100u, 1000u}) {
+        for (std::size_t k : {1u, 5u, 10u}) {
+            auto s = r.sampleWithoutReplacement(n, k);
+            EXPECT_EQ(s.size(), k);
+            std::set<std::size_t> uniq(s.begin(), s.end());
+            EXPECT_EQ(uniq.size(), k);
+            for (std::size_t x : s)
+                EXPECT_LT(x, n);
+        }
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet)
+{
+    Rng r(31);
+    auto s = r.sampleWithoutReplacement(8, 8);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform)
+{
+    // Each element of [0,10) should appear in a 3-sample with
+    // probability 3/10.
+    Rng r(37);
+    std::vector<int> counts(10, 0);
+    const int trials = 30000;
+    for (int t = 0; t < trials; ++t) {
+        for (std::size_t x : r.sampleWithoutReplacement(10, 3))
+            ++counts[x];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c / static_cast<double>(trials), 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample)
+{
+    Rng r(41);
+    EXPECT_THROW(r.sampleWithoutReplacement(3, 4), FatalError);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(43);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+} // namespace wsel

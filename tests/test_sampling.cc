@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for the four sampling methods and the stratified estimator.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/sampling/sampling.hh"
+#include "stats/summary.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+/** A small population plus synthetic throughputs for two configs. */
+struct TestBed
+{
+    WorkloadPopulation pop{8, 3}; // 120 workloads
+    std::vector<Workload> workloads;
+    std::vector<double> tx, ty, d;
+
+    TestBed()
+    {
+        workloads = pop.enumerateAll();
+        Rng rng(33);
+        tx.resize(workloads.size());
+        ty.resize(workloads.size());
+        d.resize(workloads.size());
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            tx[i] = 1.0 + 0.3 * rng.nextGaussian();
+            tx[i] = std::max(tx[i], 0.2);
+            // Y is better on workloads containing benchmark 0.
+            const double edge =
+                workloads[i].count(0) > 0 ? 0.15 : -0.02;
+            ty[i] = std::max(tx[i] + edge +
+                                 0.02 * rng.nextGaussian(),
+                             0.1);
+            d[i] = ty[i] - tx[i];
+        }
+    }
+};
+
+std::vector<std::size_t>
+identityMap(std::size_t n)
+{
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = i;
+    return v;
+}
+
+} // namespace
+
+TEST(RandomSampler, SizeAndRange)
+{
+    auto s = makeRandomSampler(100);
+    Rng rng(1);
+    const Sample sample = s->draw(30, rng);
+    EXPECT_EQ(sample.totalSize(), 30u);
+    ASSERT_EQ(sample.strata.size(), 1u);
+    EXPECT_DOUBLE_EQ(sample.strata[0].weight, 1.0);
+    for (std::size_t i : sample.flatten())
+        EXPECT_LT(i, 100u);
+    EXPECT_EQ(s->name(), "random");
+}
+
+TEST(RandomSampler, WithReplacement)
+{
+    // Sampling 200 from a population of 10 must repeat.
+    auto s = makeRandomSampler(10);
+    Rng rng(2);
+    const Sample sample = s->draw(200, rng);
+    EXPECT_EQ(sample.totalSize(), 200u);
+    std::set<std::size_t> uniq;
+    for (std::size_t i : sample.flatten())
+        uniq.insert(i);
+    EXPECT_LE(uniq.size(), 10u);
+}
+
+TEST(BalancedRandomSampler, EqualBenchmarkCounts)
+{
+    const WorkloadPopulation pop(4, 2);
+    auto s = makeBalancedRandomSampler(pop, identityMap(pop.size()));
+    EXPECT_EQ(s->name(), "bal-random");
+    const auto all = pop.enumerateAll();
+    Rng rng(3);
+    // 10 workloads x 2 cores = 20 slots over 4 benchmarks: exactly
+    // 5 occurrences each.
+    const Sample sample = s->draw(10, rng);
+    std::map<std::uint32_t, int> counts;
+    for (std::size_t idx : sample.flatten())
+        for (std::uint32_t b : all[idx].benchmarks())
+            ++counts[b];
+    for (std::uint32_t b = 0; b < 4; ++b)
+        EXPECT_EQ(counts[b], 5) << "benchmark " << b;
+}
+
+TEST(BalancedRandomSampler, NearEqualWhenNotDivisible)
+{
+    const WorkloadPopulation pop(5, 2);
+    auto s = makeBalancedRandomSampler(pop, identityMap(pop.size()));
+    const auto all = pop.enumerateAll();
+    Rng rng(4);
+    // 7 x 2 = 14 slots over 5 benchmarks: counts in {2, 3}.
+    const Sample sample = s->draw(7, rng);
+    std::map<std::uint32_t, int> counts;
+    for (std::size_t idx : sample.flatten())
+        for (std::uint32_t b : all[idx].benchmarks())
+            ++counts[b];
+    int total = 0;
+    for (std::uint32_t b = 0; b < 5; ++b) {
+        EXPECT_GE(counts[b], 2);
+        EXPECT_LE(counts[b], 3);
+        total += counts[b];
+    }
+    EXPECT_EQ(total, 14);
+}
+
+TEST(BalancedRandomSampler, IndexMapSizeChecked)
+{
+    const WorkloadPopulation pop(4, 2);
+    EXPECT_THROW(makeBalancedRandomSampler(pop, identityMap(3)),
+                 FatalError);
+}
+
+TEST(BenchmarkStratifiedSampler, PaperStratumCount)
+{
+    // Table IV classes (3 classes) on 4 cores give C(3+4-1, 4) = 15
+    // strata over the full population (paper §VI-B1).
+    const WorkloadPopulation pop(22, 4);
+    const auto all = pop.enumerateAll();
+    std::vector<std::uint32_t> cls(22);
+    for (std::uint32_t b = 0; b < 22; ++b)
+        cls[b] = b % 3;
+    auto s = makeBenchmarkStratifiedSampler(all, cls, 3);
+    Rng rng(5);
+    const Sample sample = s->draw(100, rng);
+    // With W=100 >> 15 strata, every stratum is sampled.
+    EXPECT_EQ(sample.strata.size(), 15u);
+    EXPECT_EQ(sample.totalSize(), 100u);
+    // Stratum weights are the stratum sizes; they partition N.
+    double total_weight = 0.0;
+    for (const auto &st : sample.strata)
+        total_weight += st.weight;
+    EXPECT_DOUBLE_EQ(total_weight,
+                     static_cast<double>(pop.size()));
+}
+
+TEST(BenchmarkStratifiedSampler, WorkloadsLandInOwnStratum)
+{
+    const WorkloadPopulation pop(6, 2);
+    const auto all = pop.enumerateAll();
+    // Two classes: benchmarks 0-2 are class 0, 3-5 class 1.
+    std::vector<std::uint32_t> cls = {0, 0, 0, 1, 1, 1};
+    auto s = makeBenchmarkStratifiedSampler(all, cls, 2);
+    Rng rng(6);
+    const Sample sample = s->draw(21, rng); // the full population
+    // Each drawn stratum must be internally homogeneous in its
+    // class signature.
+    for (const auto &st : sample.strata) {
+        ASSERT_FALSE(st.indices.empty());
+        auto signature = [&](std::size_t idx) {
+            int c0 = 0;
+            for (std::uint32_t b : all[idx].benchmarks())
+                c0 += cls[b] == 0;
+            return c0;
+        };
+        const int sig = signature(st.indices[0]);
+        for (std::size_t idx : st.indices)
+            EXPECT_EQ(signature(idx), sig);
+    }
+}
+
+TEST(BenchmarkStratifiedSampler, RejectsBadClasses)
+{
+    const WorkloadPopulation pop(4, 2);
+    const auto all = pop.enumerateAll();
+    std::vector<std::uint32_t> cls = {0, 1, 2, 3};
+    EXPECT_THROW(makeBenchmarkStratifiedSampler(all, cls, 3),
+                 FatalError);
+}
+
+TEST(WorkloadStratifiedSampler, StrataAreContiguousInD)
+{
+    TestBed bed;
+    WorkloadStrataConfig cfg;
+    cfg.wt = 10;
+    cfg.tsd = 0.01;
+    auto s = makeWorkloadStratifiedSampler(bed.d, cfg);
+    EXPECT_EQ(s->name(), "workload-strata");
+    Rng rng(7);
+    const Sample sample = s->draw(60, rng);
+    // d-ranges of strata must not interleave: sort strata by their
+    // min d and check max d <= next min d.
+    std::vector<std::pair<double, double>> ranges;
+    for (const auto &st : sample.strata) {
+        double lo = 1e300, hi = -1e300;
+        for (std::size_t idx : st.indices) {
+            lo = std::min(lo, bed.d[idx]);
+            hi = std::max(hi, bed.d[idx]);
+        }
+        ranges.emplace_back(lo, hi);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (std::size_t i = 1; i < ranges.size(); ++i)
+        EXPECT_LE(ranges[i - 1].second, ranges[i].first + 1e-12);
+}
+
+TEST(WorkloadStratifiedSampler, TsdControlsStratumCount)
+{
+    TestBed bed;
+    WorkloadStrataConfig tight{0.0001, 5};
+    WorkloadStrataConfig loose{1.0, 5};
+    EXPECT_GT(countWorkloadStrata(bed.d, tight),
+              countWorkloadStrata(bed.d, loose));
+    EXPECT_EQ(countWorkloadStrata(bed.d, loose), 1u);
+}
+
+TEST(WorkloadStratifiedSampler, WtEnforcesMinimumSizes)
+{
+    TestBed bed;
+    WorkloadStrataConfig cfg{1e-6, 25};
+    auto s = makeWorkloadStratifiedSampler(bed.d, cfg);
+    Rng rng(8);
+    const Sample sample =
+        s->draw(bed.workloads.size(), rng); // everything
+    for (std::size_t i = 0; i + 1 < sample.strata.size(); ++i)
+        EXPECT_GE(sample.strata[i].indices.size(), 1u);
+    // All but possibly the last stratum hold >= WT workloads.
+    std::size_t total = 0;
+    for (const auto &st : sample.strata)
+        total += st.indices.size();
+    EXPECT_EQ(total, bed.workloads.size());
+}
+
+TEST(SampleThroughput, SingleStratumEqualsPlainMean)
+{
+    TestBed bed;
+    Sample s;
+    s.strata.resize(1);
+    s.strata[0].weight = 1.0;
+    s.strata[0].indices = {0, 5, 10, 15};
+    double mean = 0.0;
+    for (std::size_t i : s.strata[0].indices)
+        mean += bed.tx[i];
+    mean /= 4.0;
+    EXPECT_NEAR(sampleThroughput(s, ThroughputMetric::IPCT, bed.tx),
+                mean, 1e-12);
+}
+
+TEST(SampleThroughput, StratifiedWeighting)
+{
+    // Stratum A: value 1.0, weight 3; stratum B: value 2.0, weight
+    // 1; estimate = (3*1 + 1*2)/4.
+    std::vector<double> t = {1.0, 2.0};
+    Sample s;
+    s.strata.resize(2);
+    s.strata[0].indices = {0};
+    s.strata[0].weight = 3.0;
+    s.strata[1].indices = {1};
+    s.strata[1].weight = 1.0;
+    EXPECT_DOUBLE_EQ(
+        sampleThroughput(s, ThroughputMetric::IPCT, t), 1.25);
+}
+
+TEST(EmpiricalConfidence, SeparatedConfigsGiveCertainty)
+{
+    TestBed bed;
+    std::vector<double> ty_big = bed.tx;
+    for (double &v : ty_big)
+        v += 1.0; // Y unambiguously better
+    auto s = makeRandomSampler(bed.tx.size());
+    Rng rng(9);
+    EXPECT_DOUBLE_EQ(
+        empiricalConfidence(*s, 5, 200, ThroughputMetric::IPCT,
+                            bed.tx, ty_big, rng),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        empiricalConfidence(*s, 5, 200, ThroughputMetric::IPCT,
+                            ty_big, bed.tx, rng),
+        0.0);
+}
+
+TEST(EmpiricalConfidence, GrowsWithSampleSize)
+{
+    TestBed bed;
+    auto s = makeRandomSampler(bed.tx.size());
+    Rng rng(10);
+    const double c_small =
+        empiricalConfidence(*s, 3, 3000, ThroughputMetric::IPCT,
+                            bed.tx, bed.ty, rng);
+    const double c_large =
+        empiricalConfidence(*s, 60, 3000, ThroughputMetric::IPCT,
+                            bed.tx, bed.ty, rng);
+    EXPECT_GT(c_large, c_small);
+}
+
+TEST(EmpiricalConfidence, WorkloadStrataBeatsRandomAtSmallSizes)
+{
+    // The paper's headline result in miniature: at equal sample
+    // size, workload stratification yields at least the confidence
+    // of simple random sampling.
+    TestBed bed;
+    auto rnd = makeRandomSampler(bed.tx.size());
+    WorkloadStrataConfig cfg{0.005, 8};
+    auto strat = makeWorkloadStratifiedSampler(bed.d, cfg);
+    Rng r1(11), r2(11);
+    const double c_rnd =
+        empiricalConfidence(*rnd, 12, 3000, ThroughputMetric::IPCT,
+                            bed.tx, bed.ty, r1);
+    const double c_str = empiricalConfidence(
+        *strat, 12, 3000, ThroughputMetric::IPCT, bed.tx, bed.ty,
+        r2);
+    EXPECT_GE(c_str + 0.02, c_rnd);
+    EXPECT_GT(c_str, 0.9);
+}
+
+TEST(WorkloadStratifiedSampler, SmallDrawsCoverBothTails)
+{
+    // Regression test: with W far below the stratum count, the
+    // largest-remainder tie-break must pick strata randomly. A
+    // deterministic tie-break would always sample the lowest-d
+    // (most negative) strata and flip comparison conclusions.
+    TestBed bed;
+    WorkloadStrataConfig cfg{1e-9, 4}; // many tiny strata
+    auto s = makeWorkloadStratifiedSampler(bed.d, cfg);
+    const std::size_t n_strata = countWorkloadStrata(bed.d, cfg);
+    ASSERT_GT(n_strata, 12u);
+
+    Rng rng(31);
+    int low_tail = 0, high_tail = 0;
+    const double med = quantile(bed.d, 0.5);
+    for (int t = 0; t < 200; ++t) {
+        const Sample sample = s->draw(4, rng);
+        for (std::size_t idx : sample.flatten()) {
+            if (bed.d[idx] < med)
+                ++low_tail;
+            else
+                ++high_tail;
+        }
+    }
+    // Both halves of the d-distribution must be sampled with
+    // roughly equal frequency.
+    const double frac = static_cast<double>(low_tail) /
+                        static_cast<double>(low_tail + high_tail);
+    EXPECT_GT(frac, 0.35);
+    EXPECT_LT(frac, 0.65);
+}
+
+TEST(Samplers, DrawIsDeterministicGivenRngState)
+{
+    TestBed bed;
+    auto s = makeRandomSampler(bed.tx.size());
+    Rng a(12), b(12);
+    EXPECT_EQ(s->draw(20, a).flatten(), s->draw(20, b).flatten());
+}
+
+TEST(Samplers, ZeroSizeDrawFatal)
+{
+    auto s = makeRandomSampler(10);
+    Rng rng(13);
+    EXPECT_THROW(s->draw(0, rng), FatalError);
+}
+
+TEST(Samplers, OversizedStratifiedDrawFatal)
+{
+    TestBed bed;
+    WorkloadStrataConfig cfg{0.01, 10};
+    auto s = makeWorkloadStratifiedSampler(bed.d, cfg);
+    Rng rng(14);
+    EXPECT_THROW(s->draw(bed.workloads.size() + 1, rng), FatalError);
+}
+
+} // namespace wsel

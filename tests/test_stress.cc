@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Stress tests: random workloads through both simulators under
+ * every policy, asserting the structural invariants hold (no
+ * crashes, sane IPCs, consistent counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+#include "stats/logging.hh"
+#include "test_util.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+std::vector<BenchmarkProfile>
+stressSuite()
+{
+    std::vector<BenchmarkProfile> s;
+    for (int i = 0; i < 3; ++i) {
+        auto p = test::lightProfile(40 + i);
+        p.name = "stress-light-" + std::to_string(i);
+        s.push_back(p);
+    }
+    for (int i = 0; i < 3; ++i) {
+        auto p = test::heavyProfile(50 + i);
+        p.name = "stress-heavy-" + std::to_string(i);
+        p.chaseFrac = 0.02 + 0.02 * i;
+        p.randomFrac = 0.08 - 0.02 * i;
+        s.push_back(p);
+    }
+    return s;
+}
+
+} // namespace
+
+/** Each policy runs random workloads through the detailed sim. */
+class DetailedStressTest
+    : public ::testing::TestWithParam<PolicyKind>
+{};
+
+TEST_P(DetailedStressTest, RandomWorkloadsKeepInvariants)
+{
+    const auto suite = stressSuite();
+    const std::uint64_t target = 6000;
+    UncoreConfig ucfg = UncoreConfig::forCores(2, GetParam());
+    DetailedMulticoreSim sim(CoreConfig{}, ucfg, 2, target);
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), 2);
+    Rng rng(77);
+    for (int t = 0; t < 6; ++t) {
+        const Workload w = pop.sampleUniform(rng);
+        const SimResult r = sim.run(w, suite);
+        ASSERT_EQ(r.ipc.size(), 2u);
+        for (double ipc : r.ipc) {
+            EXPECT_GT(ipc, 0.001);
+            EXPECT_LE(ipc, 4.0);
+        }
+        EXPECT_GE(r.cycles, target / 4); // commit width bound
+        EXPECT_EQ(r.instructions, 2 * target);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, DetailedStressTest,
+    ::testing::Values(PolicyKind::LRU, PolicyKind::Random,
+                      PolicyKind::FIFO, PolicyKind::DIP,
+                      PolicyKind::DRRIP),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        return toString(info.param);
+    });
+
+/** Same sweep for the BADCO simulator, with more workloads. */
+class BadcoStressTest : public ::testing::TestWithParam<PolicyKind>
+{};
+
+TEST_P(BadcoStressTest, RandomWorkloadsKeepInvariants)
+{
+    const auto suite = stressSuite();
+    const std::uint64_t target = 12000;
+    UncoreConfig ucfg = UncoreConfig::forCores(4, GetParam());
+    BadcoModelStore store(CoreConfig{}, target, ucfg.llcHitLatency);
+    const auto models = store.getSuite(suite);
+    BadcoMulticoreSim sim(ucfg, 4, target);
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), 4);
+    Rng rng(99);
+    for (int t = 0; t < 25; ++t) {
+        const Workload w = pop.sampleUniform(rng);
+        const SimResult r = sim.run(w, models);
+        ASSERT_EQ(r.ipc.size(), 4u);
+        for (double ipc : r.ipc) {
+            EXPECT_GT(ipc, 0.001);
+            EXPECT_LE(ipc, 4.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, BadcoStressTest,
+    ::testing::Values(PolicyKind::LRU, PolicyKind::Random,
+                      PolicyKind::FIFO, PolicyKind::DIP,
+                      PolicyKind::DRRIP),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        return toString(info.param);
+    });
+
+TEST(Stress, ExtremeCoreCounts)
+{
+    // 1 core and 8 cores both work end to end.
+    const auto suite = stressSuite();
+    const std::uint64_t target = 5000;
+    for (std::uint32_t k : {1u, 8u}) {
+        UncoreConfig ucfg =
+            UncoreConfig::forCores(k == 1 ? 2 : k, PolicyKind::DIP);
+        BadcoModelStore store(CoreConfig{}, target,
+                              ucfg.llcHitLatency);
+        const auto models = store.getSuite(suite);
+        BadcoMulticoreSim sim(ucfg, k, target);
+        std::vector<std::uint32_t> ids;
+        for (std::uint32_t i = 0; i < k; ++i)
+            ids.push_back(i % static_cast<std::uint32_t>(
+                                  suite.size()));
+        const SimResult r = sim.run(Workload(ids), models);
+        ASSERT_EQ(r.ipc.size(), k);
+        for (double ipc : r.ipc)
+            EXPECT_GT(ipc, 0.0);
+    }
+}
+
+TEST(Stress, TinyTargetsStillTerminate)
+{
+    const auto suite = stressSuite();
+    UncoreConfig ucfg = UncoreConfig::forCores(2, PolicyKind::LRU);
+    DetailedMulticoreSim det(CoreConfig{}, ucfg, 2, 64);
+    const SimResult r = det.run(Workload({0, 5}), suite);
+    EXPECT_GT(r.ipc[0], 0.0);
+    BadcoModelStore store(CoreConfig{}, 64, ucfg.llcHitLatency);
+    const auto models = store.getSuite(suite);
+    BadcoMulticoreSim bad(ucfg, 2, 64);
+    const SimResult b = bad.run(Workload({0, 5}), models);
+    EXPECT_GT(b.ipc[0], 0.0);
+}
+
+} // namespace wsel

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized validation of every benchmark in the 22-entry
+ * SPEC-like suite: each profile must generate a well-formed,
+ * deterministic stream whose realized mixes track its parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/logging.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : spec2006Suite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace
+
+class SuiteProfileTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchmarkProfile &
+    profile() const
+    {
+        return findProfile(GetParam());
+    }
+};
+
+TEST_P(SuiteProfileTest, StreamIsWellFormed)
+{
+    const BenchmarkProfile &p = profile();
+    TraceGenerator g(p);
+    const int n = 60000;
+    std::uint64_t mem = 0, branches = 0;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp &u = g.next();
+        ASSERT_LE(u.dep1, 64);
+        ASSERT_LE(u.dep2, 64);
+        ASSERT_GE(u.pc, TraceGenerator::codeBase);
+        if (u.isMemory()) {
+            ++mem;
+            ASSERT_GE(u.addr, TraceGenerator::l1Base);
+        }
+        branches += u.kind == OpKind::Branch;
+    }
+    // Realized rates track the profile loosely (loop-dwell
+    // weighting allows drift; see DESIGN.md).
+    const double mem_frac = static_cast<double>(mem) / n;
+    EXPECT_NEAR(mem_frac, p.loadFrac + p.storeFrac, 0.10);
+    EXPECT_NEAR(static_cast<double>(branches) / n, p.branchFrac,
+                0.08);
+}
+
+TEST_P(SuiteProfileTest, ResetReplaysBitIdentically)
+{
+    const BenchmarkProfile &p = profile();
+    TraceGenerator g(p);
+    std::vector<std::uint64_t> sig;
+    for (int i = 0; i < 4000; ++i) {
+        const MicroOp &u = g.next();
+        sig.push_back(u.addr ^ (u.pc << 1) ^ u.dep1);
+    }
+    g.reset();
+    for (int i = 0; i < 4000; ++i) {
+        const MicroOp &u = g.next();
+        ASSERT_EQ(u.addr ^ (u.pc << 1) ^ u.dep1, sig[i])
+            << "at µop " << i;
+    }
+}
+
+TEST_P(SuiteProfileTest, MemoryRegionsRespectProfileSizes)
+{
+    const BenchmarkProfile &p = profile();
+    TraceGenerator g(p);
+    for (int i = 0; i < 60000; ++i) {
+        const MicroOp &u = g.next();
+        if (!u.isMemory())
+            continue;
+        if (u.addr >= TraceGenerator::randomBase) {
+            ASSERT_LT(u.addr - TraceGenerator::randomBase,
+                      p.footprintBytes);
+        } else if (u.addr >= TraceGenerator::streamBase) {
+            ASSERT_LT(u.addr - TraceGenerator::streamBase,
+                      p.footprintBytes);
+        } else if (u.addr >= TraceGenerator::chaseBase) {
+            ASSERT_LT(u.addr - TraceGenerator::chaseBase,
+                      p.chaseBytes);
+        } else if (u.addr >= TraceGenerator::hotBase) {
+            ASSERT_LT(u.addr - TraceGenerator::hotBase, p.hotBytes);
+        } else {
+            ASSERT_LT(u.addr - TraceGenerator::l1Base, p.l1Bytes);
+        }
+    }
+}
+
+TEST_P(SuiteProfileTest, CodeFootprintMatchesStaticBlocks)
+{
+    const BenchmarkProfile &p = profile();
+    TraceGenerator g(p);
+    std::uint64_t max_pc = 0;
+    for (int i = 0; i < 60000; ++i) {
+        const MicroOp &u = g.next();
+        max_pc = std::max(max_pc, u.pc);
+    }
+    // 4 bytes per µop slot; block length is bounded by
+    // 1.5 / branchFrac µops.
+    const double mean_len = 1.0 / std::max(p.branchFrac, 0.02);
+    const std::uint64_t bound =
+        TraceGenerator::codeBase +
+        static_cast<std::uint64_t>(4.0 * p.staticBlocks *
+                                   (1.5 * mean_len + 2.0));
+    EXPECT_LT(max_pc, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteProfileTest,
+    ::testing::ValuesIn(suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace wsel

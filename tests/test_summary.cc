@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for streaming statistics and mean families.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/logging.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+TEST(RunningStats, MatchesHandComputation)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variancePopulation(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddevPopulation(), 2.0);
+    EXPECT_NEAR(s.varianceSample(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.coefficientOfVariation(), 0.4);
+}
+
+TEST(RunningStats, EmptyIsNaN)
+{
+    RunningStats s;
+    EXPECT_TRUE(std::isnan(s.mean()));
+    EXPECT_TRUE(std::isnan(s.variancePopulation()));
+    EXPECT_TRUE(std::isnan(s.coefficientOfVariation()));
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variancePopulation(), 0.0);
+    EXPECT_TRUE(std::isnan(s.varianceSample()));
+}
+
+TEST(RunningStats, MergeEqualsConcatenation)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(rng.nextGaussian() * 3.0 + 1.0);
+
+    RunningStats whole;
+    for (double x : xs)
+        whole.add(x);
+
+    for (std::size_t split : {0u, 1u, 500u, 999u, 1000u}) {
+        RunningStats a, b;
+        for (std::size_t i = 0; i < split; ++i)
+            a.add(xs[i]);
+        for (std::size_t i = split; i < xs.size(); ++i)
+            b.add(xs[i]);
+        a.merge(b);
+        EXPECT_EQ(a.count(), whole.count());
+        EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+        EXPECT_NEAR(a.variancePopulation(), whole.variancePopulation(),
+                    1e-8);
+        EXPECT_DOUBLE_EQ(a.min(), whole.min());
+        EXPECT_DOUBLE_EQ(a.max(), whole.max());
+    }
+}
+
+TEST(RunningStats, ZeroMeanCv)
+{
+    RunningStats s;
+    s.add(-1.0);
+    s.add(1.0);
+    EXPECT_TRUE(std::isinf(s.coefficientOfVariation()));
+}
+
+TEST(Means, Arithmetic)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(arithmeticMean(xs), 2.5);
+}
+
+TEST(Means, Harmonic)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(harmonicMean(xs), 3.0 / (1.0 + 0.5 + 0.25));
+}
+
+TEST(Means, Geometric)
+{
+    const std::vector<double> xs = {1.0, 4.0, 16.0};
+    EXPECT_NEAR(geometricMean(xs), 4.0, 1e-12);
+}
+
+TEST(Means, MeanInequality)
+{
+    // H-mean <= G-mean <= A-mean for positive values.
+    Rng rng(7);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<double> xs;
+        for (int i = 0; i < 20; ++i)
+            xs.push_back(0.1 + rng.nextDouble() * 5.0);
+        const double h = harmonicMean(xs);
+        const double g = geometricMean(xs);
+        const double a = arithmeticMean(xs);
+        EXPECT_LE(h, g + 1e-12);
+        EXPECT_LE(g, a + 1e-12);
+    }
+}
+
+TEST(Means, HarmonicRejectsNonPositive)
+{
+    const std::vector<double> xs = {1.0, 0.0};
+    EXPECT_THROW(harmonicMean(xs), FatalError);
+}
+
+TEST(Means, WeightedArithmetic)
+{
+    const std::vector<double> xs = {1.0, 3.0};
+    const std::vector<double> ws = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(weightedArithmeticMean(xs, ws), 2.5);
+}
+
+TEST(Means, WeightedHarmonic)
+{
+    const std::vector<double> xs = {2.0, 4.0};
+    const std::vector<double> ws = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(weightedHarmonicMean(xs, ws), harmonicMean(xs));
+}
+
+TEST(Means, WeightedReducesToUnweighted)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 16; ++i)
+        xs.push_back(0.5 + rng.nextDouble());
+    const std::vector<double> ws(xs.size(), 2.7);
+    EXPECT_NEAR(weightedArithmeticMean(xs, ws), arithmeticMean(xs),
+                1e-12);
+    EXPECT_NEAR(weightedHarmonicMean(xs, ws), harmonicMean(xs),
+                1e-12);
+}
+
+TEST(Means, WeightedSizeMismatchFatal)
+{
+    const std::vector<double> xs = {1.0, 2.0};
+    const std::vector<double> ws = {1.0};
+    EXPECT_THROW(weightedArithmeticMean(xs, ws), FatalError);
+}
+
+TEST(Quantile, KnownValues)
+{
+    std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, OutOfRangeFatal)
+{
+    std::vector<double> xs = {1.0};
+    EXPECT_THROW(quantile(xs, 1.5), FatalError);
+}
+
+} // namespace wsel

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the TAGE branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/tage.hh"
+#include "stats/logging.hh"
+#include "stats/rng.hh"
+
+namespace wsel
+{
+
+TEST(Tage, LearnsAlwaysTakenBranch)
+{
+    Tage t;
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i)
+        wrong += !t.predictAndUpdate(0x400100, true);
+    // After warmup, effectively perfect.
+    EXPECT_LT(wrong, 5);
+}
+
+TEST(Tage, LearnsAlternatingPattern)
+{
+    Tage t;
+    int wrong_late = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i % 2) == 0;
+        const bool correct = t.predictAndUpdate(0x400104, taken);
+        if (i >= 2000)
+            wrong_late += !correct;
+    }
+    // A period-2 pattern is trivially history-predictable.
+    EXPECT_LT(wrong_late / 2000.0, 0.05);
+}
+
+TEST(Tage, LearnsLoopExitPattern)
+{
+    // Taken 9 times, not-taken once (period-10 loop).
+    Tage t;
+    int wrong_late = 0;
+    const int iters = 20000;
+    for (int i = 0; i < iters; ++i) {
+        const bool taken = (i % 10) != 9;
+        const bool correct = t.predictAndUpdate(0x400108, taken);
+        if (i >= iters / 2)
+            wrong_late += !correct;
+    }
+    // Far better than the 10% a static predictor would get.
+    EXPECT_LT(wrong_late / (iters / 2.0), 0.03);
+}
+
+TEST(Tage, RandomOutcomesApproachBiasFloor)
+{
+    // An i.i.d. p=0.7 branch cannot be predicted better than 30%
+    // error; TAGE should get close to that floor from above.
+    Tage t;
+    Rng rng(7);
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        wrong += !t.predictAndUpdate(0x40010c, rng.nextBool(0.7));
+    const double mpr = wrong / static_cast<double>(n);
+    EXPECT_GT(mpr, 0.25);
+    EXPECT_LT(mpr, 0.45);
+}
+
+TEST(Tage, ManyBranchesDoNotAliasCatastrophically)
+{
+    // 256 always-taken branches must all be predictable even with
+    // shared tables.
+    Tage t;
+    int wrong_late = 0, total_late = 0;
+    for (int round = 0; round < 40; ++round) {
+        for (int b = 0; b < 256; ++b) {
+            const bool correct =
+                t.predictAndUpdate(0x400000 + 4 * b, true);
+            if (round >= 20) {
+                wrong_late += !correct;
+                ++total_late;
+            }
+        }
+    }
+    EXPECT_LT(wrong_late / static_cast<double>(total_late), 0.02);
+}
+
+TEST(Tage, DeterministicAcrossInstances)
+{
+    Tage a, b;
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t pc = 0x400000 + 4 * rng.nextInt(64);
+        const bool taken = rng.nextBool(0.6);
+        EXPECT_EQ(a.predictAndUpdate(pc, taken),
+                  b.predictAndUpdate(pc, taken));
+    }
+}
+
+TEST(Tage, CountersAreConsistent)
+{
+    Tage t;
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        t.predictAndUpdate(0x400000 + 4 * rng.nextInt(8),
+                           rng.nextBool(0.5));
+    EXPECT_EQ(t.predictions(), 1000u);
+    EXPECT_LE(t.mispredictions(), t.predictions());
+    EXPECT_NEAR(t.mispredictRate(),
+                static_cast<double>(t.mispredictions()) / 1000.0,
+                1e-12);
+}
+
+TEST(Tage, RejectsDegenerateConfig)
+{
+    TageConfig cfg;
+    cfg.numTables = 1;
+    EXPECT_THROW(Tage{cfg}, FatalError);
+    TageConfig cfg2;
+    cfg2.minHistory = 10;
+    cfg2.maxHistory = 10;
+    EXPECT_THROW(Tage{cfg2}, FatalError);
+}
+
+} // namespace wsel

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the TLB and the prefetch engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetcher.hh"
+#include "cache/tlb.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+TEST(Tlb, HitAfterMiss)
+{
+    Tlb tlb(16, 4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1fff)); // same 4 kB page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+    EXPECT_EQ(tlb.accesses(), 4u);
+    EXPECT_EQ(tlb.misses(), 2u);
+    EXPECT_DOUBLE_EQ(tlb.missRate(), 0.5);
+}
+
+TEST(Tlb, LruWithinSet)
+{
+    Tlb tlb(4, 4); // one set, 4 ways
+    for (std::uint64_t p = 0; p < 4; ++p)
+        tlb.access(p << 12);
+    tlb.access(0 << 12); // touch page 0
+    tlb.access(4ULL << 12); // evicts LRU = page 1
+    EXPECT_TRUE(tlb.access(0 << 12));
+    EXPECT_FALSE(tlb.access(1ULL << 12));
+}
+
+TEST(Tlb, CapacityWorksetFits)
+{
+    Tlb tlb(64, 4);
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t p = 0; p < 64; ++p)
+            tlb.access(p << 12);
+    // First round cold, later rounds all hit.
+    EXPECT_EQ(tlb.misses(), 64u);
+}
+
+TEST(Tlb, FlushInvalidates)
+{
+    Tlb tlb(16, 4);
+    tlb.access(0x5000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(Tlb, BadShapesFatal)
+{
+    EXPECT_THROW(Tlb(0, 4), FatalError);
+    EXPECT_THROW(Tlb(10, 4), FatalError); // not divisible
+    EXPECT_THROW(Tlb(24, 4), FatalError); // sets not power of two
+}
+
+TEST(NextLine, FiresOnMissOnly)
+{
+    auto p = makeNextLinePrefetcher(2);
+    std::vector<std::uint64_t> out;
+    p->observe(0x400, 100, false, out);
+    EXPECT_TRUE(out.empty());
+    p->observe(0x400, 100, true, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 101u);
+    EXPECT_EQ(out[1], 102u);
+}
+
+TEST(IpStride, LearnsConstantStride)
+{
+    auto p = makeIpStridePrefetcher(64, 1);
+    std::vector<std::uint64_t> out;
+    const std::uint64_t pc = 0x400100;
+    // Walk lines 10, 13, 16, 19...: stride 3.
+    for (int i = 0; i < 3; ++i) {
+        out.clear();
+        p->observe(pc, 10 + 3 * i, true, out);
+    }
+    // By now confidence reached: next observation prefetches +3.
+    out.clear();
+    p->observe(pc, 19, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 22u);
+}
+
+TEST(IpStride, DoesNotFireOnIrregularPattern)
+{
+    auto p = makeIpStridePrefetcher(64, 1);
+    std::vector<std::uint64_t> out;
+    const std::uint64_t pc = 0x400104;
+    const std::uint64_t lines[] = {5, 100, 7, 220, 3, 90, 11};
+    for (std::uint64_t l : lines)
+        p->observe(pc, l, true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(IpStride, IgnoresZeroPc)
+{
+    auto p = makeIpStridePrefetcher(64, 1);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 10; ++i)
+        p->observe(0, 10 + i, true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stream, DetectsAscendingStream)
+{
+    auto p = makeStreamPrefetcher(4, 2);
+    std::vector<std::uint64_t> out;
+    p->observe(0, 100, true, out); // trainee
+    EXPECT_TRUE(out.empty());
+    p->observe(0, 101, true, out); // confirmed
+    out.clear();
+    p->observe(0, 102, true, out); // running
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 103u);
+    EXPECT_EQ(out[1], 104u);
+}
+
+TEST(Stream, DetectsDescendingStream)
+{
+    auto p = makeStreamPrefetcher(4, 1);
+    std::vector<std::uint64_t> out;
+    p->observe(0, 500, true, out);
+    p->observe(0, 499, true, out);
+    out.clear();
+    p->observe(0, 498, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 497u);
+}
+
+TEST(Stream, HitsDoNotTrain)
+{
+    auto p = makeStreamPrefetcher(4, 1);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 10; ++i)
+        p->observe(0, 100 + i, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stream, TracksMultipleStreams)
+{
+    auto p = makeStreamPrefetcher(4, 1);
+    std::vector<std::uint64_t> out;
+    // Interleave two ascending streams.
+    p->observe(0, 100, true, out);
+    p->observe(0, 5000, true, out);
+    p->observe(0, 101, true, out);
+    p->observe(0, 5001, true, out);
+    out.clear();
+    p->observe(0, 102, true, out);
+    p->observe(0, 5002, true, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 103u);
+    EXPECT_EQ(out[1], 5003u);
+}
+
+TEST(Composite, MergesProposals)
+{
+    std::vector<std::unique_ptr<Prefetcher>> parts;
+    parts.push_back(makeNextLinePrefetcher(1));
+    parts.push_back(makeNextLinePrefetcher(2));
+    auto p = makeCompositePrefetcher(std::move(parts));
+    std::vector<std::uint64_t> out;
+    p->observe(0, 10, true, out);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_NE(p->name().find("next-line"), std::string::npos);
+}
+
+TEST(Null, NeverProposes)
+{
+    auto p = makeNullPrefetcher();
+    std::vector<std::uint64_t> out;
+    p->observe(0x4, 10, true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetchers, ResetClearsLearnedState)
+{
+    auto p = makeIpStridePrefetcher(64, 1);
+    std::vector<std::uint64_t> out;
+    const std::uint64_t pc = 0x40;
+    for (int i = 0; i < 4; ++i)
+        p->observe(pc, 10 + 3 * i, true, out);
+    p->reset();
+    out.clear();
+    p->observe(pc, 100, true, out);
+    EXPECT_TRUE(out.empty()); // must re-learn from scratch
+}
+
+} // namespace wsel

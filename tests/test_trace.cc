@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the synthetic benchmark suite and trace generator.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "stats/logging.hh"
+#include "test_util.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace wsel
+{
+
+TEST(BenchmarkSuite, HasThePapersTwentyTwoBenchmarks)
+{
+    const auto &suite = spec2006Suite();
+    EXPECT_EQ(suite.size(), 22u);
+    // Spot-check Table IV membership.
+    EXPECT_EQ(findProfile("povray").paperClass, MpkiClass::Low);
+    EXPECT_EQ(findProfile("milc").paperClass, MpkiClass::Low);
+    EXPECT_EQ(findProfile("bzip2").paperClass, MpkiClass::Medium);
+    EXPECT_EQ(findProfile("cactusADM").paperClass,
+              MpkiClass::Medium);
+    EXPECT_EQ(findProfile("mcf").paperClass, MpkiClass::High);
+    EXPECT_EQ(findProfile("libquantum").paperClass, MpkiClass::High);
+}
+
+TEST(BenchmarkSuite, ClassCountsMatchTableIV)
+{
+    std::map<MpkiClass, int> counts;
+    for (const auto &p : spec2006Suite())
+        ++counts[p.paperClass];
+    EXPECT_EQ(counts[MpkiClass::Low], 11);
+    EXPECT_EQ(counts[MpkiClass::Medium], 5);
+    EXPECT_EQ(counts[MpkiClass::High], 6);
+}
+
+TEST(BenchmarkSuite, AllProfilesValidate)
+{
+    for (const auto &p : spec2006Suite())
+        EXPECT_NO_THROW(p.validate());
+}
+
+TEST(BenchmarkSuite, UniqueNamesAndSeeds)
+{
+    std::map<std::string, int> names;
+    std::map<std::uint64_t, int> seeds;
+    for (const auto &p : spec2006Suite()) {
+        ++names[p.name];
+        ++seeds[p.seed];
+    }
+    for (const auto &[n, c] : names)
+        EXPECT_EQ(c, 1) << n;
+    for (const auto &[s, c] : seeds)
+        EXPECT_EQ(c, 1) << s;
+}
+
+TEST(BenchmarkSuite, UnknownNameFatal)
+{
+    EXPECT_THROW(findProfile("quake3"), FatalError);
+}
+
+TEST(BenchmarkProfile, ValidationCatchesBadMixture)
+{
+    BenchmarkProfile p = test::lightProfile();
+    p.hotFrac += 0.5; // mixture no longer sums to 1
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(BenchmarkProfile, ParameterHashChangesWithParams)
+{
+    BenchmarkProfile a = test::lightProfile();
+    BenchmarkProfile b = a;
+    EXPECT_EQ(a.parameterHash(), b.parameterHash());
+    b.hotBytes += 64;
+    EXPECT_NE(a.parameterHash(), b.parameterHash());
+    b = a;
+    b.branchBias += 1e-9;
+    EXPECT_NE(a.parameterHash(), b.parameterHash());
+}
+
+TEST(MpkiClass, PaperThresholdsScaled)
+{
+    EXPECT_EQ(classifyMpki(0.5, 1.0), MpkiClass::Low);
+    EXPECT_EQ(classifyMpki(1.0, 1.0), MpkiClass::Medium);
+    EXPECT_EQ(classifyMpki(4.99, 1.0), MpkiClass::Medium);
+    EXPECT_EQ(classifyMpki(5.0, 1.0), MpkiClass::High);
+    // Default scale multiplies the boundaries.
+    EXPECT_EQ(classifyMpki(3.9), MpkiClass::Low);
+    EXPECT_EQ(classifyMpki(4.1), MpkiClass::Medium);
+    EXPECT_EQ(classifyMpki(19.9), MpkiClass::Medium);
+    EXPECT_EQ(classifyMpki(20.1), MpkiClass::High);
+    EXPECT_THROW(classifyMpki(1.0, 0.0), FatalError);
+}
+
+TEST(TraceGenerator, DeterministicStream)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator a(p), b(p);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp &ua = a.next();
+        const MicroOp &ub = b.next();
+        ASSERT_EQ(ua.kind, ub.kind);
+        ASSERT_EQ(ua.addr, ub.addr);
+        ASSERT_EQ(ua.pc, ub.pc);
+        ASSERT_EQ(ua.dep1, ub.dep1);
+        ASSERT_EQ(ua.taken, ub.taken);
+    }
+}
+
+TEST(TraceGenerator, ResetReplaysIdentically)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    std::vector<MicroOp> first;
+    for (int i = 0; i < 5000; ++i)
+        first.push_back(g.next());
+    g.reset();
+    EXPECT_EQ(g.generated(), 0u);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp &u = g.next();
+        ASSERT_EQ(u.kind, first[i].kind);
+        ASSERT_EQ(u.addr, first[i].addr);
+        ASSERT_EQ(u.pc, first[i].pc);
+        ASSERT_EQ(u.taken, first[i].taken);
+    }
+}
+
+TEST(TraceGenerator, InstructionMixTracksProfile)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    const int n = 200000;
+    int loads = 0, stores = 0, branches = 0;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp &u = g.next();
+        loads += u.kind == OpKind::Load;
+        stores += u.kind == OpKind::Store;
+        branches += u.kind == OpKind::Branch;
+    }
+    EXPECT_NEAR(loads / static_cast<double>(n), p.loadFrac, 0.05);
+    EXPECT_NEAR(stores / static_cast<double>(n), p.storeFrac, 0.04);
+    EXPECT_NEAR(branches / static_cast<double>(n), p.branchFrac,
+                0.05);
+}
+
+TEST(TraceGenerator, RegionMixTracksProfile)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    const int n = 200000;
+    std::uint64_t mem = 0, stream = 0, random = 0, chase = 0;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp &u = g.next();
+        if (!u.isMemory())
+            continue;
+        ++mem;
+        if (u.addr >= TraceGenerator::randomBase)
+            ++random;
+        else if (u.addr >= TraceGenerator::streamBase)
+            ++stream;
+        else if (u.addr >= TraceGenerator::chaseBase)
+            ++chase;
+    }
+    ASSERT_GT(mem, 0u);
+    const double m = static_cast<double>(mem);
+    // Loop blocks re-execute, so realized rates wander around the
+    // static binding fractions by the loop-dwell weighting.
+    EXPECT_NEAR(stream / m, p.streamFrac, 0.05);
+    EXPECT_NEAR(random / m, p.randomFrac, 0.05);
+    EXPECT_NEAR(chase / m, p.chaseFrac, 0.05);
+}
+
+TEST(TraceGenerator, AddressesStayInsideRegions)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp &u = g.next();
+        if (!u.isMemory())
+            continue;
+        if (u.addr >= TraceGenerator::randomBase) {
+            EXPECT_LT(u.addr, TraceGenerator::randomBase +
+                                  p.footprintBytes);
+        } else if (u.addr >= TraceGenerator::streamBase) {
+            EXPECT_LT(u.addr, TraceGenerator::streamBase +
+                                  p.footprintBytes);
+        } else if (u.addr >= TraceGenerator::chaseBase) {
+            EXPECT_LT(u.addr,
+                      TraceGenerator::chaseBase + p.chaseBytes);
+        } else if (u.addr >= TraceGenerator::hotBase) {
+            EXPECT_LT(u.addr, TraceGenerator::hotBase + p.hotBytes);
+        } else {
+            EXPECT_GE(u.addr, TraceGenerator::l1Base);
+            EXPECT_LT(u.addr, TraceGenerator::l1Base + p.l1Bytes);
+        }
+    }
+}
+
+TEST(TraceGenerator, ChaseLoadsAreSerialized)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    std::int64_t last_chase = -1;
+    int checked = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp &u = g.next();
+        const bool is_chase =
+            u.kind == OpKind::Load &&
+            u.addr >= TraceGenerator::chaseBase &&
+            u.addr < TraceGenerator::streamBase;
+        if (is_chase) {
+            if (last_chase >= 0 && i - last_chase <= 64) {
+                // dep1 must point exactly at the previous chase load.
+                EXPECT_EQ(u.dep1, i - last_chase);
+                ++checked;
+            }
+            last_chase = i;
+        }
+    }
+    EXPECT_GT(checked, 100);
+}
+
+TEST(TraceGenerator, DependencesPointBackwards)
+{
+    const BenchmarkProfile p = test::heavyProfile();
+    TraceGenerator g(p);
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        const MicroOp &u = g.next();
+        EXPECT_LE(u.dep1, 64);
+        EXPECT_LE(u.dep2, 64);
+    }
+}
+
+TEST(TraceGenerator, BranchOutcomeRateNearBias)
+{
+    BenchmarkProfile p = test::lightProfile();
+    p.branchBias = 0.9;
+    p.branchNoise = 0.0;
+    TraceGenerator g(p);
+    std::uint64_t branches = 0, taken = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const MicroOp &u = g.next();
+        if (u.kind == OpKind::Branch) {
+            ++branches;
+            taken += u.taken;
+        }
+    }
+    ASSERT_GT(branches, 1000u);
+    // Loop sites floor their bias at 0.85; biased sites are near
+    // 0.985/0.015 with direction drawn from the bias, so the overall
+    // taken rate must be high but below 1.
+    const double rate = static_cast<double>(taken) /
+                        static_cast<double>(branches);
+    EXPECT_GT(rate, 0.75);
+    EXPECT_LT(rate, 0.99);
+}
+
+} // namespace wsel

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Compilation check of the umbrella header plus a smoke walk
+ * through the top-level API surface it exposes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wsel.hh"
+
+namespace wsel
+{
+
+TEST(Umbrella, ExposesTheWholePublicSurface)
+{
+    // Touch one symbol from every module the umbrella pulls in.
+    EXPECT_EQ(multisetCount(22, 4), 12650u);       // stats
+    EXPECT_EQ(spec2006Suite().size(), 22u);        // trace
+    EXPECT_EQ(toString(PolicyKind::DRRIP), "DRRIP"); // cache
+    EXPECT_EQ(UncoreConfig::forCores(4, PolicyKind::LRU)
+                  .llcHitLatency,
+              6u);                                 // mem
+    EXPECT_EQ(CoreConfig{}.robSize, 128u);         // cpu
+    EXPECT_EQ(BadcoModel{}.window, 32u);           // badco
+    EXPECT_EQ(toString(ThroughputMetric::HSU), "HSU"); // metrics
+    EXPECT_EQ(requiredSampleSize(1.0), 8u);        // confidence
+    EXPECT_EQ(WorkloadPopulation(22, 2).size(), 253u); // workload
+    Rng rng(1);
+    EXPECT_LT(rng.nextInt(10), 10u);               // rng
+    auto sampler = makeRandomSampler(100);         // sampling
+    EXPECT_EQ(sampler->name(), "random");
+    ReportInput in;                                // report
+    EXPECT_TRUE(in.configs.empty());
+    const std::vector<std::vector<double>> f = {{1.0}, {2.0}};
+    EXPECT_EQ(normalizeFeatures(f).size(), 2u);    // classify
+}
+
+} // namespace wsel

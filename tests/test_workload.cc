@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for workloads and the workload population (ranking,
+ * unranking, enumeration, uniform sampling).
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/workload/workload.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+TEST(Workload, SortsBenchmarks)
+{
+    const Workload w({5, 2, 9, 2});
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w[0], 2u);
+    EXPECT_EQ(w[1], 2u);
+    EXPECT_EQ(w[2], 5u);
+    EXPECT_EQ(w[3], 9u);
+    EXPECT_EQ(w.count(2), 2u);
+    EXPECT_EQ(w.count(7), 0u);
+    EXPECT_EQ(w.key(), "b2+b2+b5+b9");
+}
+
+TEST(Workload, EmptyIsFatal)
+{
+    EXPECT_THROW(Workload(std::vector<std::uint32_t>{}), FatalError);
+}
+
+TEST(WorkloadPopulation, PaperSizes)
+{
+    EXPECT_EQ(WorkloadPopulation(22, 2).size(), 253u);
+    EXPECT_EQ(WorkloadPopulation(22, 4).size(), 12650u);
+    EXPECT_EQ(WorkloadPopulation(22, 8).size(), 4292145u);
+}
+
+TEST(WorkloadPopulation, EnumerationIsLexicographicAndComplete)
+{
+    const WorkloadPopulation pop(5, 3);
+    const auto all = pop.enumerateAll();
+    EXPECT_EQ(all.size(), pop.size());
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1], all[i]);
+    std::set<std::string> keys;
+    for (const auto &w : all)
+        keys.insert(w.key());
+    EXPECT_EQ(keys.size(), all.size());
+}
+
+TEST(WorkloadPopulation, RankUnrankBijectionSmall)
+{
+    const WorkloadPopulation pop(6, 3);
+    const auto all = pop.enumerateAll();
+    for (std::uint64_t i = 0; i < pop.size(); ++i) {
+        const Workload w = pop.unrank(i);
+        EXPECT_EQ(w, all[i]);
+        EXPECT_EQ(pop.rank(w), i);
+    }
+}
+
+/** Bijection sweep over the paper's population shapes. */
+class PopulationShapeTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(PopulationShapeTest, RankUnrankRoundTrip)
+{
+    const auto [b, k] = GetParam();
+    const WorkloadPopulation pop(b, k);
+    Rng rng(101);
+    for (int t = 0; t < 500; ++t) {
+        const std::uint64_t i = rng.nextInt(pop.size());
+        const Workload w = pop.unrank(i);
+        EXPECT_EQ(pop.rank(w), i);
+        EXPECT_EQ(w.size(), static_cast<std::size_t>(k));
+        for (std::size_t c = 0; c < w.size(); ++c)
+            EXPECT_LT(w[c], static_cast<std::uint32_t>(b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperShapes, PopulationShapeTest,
+    ::testing::Values(std::pair{22, 2}, std::pair{22, 4},
+                      std::pair{22, 8}, std::pair{29, 4},
+                      std::pair{3, 5}),
+    [](const auto &info) {
+        return "B" + std::to_string(info.param.first) + "_K" +
+               std::to_string(info.param.second);
+    });
+
+TEST(WorkloadPopulation, UnrankBoundary)
+{
+    const WorkloadPopulation pop(22, 4);
+    const Workload first = pop.unrank(0);
+    const Workload last = pop.unrank(pop.size() - 1);
+    EXPECT_EQ(first, Workload({0, 0, 0, 0}));
+    EXPECT_EQ(last, Workload({21, 21, 21, 21}));
+    EXPECT_THROW(pop.unrank(pop.size()), FatalError);
+}
+
+TEST(WorkloadPopulation, RankRejectsForeignWorkloads)
+{
+    const WorkloadPopulation pop(5, 2);
+    EXPECT_THROW(pop.rank(Workload({0, 7})), FatalError);
+    EXPECT_THROW(pop.rank(Workload({0, 1, 2})), FatalError);
+}
+
+TEST(WorkloadPopulation, EveryBenchmarkEquallyFrequent)
+{
+    // Paper §VI-A: over the full population every benchmark occurs
+    // the same number of times.
+    const WorkloadPopulation pop(7, 3);
+    std::map<std::uint32_t, std::uint64_t> counts;
+    for (const auto &w : pop.enumerateAll())
+        for (std::uint32_t b : w.benchmarks())
+            ++counts[b];
+    const std::uint64_t expected = pop.occurrencesPerBenchmark();
+    for (std::uint32_t b = 0; b < 7; ++b)
+        EXPECT_EQ(counts[b], expected);
+}
+
+TEST(WorkloadPopulation, UniformSamplingIsUnbiased)
+{
+    const WorkloadPopulation pop(4, 2); // 10 workloads
+    Rng rng(7);
+    std::map<std::uint64_t, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[pop.rank(pop.sampleUniform(rng))];
+    EXPECT_EQ(counts.size(), pop.size());
+    for (const auto &[idx, c] : counts)
+        EXPECT_NEAR(c / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(WorkloadPopulation, EnumerationLimitGuards)
+{
+    const WorkloadPopulation pop(22, 8);
+    EXPECT_THROW(pop.enumerateAll(), FatalError);
+}
+
+} // namespace wsel

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * trace_dump: print (or CSV-dump) the first N µops of a benchmark's
+ * deterministic trace, for debugging profiles and reproducing
+ * simulator inputs.
+ *
+ *   trace_dump <benchmark> [count] [--csv]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "stats/logging.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace
+{
+
+using namespace wsel;
+
+const char *
+kindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::IntAlu:
+        return "alu";
+      case OpKind::FpAlu:
+        return "fp";
+      case OpKind::Load:
+        return "load";
+      case OpKind::Store:
+        return "store";
+      case OpKind::Branch:
+        return "branch";
+    }
+    return "?";
+}
+
+const char *
+regionName(std::uint64_t addr)
+{
+    if (addr == 0)
+        return "-";
+    if (addr >= TraceGenerator::randomBase)
+        return "random";
+    if (addr >= TraceGenerator::streamBase)
+        return "stream";
+    if (addr >= TraceGenerator::chaseBase)
+        return "chase";
+    if (addr >= TraceGenerator::hotBase)
+        return "hot";
+    return "l1";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsel;
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: trace_dump <benchmark> [count] "
+                     "[--csv]\n  benchmarks:");
+        for (const auto &p : spec2006Suite())
+            std::fprintf(stderr, " %s", p.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    try {
+        const BenchmarkProfile &p = findProfile(argv[1]);
+        const std::uint64_t count =
+            argc > 2 && std::strncmp(argv[2], "--", 2) != 0
+                ? std::strtoull(argv[2], nullptr, 10)
+                : 64;
+        bool csv = false;
+        for (int i = 2; i < argc; ++i)
+            csv = csv || std::strcmp(argv[i], "--csv") == 0;
+
+        TraceGenerator gen(p);
+        if (csv)
+            std::printf("seq,pc,kind,addr,region,dep1,dep2,latency,"
+                        "taken\n");
+        else
+            std::printf("%-8s %-10s %-7s %-12s %-7s %5s %5s %4s "
+                        "%6s\n",
+                        "seq", "pc", "kind", "addr", "region",
+                        "dep1", "dep2", "lat", "taken");
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const MicroOp &u = gen.next();
+            if (csv) {
+                std::printf("%llu,0x%llx,%s,0x%llx,%s,%u,%u,%u,%d\n",
+                            static_cast<unsigned long long>(i),
+                            static_cast<unsigned long long>(u.pc),
+                            kindName(u.kind),
+                            static_cast<unsigned long long>(u.addr),
+                            regionName(u.addr), u.dep1, u.dep2,
+                            u.latency, u.taken ? 1 : 0);
+            } else {
+                std::printf("%-8llu 0x%-8llx %-7s 0x%-10llx %-7s "
+                            "%5u %5u %4u %6s\n",
+                            static_cast<unsigned long long>(i),
+                            static_cast<unsigned long long>(u.pc),
+                            kindName(u.kind),
+                            static_cast<unsigned long long>(u.addr),
+                            regionName(u.addr), u.dep1, u.dep2,
+                            u.latency,
+                            u.kind == OpKind::Branch
+                                ? (u.taken ? "T" : "NT")
+                                : "-");
+            }
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * wsel command-line interface: drive the paper's methodology from a
+ * shell.
+ *
+ *   wsel_cli characterize [--cores K] [--insns N]
+ *       per-benchmark features and automatic vs Table-IV classes
+ *   wsel_cli campaign --out FILE [--cores K] [--insns N]
+ *       [--policies LRU,DIP,...] [--limit N]
+ *       run a BADCO population campaign and save it as CSV
+ *   wsel_cli analyze --campaign FILE --x POL --y POL
+ *       [--metric IPCT|WSU|HSU|GSU]
+ *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
+ *   wsel_cli select --campaign FILE --x POL --y POL --size W
+ *       [--metric M] [--method random|balanced|bench|workload]
+ *       emit a workload sample for a detailed simulator
+ *   wsel_cli confidence --campaign FILE --x POL --y POL --size W
+ *       [--metric M] [--draws D]
+ *       model vs empirical confidence at the given sample size
+ *   wsel_cli simulate --workload b1+b2+... [--policy LRU]
+ *       [--insns N] [--detailed 1]
+ *       run one multiprogram workload through the simulators
+ *   wsel_cli report --campaign FILE --out FILE.md
+ *       full pairwise markdown analysis of a saved campaign
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/classify/classify.hh"
+#include "core/report/report.hh"
+#include "core/confidence/confidence.hh"
+#include "core/sampling/sampling.hh"
+#include "sim/campaign.hh"
+#include "stats/logging.hh"
+#include "sim/characterize.hh"
+#include "sim/model_store.hh"
+#include "sim/multicore.hh"
+
+namespace
+{
+
+using namespace wsel;
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                WSEL_FATAL("expected --option, got '" << key << "'");
+            key = key.substr(2);
+            if (i + 1 >= argc)
+                WSEL_FATAL("missing value for --" << key);
+            kv_[key] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &def) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? def : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t def) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end()
+                   ? def
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    bool has(const std::string &key) const
+    {
+        return kv_.count(key) != 0;
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+std::vector<PolicyKind>
+parsePolicyList(const std::string &s)
+{
+    std::vector<PolicyKind> out;
+    std::string cur;
+    for (char c : s + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(parsePolicyKind(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    return out;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const auto &suite = spec2006Suite();
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+
+    std::printf("characterizing %zu benchmarks (%llu uops, %u-core "
+                "uncore)...\n\n",
+                suite.size(),
+                static_cast<unsigned long long>(insns), cores);
+    const auto feats =
+        characterizeSuite(suite, CoreConfig{}, ucfg, insns);
+
+    Rng rng(1);
+    const auto auto_cls = classifyByFeatures(
+        featureMatrix(feats), 3, BenchmarkFeatures::kLlcMpkiColumn,
+        rng);
+
+    std::printf("%-12s %6s %8s %8s %7s %8s %8s %8s\n", "benchmark",
+                "IPC", "dl1MPKI", "llcMPKI", "brMPR", "tableIV",
+                "mpki-cls", "auto-cls");
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &f = feats[i];
+        std::printf("%-12s %6.3f %8.2f %8.2f %6.1f%% %8s %8s %8u\n",
+                    f.name.c_str(), f.ipc, f.dl1Mpki, f.llcMpki,
+                    100.0 * f.branchMispredictRate,
+                    toString(suite[i].paperClass).c_str(),
+                    toString(classifyMpki(f.llcMpki)).c_str(),
+                    auto_cls[i]);
+    }
+    return 0;
+}
+
+int
+cmdCampaign(const Args &args)
+{
+    if (!args.has("out"))
+        WSEL_FATAL("campaign requires --out FILE");
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const std::size_t limit =
+        static_cast<std::size_t>(args.getU64("limit", 0));
+    const auto policies = parsePolicyList(
+        args.get("policies", "LRU,RND,FIFO,DIP,DRRIP"));
+
+    const auto &suite = spec2006Suite();
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+    std::vector<Workload> workloads;
+    if (limit == 0 || limit >= pop.size()) {
+        workloads = pop.enumerateAll();
+    } else {
+        Rng rng(2013);
+        for (std::size_t i :
+             rng.sampleWithoutReplacement(
+                 static_cast<std::size_t>(pop.size()), limit))
+            workloads.push_back(pop.unrank(i));
+    }
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, insns, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    CampaignOptions opts;
+    opts.verbose = true;
+    const Campaign c = runBadcoCampaign(workloads, policies, cores,
+                                        insns, store, suite, opts);
+    c.save(args.get("out", ""));
+    std::printf("saved %zu workloads x %zu policies to %s "
+                "(%.1f MIPS)\n",
+                c.workloads.size(), c.policies.size(),
+                args.get("out", "").c_str(), c.mips());
+    return 0;
+}
+
+struct PairData
+{
+    Campaign campaign;
+    ThroughputMetric metric;
+    std::vector<double> tx, ty, d;
+};
+
+PairData
+loadPair(const Args &args)
+{
+    if (!args.has("campaign"))
+        WSEL_FATAL("this command requires --campaign FILE");
+    PairData p{Campaign::load(args.get("campaign", "")),
+               parseMetric(args.get("metric", "IPCT")),
+               {},
+               {},
+               {}};
+    const PolicyKind x = parsePolicyKind(args.get("x", "LRU"));
+    const PolicyKind y = parsePolicyKind(args.get("y", "DIP"));
+    p.tx = p.campaign.perWorkloadThroughputs(
+        p.campaign.policyIndex(x), p.metric);
+    p.ty = p.campaign.perWorkloadThroughputs(
+        p.campaign.policyIndex(y), p.metric);
+    p.d = perWorkloadDifferences(p.metric, p.tx, p.ty);
+    return p;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const PairData p = loadPair(args);
+    const DifferenceStats ds = differenceStats(p.d);
+    std::printf("workloads: %zu   metric: %s\n", p.tx.size(),
+                toString(p.metric).c_str());
+    std::printf("mean d(w) = %+.6f  sigma = %.6f  cv = %.3f  "
+                "1/cv = %.3f\n",
+                ds.mu, ds.sigma, ds.cv, ds.inverseCv());
+    std::printf("eq.(8) random-sample size: %zu\n",
+                requiredSampleSize(ds.cv));
+    switch (classifyCv(ds.cv)) {
+      case CvRegime::Equivalent:
+        std::printf("regime: |cv| > 10 -> machines are "
+                    "throughput-equivalent\n");
+        break;
+      case CvRegime::RandomSampling:
+        std::printf("regime: |cv| < 2 -> (balanced) random "
+                    "sampling suffices\n");
+        break;
+      case CvRegime::Stratification:
+        std::printf("regime: 2 <= |cv| <= 10 -> use workload "
+                    "stratification\n");
+        break;
+    }
+    // Whole-population estimates with CIs for both configs.
+    Sample whole;
+    whole.strata.resize(1);
+    whole.strata[0].weight = 1.0;
+    for (std::size_t i = 0; i < p.tx.size(); ++i)
+        whole.strata[0].indices.push_back(i);
+    const auto ex = estimateThroughput(whole, p.metric, p.tx);
+    const auto ey = estimateThroughput(whole, p.metric, p.ty);
+    std::printf("T_x = %.4f [%.4f, %.4f]   T_y = %.4f "
+                "[%.4f, %.4f]\n",
+                ex.value, ex.lo, ex.hi, ey.value, ey.lo, ey.hi);
+    return 0;
+}
+
+int
+cmdSelect(const Args &args)
+{
+    const PairData p = loadPair(args);
+    const std::size_t size = args.getU64("size", 30);
+    const std::string method = args.get("method", "workload");
+    Rng rng(args.getU64("seed", 1));
+
+    std::unique_ptr<Sampler> sampler;
+    if (method == "random") {
+        sampler = makeRandomSampler(p.tx.size());
+    } else if (method == "balanced") {
+        const WorkloadPopulation pop(
+            static_cast<std::uint32_t>(
+                p.campaign.benchmarks.size()),
+            p.campaign.cores);
+        if (p.campaign.workloads.size() != pop.size())
+            WSEL_FATAL("balanced sampling needs a full-population "
+                       "campaign");
+        std::vector<std::size_t> identity(pop.size());
+        for (std::size_t i = 0; i < identity.size(); ++i)
+            identity[i] = i;
+        sampler = makeBalancedRandomSampler(pop, identity);
+    } else if (method == "bench") {
+        std::vector<std::uint32_t> cls;
+        for (const auto &name : p.campaign.benchmarks)
+            cls.push_back(static_cast<std::uint32_t>(
+                findProfile(name).paperClass));
+        sampler = makeBenchmarkStratifiedSampler(
+            p.campaign.workloads, cls, 3);
+    } else if (method == "workload") {
+        sampler = makeWorkloadStratifiedSampler(p.d, {});
+    } else {
+        WSEL_FATAL("unknown method '" << method << "'");
+    }
+
+    const Sample s = sampler->draw(size, rng);
+    std::printf("# method=%s size=%zu metric=%s\n",
+                sampler->name().c_str(), s.totalSize(),
+                toString(p.metric).c_str());
+    std::printf("stratum,weight,benchmarks\n");
+    for (std::size_t h = 0; h < s.strata.size(); ++h) {
+        for (std::size_t idx : s.strata[h].indices) {
+            const Workload &w = p.campaign.workloads[idx];
+            std::printf("%zu,%.0f,", h, s.strata[h].weight);
+            for (std::size_t k = 0; k < w.size(); ++k)
+                std::printf("%s%s", k ? "+" : "",
+                            p.campaign.benchmarks[w[k]].c_str());
+            std::printf("\n");
+        }
+    }
+    return 0;
+}
+
+int
+cmdConfidence(const Args &args)
+{
+    const PairData p = loadPair(args);
+    const std::size_t size = args.getU64("size", 30);
+    const std::size_t draws = args.getU64("draws", 2000);
+    const DifferenceStats ds = differenceStats(p.d);
+    Rng rng(args.getU64("seed", 1));
+    auto rnd = makeRandomSampler(p.tx.size());
+    auto strat = makeWorkloadStratifiedSampler(p.d, {});
+    std::printf("W=%zu  model(eq.5)=%.4f  random=%.4f  "
+                "workload-strata=%.4f\n",
+                size, modelConfidence(ds.cv, size),
+                empiricalConfidence(*rnd, size, draws, p.metric,
+                                    p.tx, p.ty, rng),
+                empiricalConfidence(*strat, size, draws, p.metric,
+                                    p.tx, p.ty, rng));
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (!args.has("workload"))
+        WSEL_FATAL("simulate requires --workload b1+b2+...");
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const PolicyKind policy =
+        parsePolicyKind(args.get("policy", "LRU"));
+    const bool run_detailed = args.getU64("detailed", 1) != 0;
+
+    const auto &suite = spec2006Suite();
+    std::vector<std::uint32_t> ids;
+    {
+        std::string cur;
+        for (char c : args.get("workload", "") + "+") {
+            if (c == '+') {
+                if (cur.empty())
+                    continue;
+                bool found = false;
+                for (std::uint32_t i = 0; i < suite.size(); ++i) {
+                    if (suite[i].name == cur) {
+                        ids.push_back(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    WSEL_FATAL("unknown benchmark '" << cur << "'");
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+    }
+    const Workload w(ids);
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(w.size());
+    const UncoreConfig ucfg = UncoreConfig::forCores(
+        cores == 1 ? 2 : cores, policy);
+
+    BadcoModelStore store(CoreConfig{}, insns, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    BadcoMulticoreSim bad(ucfg, cores, insns);
+    const SimResult rb = bad.run(w, store.getSuite(suite));
+    std::printf("%-12s %10s %10s\n", "benchmark", "badco",
+                run_detailed ? "detailed" : "");
+    std::vector<double> det_ipc(cores, 0.0);
+    if (run_detailed) {
+        DetailedMulticoreSim det(CoreConfig{}, ucfg, cores, insns);
+        const SimResult rd = det.run(w, suite);
+        det_ipc = rd.ipc;
+    }
+    for (std::uint32_t k = 0; k < cores; ++k) {
+        std::printf("%-12s %10.3f", suite[w[k]].name.c_str(),
+                    rb.ipc[k]);
+        if (run_detailed)
+            std::printf(" %10.3f", det_ipc[k]);
+        std::printf("\n");
+    }
+    std::printf("policy %s, %llu uops/thread, badco %.1f MIPS\n",
+                toString(policy).c_str(),
+                static_cast<unsigned long long>(insns), rb.mips());
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    if (!args.has("campaign") || !args.has("out"))
+        WSEL_FATAL("report requires --campaign FILE --out FILE.md");
+    const Campaign c = Campaign::load(args.get("campaign", ""));
+    ReportInput in;
+    in.title = "wsel campaign report (" + c.simulator + ", " +
+               std::to_string(c.cores) + " cores, " +
+               std::to_string(c.workloads.size()) + " workloads)";
+    for (PolicyKind p : c.policies)
+        in.configs.push_back(toString(p));
+    for (ThroughputMetric m : paperMetrics()) {
+        ReportInput::MetricBlock mb;
+        mb.metric = m;
+        for (std::size_t p = 0; p < c.policies.size(); ++p)
+            mb.t.push_back(c.perWorkloadThroughputs(p, m));
+        in.metrics.push_back(std::move(mb));
+    }
+    writeMarkdownReport(in, args.get("out", ""));
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: wsel_cli <characterize|campaign|analyze|select|"
+        "confidence|simulate|report> [--options]\n"
+        "see the file header of tools/wsel_cli.cc for details\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        const Args args(argc, argv);
+        if (cmd == "characterize")
+            return cmdCharacterize(args);
+        if (cmd == "campaign")
+            return cmdCampaign(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
+        if (cmd == "select")
+            return cmdSelect(args);
+        if (cmd == "confidence")
+            return cmdConfidence(args);
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+        if (cmd == "report")
+            return cmdReport(args);
+        return usage();
+    } catch (const wsel::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
