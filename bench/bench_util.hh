@@ -12,9 +12,18 @@
  *    (0 = the full 12650 workloads, the default).
  *  - WSEL_POP8: 8-core BADCO sample size (default 1500; paper 10000).
  *  - WSEL_DETAILED_WORKLOADS: detailed-simulator sample size for
- *    4 and 8 cores (default 60; paper 250).
+ *    4 cores (default 60; paper 250); WSEL_DETAILED_WORKLOADS8 for
+ *    8 cores (default 24).
  *  - WSEL_DRAWS: resampling count for empirical confidence
  *    (default 2000; paper 1000-10000).
+ *
+ * Campaigns acquired here are fault-tolerant (docs/ROBUSTNESS.md):
+ * they checkpoint per-workload progress to a `*.partial` journal
+ * and resume after a kill, validate cached files with a checksum
+ * and a configuration fingerprint (so changing WSEL_INSNS, the
+ * policy list, or the suite re-simulates instead of silently
+ * serving stale numbers), and quarantine corrupt caches to
+ * `*.corrupt` instead of aborting.
  */
 
 #ifndef WSEL_BENCH_BENCH_UTIL_HH
@@ -133,8 +142,10 @@ badcoPopulationCampaign(std::uint32_t cores, std::size_t limit,
     const std::string key = "badco_pop_k" + std::to_string(cores) +
                             "_n" + std::to_string(limit) + "_u" +
                             std::to_string(target);
-    return cachedCampaign(key, [&]() {
-        const auto &suite = spec2006Suite();
+    const auto &suite = spec2006Suite();
+    const std::uint64_t fp = campaignFingerprint(
+        "badco", cores, target, paperPolicies(), suite);
+    return cachedCampaign(key, fp, [&](const std::string &journal) {
         const WorkloadPopulation pop(
             static_cast<std::uint32_t>(suite.size()), cores);
         const auto workloads = subsamplePopulation(pop, limit);
@@ -145,6 +156,7 @@ badcoPopulationCampaign(std::uint32_t cores, std::size_t limit,
                               defaultCacheDir());
         CampaignOptions opts;
         opts.verbose = verbose;
+        opts.journalPath = journal;
         std::fprintf(stderr,
                      "[wsel] simulating %zu x %zu workloads "
                      "(badco, %u cores)...\n",
@@ -195,14 +207,17 @@ detailedSampleCampaign(std::uint32_t cores, bool verbose = true)
     const std::string key = "detailed_k" + std::to_string(cores) +
                             "_n" + std::to_string(n) + "_u" +
                             std::to_string(target);
-    return cachedCampaign(key, [&]() {
-        const auto &suite = spec2006Suite();
+    const auto &suite = spec2006Suite();
+    const std::uint64_t fp = campaignFingerprint(
+        "detailed", cores, target, paperPolicies(), suite);
+    return cachedCampaign(key, fp, [&](const std::string &journal) {
         const WorkloadPopulation pop(
             static_cast<std::uint32_t>(suite.size()), cores);
         const auto workloads = subsamplePopulation(pop, n);
         CampaignOptions opts;
         opts.verbose = verbose;
         opts.progressEvery = 50;
+        opts.journalPath = journal;
         std::fprintf(stderr,
                      "[wsel] simulating %zu x %zu workloads "
                      "(detailed, %u cores; this is the slow "

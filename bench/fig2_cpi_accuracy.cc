@@ -41,10 +41,15 @@ main()
             "badco_on_detailed_sample_k" + std::to_string(cores) +
             "_n" + std::to_string(det.workloads.size()) + "_u" +
             std::to_string(t0);
-        const Campaign bad = cachedCampaign(key, [&]() {
-            return runBadcoCampaign(det.workloads, det.policies,
-                                    cores, t0, store, suite, opts);
-        });
+        const std::uint64_t fp = campaignFingerprint(
+            "badco", cores, t0, det.policies, suite);
+        const Campaign bad = cachedCampaign(
+            key, fp, [&](const std::string &journal) {
+                opts.journalPath = journal;
+                return runBadcoCampaign(det.workloads, det.policies,
+                                        cores, t0, store, suite,
+                                        opts);
+            });
 
         // CPI scatter for the LRU baseline (the paper plots one
         // point per benchmark per combination).

@@ -35,11 +35,16 @@ main()
         "badco_on_detailed_sample_k" + std::to_string(cores) +
         "_n" + std::to_string(det.workloads.size()) + "_u" +
         std::to_string(target);
-    const Campaign bad_sample = cachedCampaign(key, [&]() {
-        CampaignOptions opts;
-        return runBadcoCampaign(det.workloads, det.policies, cores,
-                                target, store, suite, opts);
-    });
+    const std::uint64_t fp = campaignFingerprint(
+        "badco", cores, target, det.policies, suite);
+    const Campaign bad_sample = cachedCampaign(
+        key, fp, [&](const std::string &journal) {
+            CampaignOptions opts;
+            opts.journalPath = journal;
+            return runBadcoCampaign(det.workloads, det.policies,
+                                    cores, target, store, suite,
+                                    opts);
+        });
 
     const Campaign bad_pop = standardBadcoCampaign(cores);
 

@@ -36,7 +36,10 @@ main()
                 static_cast<unsigned long long>(pop.size()));
     const Campaign c = cachedCampaign(
         "example_metric_study_k2_u" + std::to_string(target),
-        [&]() {
+        campaignFingerprint("badco", cores, target,
+                            paperPolicies(), suite),
+        [&](const std::string &journal) {
+            opts.journalPath = journal;
             return runBadcoCampaign(pop.enumerateAll(),
                                     paperPolicies(), cores, target,
                                     store, suite, opts);

@@ -76,7 +76,11 @@ main(int argc, char **argv)
     CampaignOptions opts;
     opts.verbose = true;
     const Campaign c = cachedCampaign(
-        "example_selection_k4_u" + std::to_string(target), [&]() {
+        "example_selection_k4_u" + std::to_string(target),
+        campaignFingerprint("badco", cores, target,
+                            paperPolicies(), suite),
+        [&](const std::string &journal) {
+            opts.journalPath = journal;
             return runBadcoCampaign(workloads, paperPolicies(),
                                     cores, target, store, suite,
                                     opts);

@@ -5,10 +5,12 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "cpu/detailed_core.hh"
 #include "mem/uncore.hh"
 #include "stats/logging.hh"
+#include "stats/persist.hh"
 #include "trace/trace_generator.hh"
 
 namespace wsel
@@ -245,8 +247,15 @@ BadcoModel::load(std::istream &is)
         WSEL_FATAL("not a BADCO model stream (bad magic)");
     BadcoModel m;
     const std::uint32_t name_len = get<std::uint32_t>(is);
+    // Bound-check counts before allocating: a bit-flipped length
+    // field must not turn into a multi-gigabyte resize.
+    if (name_len > 4096)
+        WSEL_FATAL("BADCO model stream has implausible name length "
+                   << name_len);
     m.benchmark.resize(name_len);
     is.read(m.benchmark.data(), name_len);
+    if (!is)
+        WSEL_FATAL("truncated BADCO model stream");
     m.traceUops = get<std::uint64_t>(is);
     m.intrinsicCycles = get<std::uint64_t>(is);
     m.tailWeight = get<std::uint64_t>(is);
@@ -254,6 +263,9 @@ BadcoModel::load(std::istream &is)
     m.loadCount = get<std::uint64_t>(is);
     m.window = get<std::uint32_t>(is);
     const std::uint64_t n = get<std::uint64_t>(is);
+    if (n > (1ULL << 32))
+        WSEL_FATAL("BADCO model stream has implausible node count "
+                   << n);
     m.nodes.resize(n);
     for (BadcoNode &node : m.nodes) {
         node.weight = get<std::uint32_t>(is);
@@ -270,10 +282,11 @@ BadcoModel::load(std::istream &is)
 void
 BadcoModel::saveFile(const std::string &path) const
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        WSEL_FATAL("cannot open '" << path << "' for writing");
+    // Serialize in memory and replace the file atomically so a
+    // crash mid-save cannot leave a half-written model behind.
+    std::ostringstream os(std::ios::binary);
     save(os);
+    persist::atomicWriteFile(path, os.str());
 }
 
 BadcoModel

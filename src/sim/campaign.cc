@@ -1,10 +1,20 @@
 #include "sim/campaign.hh"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "stats/logging.hh"
+#include "stats/persist.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define WSEL_HAVE_POSIX_IO 1
+#endif
 
 namespace wsel
 {
@@ -36,12 +46,560 @@ progress(const CampaignOptions &opts, const std::string &what,
     if (!opts.verbose || opts.progressEvery == 0)
         return;
     if (done % opts.progressEvery == 0 || done == total) {
-        std::cerr << "  [" << what << "] " << done << "/" << total
-                  << "\n";
+        std::ostringstream os;
+        os << "  [" << what << "] " << done << "/" << total;
+        logLine(os.str());
     }
 }
 
+/**
+ * Strict unsigned parse: digits only, fully consumed.  Unlike raw
+ * std::stoull this rejects "-1" and "12x" and never leaks
+ * std::invalid_argument/std::out_of_range to the caller.
+ */
+std::uint64_t
+parseU64(const std::string &s, const char *what,
+         std::size_t line_no)
+{
+    if (s.empty() || s.size() > 20)
+        throw persist::CacheInvalid(
+            std::string("malformed ") + what + " '" + s +
+            "' at line " + std::to_string(line_no));
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            throw persist::CacheInvalid(
+                std::string("malformed ") + what + " '" + s +
+                "' at line " + std::to_string(line_no));
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+/** Strict double parse; CacheInvalid instead of raw std exceptions. */
+double
+parseDouble(const std::string &s, const char *what,
+            std::size_t line_no)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument("trailing garbage");
+        return v;
+    } catch (const std::exception &) {
+        throw persist::CacheInvalid(
+            std::string("malformed ") + what + " '" + s +
+            "' at line " + std::to_string(line_no));
+    }
+}
+
+std::vector<double>
+parseDoubleList(const std::string &s, const char *what,
+                std::size_t line_no)
+{
+    std::vector<double> out;
+    for (const std::string &v : splitOn(s, ';'))
+        out.push_back(parseDouble(v, what, line_no));
+    return out;
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw persist::CacheInvalid("cannot open for reading");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/** Sequential line reader tracking 1-based line numbers. */
+class LineReader
+{
+  public:
+    explicit LineReader(const std::string &text) : is_(text) {}
+
+    bool
+    next(std::string &line)
+    {
+        if (!std::getline(is_, line))
+            return false;
+        ++lineNo_;
+        return true;
+    }
+
+    std::size_t lineNo() const { return lineNo_; }
+
+  private:
+    std::istringstream is_;
+    std::size_t lineNo_ = 0;
+};
+
+/**
+ * Parse a v1/v2 campaign body (footer already stripped and
+ * verified for v2).  Throws persist::CacheInvalid on any problem.
+ */
+Campaign
+parseCampaignBody(const std::string &body, int version)
+{
+    Campaign c;
+    c.formatVersion = version;
+    LineReader reader(body);
+    std::string line;
+    auto next = [&](const char *tag) -> std::string {
+        if (!reader.next(line))
+            throw persist::CacheInvalid(
+                std::string("truncated: missing '") + tag +
+                "' line");
+        const auto f = splitOn(line, ',');
+        if (f.size() < 2 || f[0] != tag)
+            throw persist::CacheInvalid(
+                std::string("expected '") + tag + "' at line " +
+                std::to_string(reader.lineNo()) + ", got '" + line +
+                "'");
+        return f[1];
+    };
+    next("wsel-campaign"); // already validated by the caller
+    if (version >= 2) {
+        if (!persist::parseHex(next("fingerprint"), c.fingerprint))
+            throw persist::CacheInvalid(
+                "malformed fingerprint at line " +
+                std::to_string(reader.lineNo()));
+    }
+    c.simulator = next("simulator");
+    c.cores = static_cast<std::uint32_t>(
+        parseU64(next("cores"), "core count", reader.lineNo()));
+    if (c.cores == 0 || c.cores > 1024)
+        throw persist::CacheInvalid(
+            "implausible core count " + std::to_string(c.cores));
+    c.targetUops =
+        parseU64(next("target"), "target uops", reader.lineNo());
+    c.simSeconds = parseDouble(next("simseconds"), "simseconds",
+                               reader.lineNo());
+    c.instructions = parseU64(next("instructions"), "instructions",
+                              reader.lineNo());
+    try {
+        for (const std::string &p : splitOn(next("policies"), ';'))
+            c.policies.push_back(parsePolicyKind(p));
+    } catch (const FatalError &e) {
+        throw persist::CacheInvalid(
+            std::string("unknown policy at line ") +
+            std::to_string(reader.lineNo()) + ": " + e.what());
+    }
+    if (c.policies.empty())
+        throw persist::CacheInvalid("empty policy list");
+    for (const std::string &b : splitOn(next("benchmarks"), ';'))
+        c.benchmarks.push_back(b);
+    c.refIpc = parseDoubleList(next("refipc"), "reference IPC",
+                               reader.lineNo());
+    if (c.refIpc.size() != c.benchmarks.size())
+        throw persist::CacheInvalid(
+            "refipc count " + std::to_string(c.refIpc.size()) +
+            " does not match " + std::to_string(c.benchmarks.size()) +
+            " benchmarks");
+    const std::uint64_t nw64 = parseU64(
+        next("nworkloads"), "workload count", reader.lineNo());
+    if (nw64 > 50'000'000)
+        throw persist::CacheInvalid(
+            "implausible workload count " + std::to_string(nw64));
+    const std::size_t nw = static_cast<std::size_t>(nw64);
+    c.workloads.reserve(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+        if (!reader.next(line))
+            throw persist::CacheInvalid("truncated workload list");
+        const auto f = splitOn(line, ',');
+        if (f.size() != 2 || f[0] != "w")
+            throw persist::CacheInvalid(
+                "bad workload line '" + line + "' at line " +
+                std::to_string(reader.lineNo()));
+        std::vector<std::uint32_t> benches;
+        for (const std::string &b : splitOn(f[1], ';')) {
+            const std::uint64_t idx = parseU64(
+                b, "benchmark index", reader.lineNo());
+            if (idx >= c.benchmarks.size())
+                throw persist::CacheInvalid(
+                    "benchmark index " + std::to_string(idx) +
+                    " out of range at line " +
+                    std::to_string(reader.lineNo()));
+            benches.push_back(static_cast<std::uint32_t>(idx));
+        }
+        if (benches.size() != c.cores)
+            throw persist::CacheInvalid(
+                "workload at line " +
+                std::to_string(reader.lineNo()) + " has " +
+                std::to_string(benches.size()) + " slots, campaign "
+                "has " + std::to_string(c.cores) + " cores");
+        c.workloads.push_back(Workload(std::move(benches)));
+    }
+    c.ipc.assign(c.policies.size(),
+                 std::vector<std::vector<double>>(nw));
+    std::size_t rows = 0;
+    while (reader.next(line)) {
+        if (line.empty())
+            continue;
+        const auto f = splitOn(line, ',');
+        if (f.size() != 4 || f[0] != "i")
+            throw persist::CacheInvalid(
+                "bad ipc line '" + line + "' at line " +
+                std::to_string(reader.lineNo()));
+        const std::size_t p = static_cast<std::size_t>(
+            parseU64(f[1], "policy index", reader.lineNo()));
+        const std::size_t w = static_cast<std::size_t>(
+            parseU64(f[2], "workload index", reader.lineNo()));
+        if (p >= c.policies.size() || w >= nw)
+            throw persist::CacheInvalid(
+                "ipc line out of range at line " +
+                std::to_string(reader.lineNo()));
+        if (!c.ipc[p][w].empty())
+            throw persist::CacheInvalid(
+                "duplicate ipc cell (" + std::to_string(p) + "," +
+                std::to_string(w) + ") at line " +
+                std::to_string(reader.lineNo()));
+        std::vector<double> ipcs =
+            parseDoubleList(f[3], "IPC value", reader.lineNo());
+        if (ipcs.size() != c.cores)
+            throw persist::CacheInvalid(
+                "ipc cell at line " +
+                std::to_string(reader.lineNo()) + " has " +
+                std::to_string(ipcs.size()) + " values, expected " +
+                std::to_string(c.cores));
+        c.ipc[p][w] = std::move(ipcs);
+        ++rows;
+    }
+    if (rows != c.policies.size() * nw)
+        throw persist::CacheInvalid(
+            "has " + std::to_string(rows) + " ipc rows, expected " +
+            std::to_string(c.policies.size() * nw));
+    return c;
+}
+
+/** Full validated load; throws persist::CacheInvalid on problems. */
+Campaign
+loadImpl(const std::string &path)
+{
+    const std::string text = slurpFile(path);
+    const std::size_t eol = text.find('\n');
+    const std::string first =
+        text.substr(0, eol == std::string::npos ? text.size() : eol);
+    int version = 0;
+    if (first == "wsel-campaign,v1")
+        version = 1;
+    else if (first == "wsel-campaign,v2")
+        version = 2;
+    else
+        throw persist::CacheInvalid(
+            "not a wsel campaign file (first line '" + first + "')");
+    std::string body = text;
+    if (version >= 2) {
+        // The footer must be the last line:
+        //   footer,<ipc-row-count>,<fnv1a of all preceding bytes>
+        const std::size_t pos = text.rfind("\nfooter,");
+        if (pos == std::string::npos)
+            throw persist::CacheInvalid(
+                "truncated: missing integrity footer");
+        body = text.substr(0, pos + 1);
+        std::string footer = text.substr(pos + 1);
+        if (!footer.empty() && footer.back() == '\n')
+            footer.pop_back();
+        else
+            throw persist::CacheInvalid(
+                "truncated: unterminated integrity footer");
+        const auto f = splitOn(footer, ',');
+        std::uint64_t want = 0;
+        if (f.size() != 3 || !persist::parseHex(f[2], want))
+            throw persist::CacheInvalid(
+                "malformed integrity footer '" + footer + "'");
+        const std::uint64_t rows = parseU64(f[1], "footer row count",
+                                            0);
+        if (persist::fnv1a(body) != want)
+            throw persist::CacheInvalid(
+                "checksum mismatch (file damaged or edited)");
+        Campaign c = parseCampaignBody(body, version);
+        if (rows != c.policies.size() * c.workloads.size())
+            throw persist::CacheInvalid(
+                "footer row count " + std::to_string(rows) +
+                " does not match body");
+        return c;
+    }
+    return parseCampaignBody(body, version);
+}
+
+/**
+ * Append-only checkpoint journal for a running campaign: one
+ * self-checksummed line per completed (policy, workload) cell,
+ * fsynced as written, so a killed campaign loses at most the cell
+ * in flight.  A journal left by a previous run is replayed when
+ * the header (fingerprint and shape) matches; a mismatched or
+ * damaged header quarantines the journal and starts fresh; a
+ * damaged tail (the record being written at the kill) is dropped
+ * and truncated away.
+ */
+class CampaignJournal
+{
+  public:
+    CampaignJournal(std::string path, std::uint64_t fingerprint,
+                    std::size_t npolicies, std::size_t nworkloads)
+        : path_(std::move(path)), fingerprint_(fingerprint),
+          np_(npolicies), nw_(nworkloads), done_(np_ * nw_, 0),
+          cells_(np_ * nw_)
+    {
+        replay();
+        openAppend();
+    }
+
+    ~CampaignJournal()
+    {
+#ifdef WSEL_HAVE_POSIX_IO
+        if (fd_ >= 0)
+            ::close(fd_);
+#else
+        os_.close();
+#endif
+    }
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    bool
+    done(std::size_t p, std::size_t w) const
+    {
+        return done_[p * nw_ + w] != 0;
+    }
+
+    const std::vector<double> &
+    cell(std::size_t p, std::size_t w) const
+    {
+        return cells_[p * nw_ + w];
+    }
+
+    std::size_t replayedCount() const { return replayed_; }
+    double replayedSeconds() const { return replayedSeconds_; }
+
+    std::uint64_t
+    replayedInstructions() const
+    {
+        return replayedInstructions_;
+    }
+
+    /** Record a completed cell; durable once this returns. */
+    void
+    append(std::size_t p, std::size_t w, const SimResult &r)
+    {
+        persist::faultPoint("journal.before-append");
+        std::ostringstream os;
+        os.precision(17);
+        os << "r," << p << "," << w << ",";
+        for (std::size_t k = 0; k < r.ipc.size(); ++k)
+            os << (k ? ";" : "") << r.ipc[k];
+        os << "," << r.wallSeconds << "," << r.instructions;
+        const std::string prefix = os.str();
+        writeLine(prefix + "," +
+                  persist::toHex(persist::fnv1a(prefix)) + "\n");
+        persist::faultPoint("journal.append");
+    }
+
+  private:
+    std::string
+    headerLine() const
+    {
+        return "wsel-journal,v2," + persist::toHex(fingerprint_) +
+               "," + std::to_string(np_) + "," +
+               std::to_string(nw_) + "\n";
+    }
+
+    void
+    replay()
+    {
+        std::error_code ec;
+        if (!std::filesystem::exists(path_, ec))
+            return;
+        std::string text;
+        try {
+            text = slurpFile(path_);
+        } catch (const persist::CacheInvalid &) {
+            return;
+        }
+        if (text.empty())
+            return;
+        const std::string header = headerLine();
+        if (text.rfind(header, 0) != 0) {
+            const std::string moved = persist::quarantineFile(path_);
+            warn("campaign journal " + path_ +
+                 " does not match this campaign's configuration" +
+                 (moved.empty() ? "" : "; quarantined to " + moved) +
+                 "; restarting from scratch");
+            return;
+        }
+        std::size_t good_end = header.size();
+        std::size_t at = header.size();
+        bool damaged = false;
+        while (at < text.size()) {
+            const std::size_t nl = text.find('\n', at);
+            if (nl == std::string::npos)
+                break; // record in flight at the kill; drop it
+            if (!replayRecord(text.substr(at, nl - at))) {
+                damaged = true;
+                break;
+            }
+            at = nl + 1;
+            good_end = at;
+        }
+        if (damaged)
+            warn("campaign journal " + path_ +
+                 " has a damaged record; dropping it and every "
+                 "later record");
+        if (good_end < text.size())
+            std::filesystem::resize_file(path_, good_end, ec);
+    }
+
+    bool
+    replayRecord(const std::string &line)
+    {
+        const std::size_t crc_at = line.find_last_of(',');
+        if (crc_at == std::string::npos)
+            return false;
+        std::uint64_t want = 0;
+        if (!persist::parseHex(line.substr(crc_at + 1), want) ||
+            persist::fnv1a(line.substr(0, crc_at)) != want)
+            return false;
+        const auto f = splitOn(line, ',');
+        if (f.size() != 7 || f[0] != "r")
+            return false;
+        try {
+            const std::size_t p =
+                static_cast<std::size_t>(parseU64(f[1], "p", 0));
+            const std::size_t w =
+                static_cast<std::size_t>(parseU64(f[2], "w", 0));
+            if (p >= np_ || w >= nw_)
+                return false;
+            std::vector<double> ipcs =
+                parseDoubleList(f[3], "ipc", 0);
+            const double wall = parseDouble(f[4], "wall", 0);
+            const std::uint64_t insns = parseU64(f[5], "insns", 0);
+            const std::size_t idx = p * nw_ + w;
+            if (done_[idx])
+                return true; // duplicate; first record wins
+            done_[idx] = 1;
+            cells_[idx] = std::move(ipcs);
+            ++replayed_;
+            replayedSeconds_ += wall;
+            replayedInstructions_ += insns;
+            return true;
+        } catch (const persist::CacheInvalid &) {
+            return false;
+        }
+    }
+
+    void
+    openAppend()
+    {
+#ifdef WSEL_HAVE_POSIX_IO
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd_ < 0)
+            WSEL_FATAL("cannot open campaign journal '"
+                       << path_ << "': " << strerror(errno));
+        if (::lseek(fd_, 0, SEEK_END) == 0)
+            writeLine(headerLine());
+#else
+        const bool fresh = !std::filesystem::exists(path_) ||
+                           std::filesystem::file_size(path_) == 0;
+        os_.open(path_, std::ios::binary | std::ios::app);
+        if (!os_)
+            WSEL_FATAL("cannot open campaign journal '" << path_
+                                                        << "'");
+        if (fresh)
+            writeLine(headerLine());
+#endif
+    }
+
+    void
+    writeLine(const std::string &line)
+    {
+#ifdef WSEL_HAVE_POSIX_IO
+        std::size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n =
+                ::write(fd_, line.data() + off, line.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                WSEL_FATAL("write to campaign journal '"
+                           << path_
+                           << "' failed: " << strerror(errno));
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        if (::fsync(fd_) != 0)
+            WSEL_FATAL("fsync of campaign journal '"
+                       << path_ << "' failed: " << strerror(errno));
+#else
+        os_ << line;
+        os_.flush();
+        if (!os_)
+            WSEL_FATAL("write to campaign journal '" << path_
+                                                     << "' failed");
+#endif
+    }
+
+    std::string path_;
+    std::uint64_t fingerprint_;
+    std::size_t np_, nw_;
+    std::vector<char> done_;
+    std::vector<std::vector<double>> cells_;
+    std::size_t replayed_ = 0;
+    double replayedSeconds_ = 0.0;
+    std::uint64_t replayedInstructions_ = 0;
+#ifdef WSEL_HAVE_POSIX_IO
+    int fd_ = -1;
+#else
+    std::ofstream os_;
+#endif
+};
+
+/** Open the journal configured in @p opts (null when disabled). */
+std::unique_ptr<CampaignJournal>
+openJournal(const CampaignOptions &opts, Campaign &c,
+            std::size_t npolicies, std::size_t nworkloads)
+{
+    if (opts.journalPath.empty())
+        return nullptr;
+    auto j = std::make_unique<CampaignJournal>(
+        opts.journalPath, c.fingerprint, npolicies, nworkloads);
+    if (j->replayedCount() > 0) {
+        c.simSeconds += j->replayedSeconds();
+        c.instructions += j->replayedInstructions();
+        logLine("  [campaign] resuming from journal: " +
+                std::to_string(j->replayedCount()) + "/" +
+                std::to_string(npolicies * nworkloads) +
+                " cells already simulated");
+    }
+    return j;
+}
+
 } // namespace
+
+std::uint64_t
+campaignFingerprint(const std::string &simulator,
+                    std::uint32_t cores, std::uint64_t target_uops,
+                    const std::vector<PolicyKind> &policies,
+                    const std::vector<BenchmarkProfile> &suite)
+{
+    persist::Fnv1a h;
+    h.update(simulator).update("|");
+    h.updateU64(cores).updateU64(target_uops);
+    h.updateU64(policies.size());
+    for (PolicyKind p : policies)
+        h.update(toString(p)).update(",");
+    h.updateU64(suite.size());
+    for (const BenchmarkProfile &p : suite) {
+        h.update(p.name).update(",");
+        h.updateU64(p.parameterHash());
+    }
+    return h.digest();
+}
 
 std::size_t
 Campaign::policyIndex(PolicyKind kind) const
@@ -82,10 +640,9 @@ Campaign::mips() const
 void
 Campaign::save(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
-        WSEL_FATAL("cannot open '" << path << "' for writing");
-    os << "wsel-campaign,v1\n";
+    std::ostringstream os;
+    os << "wsel-campaign,v2\n";
+    os << "fingerprint," << persist::toHex(fingerprint) << "\n";
     os << "simulator," << simulator << "\n";
     os << "cores," << cores << "\n";
     os << "target," << targetUops << "\n";
@@ -119,76 +676,29 @@ Campaign::save(const std::string &path) const
             os << "\n";
         }
     }
+    const std::string body = os.str();
+    const std::string footer =
+        "footer," +
+        std::to_string(policies.size() * workloads.size()) + "," +
+        persist::toHex(persist::fnv1a(body)) + "\n";
+    persist::atomicWriteFile(path, body + footer);
 }
 
 Campaign
-Campaign::load(const std::string &path)
+Campaign::load(const std::string &path, LoadMode mode)
 {
-    std::ifstream is(path);
-    if (!is)
-        WSEL_FATAL("cannot open '" << path << "' for reading");
-    Campaign c;
-    std::string line;
-    auto next = [&](const std::string &tag) -> std::string {
-        if (!std::getline(is, line))
-            WSEL_FATAL("truncated campaign file " << path);
-        const auto f = splitOn(line, ',');
-        if (f.size() < 2 || f[0] != tag)
-            WSEL_FATAL("expected '" << tag << "' line in " << path
-                                    << ", got '" << line << "'");
-        return f[1];
-    };
-    if (next("wsel-campaign") != "v1")
-        WSEL_FATAL("unsupported campaign version in " << path);
-    c.simulator = next("simulator");
-    c.cores = static_cast<std::uint32_t>(std::stoul(next("cores")));
-    c.targetUops = std::stoull(next("target"));
-    c.simSeconds = std::stod(next("simseconds"));
-    c.instructions = std::stoull(next("instructions"));
-    for (const std::string &p : splitOn(next("policies"), ';'))
-        c.policies.push_back(parsePolicyKind(p));
-    for (const std::string &b : splitOn(next("benchmarks"), ';'))
-        c.benchmarks.push_back(b);
-    for (const std::string &r : splitOn(next("refipc"), ';'))
-        c.refIpc.push_back(std::stod(r));
-    const std::size_t nw = std::stoull(next("nworkloads"));
-    c.workloads.reserve(nw);
-    for (std::size_t w = 0; w < nw; ++w) {
-        if (!std::getline(is, line))
-            WSEL_FATAL("truncated workload list in " << path);
-        const auto f = splitOn(line, ',');
-        if (f.size() != 2 || f[0] != "w")
-            WSEL_FATAL("bad workload line '" << line << "'");
-        std::vector<std::uint32_t> benches;
-        for (const std::string &b : splitOn(f[1], ';'))
-            benches.push_back(
-                static_cast<std::uint32_t>(std::stoul(b)));
-        c.workloads.push_back(Workload(std::move(benches)));
+    try {
+        return loadImpl(path);
+    } catch (const persist::CacheInvalid &e) {
+        if (mode == LoadMode::Strict)
+            WSEL_FATAL("campaign file " << path << ": " << e.what());
+        const std::string moved = persist::quarantineFile(path);
+        warn("corrupt campaign cache at " + path + " (" + e.what() +
+             ")" +
+             (moved.empty() ? "" : "; quarantined to " + moved) +
+             "; re-simulating");
+        throw;
     }
-    c.ipc.assign(c.policies.size(),
-                 std::vector<std::vector<double>>(nw));
-    std::size_t rows = 0;
-    while (std::getline(is, line)) {
-        if (line.empty())
-            continue;
-        const auto f = splitOn(line, ',');
-        if (f.size() != 4 || f[0] != "i")
-            WSEL_FATAL("bad ipc line '" << line << "'");
-        const std::size_t p = std::stoull(f[1]);
-        const std::size_t w = std::stoull(f[2]);
-        if (p >= c.policies.size() || w >= nw)
-            WSEL_FATAL("ipc line out of range in " << path);
-        std::vector<double> ipcs;
-        for (const std::string &v : splitOn(f[3], ';'))
-            ipcs.push_back(std::stod(v));
-        c.ipc[p][w] = std::move(ipcs);
-        ++rows;
-    }
-    if (rows != c.policies.size() * nw)
-        WSEL_FATAL("campaign file " << path << " has " << rows
-                   << " ipc rows, expected "
-                   << c.policies.size() * nw);
-    return c;
 }
 
 Campaign
@@ -209,6 +719,9 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
     for (const BenchmarkProfile &p : suite)
         c.benchmarks.push_back(p.name);
     c.workloads = workloads;
+    c.fingerprint = campaignFingerprint(c.simulator, cores,
+                                        target_uops, policies,
+                                        suite);
 
     const std::vector<const BadcoModel *> models =
         store.getSuite(suite);
@@ -222,20 +735,29 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
 
     c.ipc.assign(policies.size(),
                  std::vector<std::vector<double>>(workloads.size()));
+    auto journal =
+        openJournal(opts, c, policies.size(), workloads.size());
     const std::size_t total = policies.size() * workloads.size();
     std::size_t done = 0;
     for (std::size_t p = 0; p < policies.size(); ++p) {
+        const std::string what = "badco " + toString(policies[p]);
         const UncoreConfig ucfg =
             UncoreConfig::forCores(cores, policies[p]);
         const BadcoMulticoreSim sim(ucfg, cores, target_uops,
                                     opts.seed);
         for (std::size_t w = 0; w < workloads.size(); ++w) {
+            if (journal && journal->done(p, w)) {
+                c.ipc[p][w] = journal->cell(p, w);
+                progress(opts, what + " (resumed)", ++done, total);
+                continue;
+            }
             const SimResult r = sim.run(workloads[w], models);
             c.ipc[p][w] = r.ipc;
             c.simSeconds += r.wallSeconds;
             c.instructions += r.instructions;
-            progress(opts, "badco " + toString(policies[p]), ++done,
-                     total);
+            if (journal)
+                journal->append(p, w, r);
+            progress(opts, what, ++done, total);
         }
     }
     return c;
@@ -259,6 +781,9 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
     for (const BenchmarkProfile &p : suite)
         c.benchmarks.push_back(p.name);
     c.workloads = workloads;
+    c.fingerprint = campaignFingerprint(c.simulator, cores,
+                                        target_uops, policies,
+                                        suite);
 
     {
         UncoreConfig ref =
@@ -270,20 +795,29 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
 
     c.ipc.assign(policies.size(),
                  std::vector<std::vector<double>>(workloads.size()));
+    auto journal =
+        openJournal(opts, c, policies.size(), workloads.size());
     const std::size_t total = policies.size() * workloads.size();
     std::size_t done = 0;
     for (std::size_t p = 0; p < policies.size(); ++p) {
+        const std::string what = "detailed " + toString(policies[p]);
         const UncoreConfig ucfg =
             UncoreConfig::forCores(cores, policies[p]);
         const DetailedMulticoreSim sim(core_cfg, ucfg, cores,
                                        target_uops, opts.seed);
         for (std::size_t w = 0; w < workloads.size(); ++w) {
+            if (journal && journal->done(p, w)) {
+                c.ipc[p][w] = journal->cell(p, w);
+                progress(opts, what + " (resumed)", ++done, total);
+                continue;
+            }
             const SimResult r = sim.run(workloads[w], suite);
             c.ipc[p][w] = r.ipc;
             c.simSeconds += r.wallSeconds;
             c.instructions += r.instructions;
-            progress(opts, "detailed " + toString(policies[p]),
-                     ++done, total);
+            if (journal)
+                journal->append(p, w, r);
+            progress(opts, what, ++done, total);
         }
     }
     return c;

@@ -6,6 +6,14 @@
  * the sampling analyses (the paper's workflow: simulate the large
  * sample once with BADCO, then study sampling methods on the
  * resulting numbers).
+ *
+ * Campaigns are durable, validated artifacts (docs/ROBUSTNESS.md):
+ * the on-disk `campaign_v2` format carries a configuration
+ * fingerprint and an integrity footer, files are replaced
+ * atomically, long runs checkpoint each completed (policy,
+ * workload) cell to a journal and resume after a crash, and a
+ * corrupt or stale cache file is quarantined and regenerated
+ * instead of aborting the run.
  */
 
 #ifndef WSEL_SIM_CAMPAIGN_HH
@@ -14,6 +22,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cache/replacement.hh"
@@ -22,9 +32,28 @@
 #include "cpu/core_config.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
+#include "stats/logging.hh"
+#include "stats/persist.hh"
 
 namespace wsel
 {
+
+/** How strictly Campaign::load treats a damaged file. */
+enum class LoadMode
+{
+    /**
+     * User-supplied path: any problem (missing, truncated, bad
+     * checksum, malformed field) is WSEL_FATAL.
+     */
+    Strict,
+
+    /**
+     * Cache-managed file: a damaged file is quarantined
+     * (`*.corrupt`), a warning is emitted, and persist::CacheInvalid
+     * is thrown so the caller regenerates the campaign.
+     */
+    Cached,
+};
 
 /** The full result of simulating workloads x policies. */
 struct Campaign
@@ -46,6 +75,16 @@ struct Campaign
     /** Total µops simulated (for MIPS reporting). */
     std::uint64_t instructions = 0;
 
+    /**
+     * Configuration fingerprint (campaignFingerprint) persisted in
+     * the v2 header so caches detect config drift the filename key
+     * missed.  0 in campaigns loaded from v1 files.
+     */
+    std::uint64_t fingerprint = 0;
+
+    /** Format version this campaign was loaded from (2 for new). */
+    int formatVersion = 2;
+
     /** Index of @p kind in policies; fatal when absent. */
     std::size_t policyIndex(PolicyKind kind) const;
 
@@ -59,12 +98,33 @@ struct Campaign
     /** Simulation speed in MIPS. */
     double mips() const;
 
-    /** Persist as CSV. */
+    /**
+     * Persist in the campaign_v2 format (fingerprint header,
+     * record-count + checksum footer) via an atomic replace.
+     */
     void save(const std::string &path) const;
 
-    /** Load a persisted campaign; fatal on malformed input. */
-    static Campaign load(const std::string &path);
+    /**
+     * Load a persisted campaign (v2 or legacy v1).
+     * @see LoadMode for failure semantics.
+     */
+    static Campaign load(const std::string &path,
+                         LoadMode mode = LoadMode::Strict);
 };
+
+/**
+ * Fingerprint of everything that determines a campaign's numbers:
+ * simulator kind, core count, slice length, policy list, and the
+ * suite (benchmark names and parameter hashes).  Stored in v2
+ * headers and journals; compared by cachedCampaign so a stale
+ * cache is detected even when the filename key did not change
+ * (e.g. a edited benchmark profile or policy list).
+ */
+std::uint64_t campaignFingerprint(
+    const std::string &simulator, std::uint32_t cores,
+    std::uint64_t target_uops,
+    const std::vector<PolicyKind> &policies,
+    const std::vector<BenchmarkProfile> &suite);
 
 /** Options shared by the campaign runners. */
 struct CampaignOptions
@@ -72,6 +132,15 @@ struct CampaignOptions
     std::uint64_t seed = 1;
     bool verbose = false;      ///< progress lines on stderr
     std::size_t progressEvery = 500;
+
+    /**
+     * When non-empty, each completed (policy, workload) cell is
+     * appended (and fsynced) to this journal file, and a journal
+     * left behind by a killed run is replayed on start so the
+     * campaign resumes from the first missing cell.  The caller
+     * removes the journal once the final artifact is saved.
+     */
+    std::string journalPath;
 };
 
 /**
@@ -99,21 +168,65 @@ Campaign runDetailedCampaign(
 /**
  * Load the campaign cached under @p cache_key in the WSEL cache
  * directory if present; otherwise invoke @p produce and persist the
- * result. With no cache directory configured, always produces.
+ * result.  With no cache directory configured, always produces.
+ *
+ * Robustness semantics:
+ *  - An advisory lock (`<file>.lock`) serializes concurrent
+ *    processes on the same key; the loser of the race blocks and
+ *    then loads the winner's result instead of re-simulating.
+ *  - A cached file that is truncated, checksum-mismatched,
+ *    version-skewed, or (when @p expected_fingerprint is nonzero)
+ *    fingerprint-mismatched is quarantined to `*.corrupt` with a
+ *    warning and the campaign is regenerated.
+ *  - @p produce may accept a journal path argument; the runners
+ *    checkpoint into it and resume from it, so a killed process
+ *    loses at most one workload of work.  The journal is removed
+ *    after the final artifact is saved.
  */
 template <typename ProduceFn>
 Campaign
-cachedCampaign(const std::string &cache_key, ProduceFn &&produce)
+cachedCampaign(const std::string &cache_key,
+               std::uint64_t expected_fingerprint,
+               ProduceFn &&produce)
 {
+    auto invoke = [&](const std::string &journal) -> Campaign {
+        if constexpr (std::is_invocable_v<ProduceFn &,
+                                          const std::string &>) {
+            return produce(journal);
+        } else {
+            (void)journal;
+            return produce();
+        }
+    };
     const std::string dir = defaultCacheDir();
     if (dir.empty())
-        return produce();
-    const std::string path = dir + "/campaign_v1_" + cache_key +
-                             ".csv";
-    if (std::filesystem::exists(path))
-        return Campaign::load(path);
-    Campaign c = produce();
+        return invoke("");
+    const std::string path =
+        dir + "/campaign_v2_" + cache_key + ".csv";
+    persist::FileLock lock(path + ".lock");
+    if (std::filesystem::exists(path)) {
+        try {
+            Campaign c = Campaign::load(path, LoadMode::Cached);
+            if (c.formatVersion >= 2 &&
+                (expected_fingerprint == 0 ||
+                 c.fingerprint == expected_fingerprint)) {
+                return c;
+            }
+            const std::string moved = persist::quarantineFile(path);
+            warn("stale campaign cache at " + path +
+                 (c.formatVersion < 2
+                      ? " (old format version)"
+                      : " (configuration fingerprint changed)") +
+                 (moved.empty() ? "" : "; quarantined to " + moved) +
+                 "; re-simulating");
+        } catch (const persist::CacheInvalid &) {
+            // load() already quarantined the file and warned.
+        }
+    }
+    Campaign c = invoke(path + ".partial");
     c.save(path);
+    std::error_code ec;
+    std::filesystem::remove(path + ".partial", ec);
     return c;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "stats/logging.hh"
+#include "stats/persist.hh"
 
 namespace wsel
 {
@@ -48,13 +49,26 @@ BadcoModelStore::get(const BenchmarkProfile &profile)
     if (!cacheDir_.empty()) {
         const std::string path = cachePath(profile);
         if (std::filesystem::exists(path)) {
-            BadcoModel m = BadcoModel::loadFile(path);
-            if (m.traceUops == targetUops_) {
-                return models_.emplace(profile.name, std::move(m))
-                    .first->second;
+            try {
+                BadcoModel m = BadcoModel::loadFile(path);
+                if (m.traceUops == targetUops_) {
+                    return models_
+                        .emplace(profile.name, std::move(m))
+                        .first->second;
+                }
+                warn("stale BADCO model cache at " + path +
+                     "; rebuilding");
+            } catch (const FatalError &e) {
+                // A damaged model cache must never abort a run:
+                // quarantine it for inspection and rebuild.
+                const std::string moved =
+                    persist::quarantineFile(path);
+                warn("corrupt BADCO model cache at " + path + " (" +
+                     e.what() + ")" +
+                     (moved.empty() ? ""
+                                    : "; quarantined to " + moved) +
+                     "; rebuilding");
             }
-            warn("stale BADCO model cache at " + path +
-                 "; rebuilding");
         }
     }
 
@@ -88,7 +102,18 @@ defaultCacheDir()
     // bench/tool invocations share models and campaigns; set
     // WSEL_CACHE_DIR to move it, or to "" to disable persistence.
     const char *env = std::getenv("WSEL_CACHE_DIR");
-    return env ? std::string(env) : std::string(".wsel_cache");
+    const std::string dir =
+        env ? std::string(env) : std::string(".wsel_cache");
+    if (dir.empty())
+        return dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        WSEL_FATAL("cannot create cache directory '"
+                   << dir << "': " << ec.message()
+                   << " (set WSEL_CACHE_DIR to a writable location,"
+                      " or to \"\" to disable persistence)");
+    return dir;
 }
 
 } // namespace wsel

@@ -67,7 +67,9 @@ class BadcoModelStore
 
 /**
  * Shared results directory: $WSEL_CACHE_DIR when set (empty
- * disables persistence), else "./.wsel_cache".
+ * disables persistence), else "./.wsel_cache".  The directory is
+ * created on first use; failure to create it is WSEL_FATAL (so
+ * misconfiguration surfaces immediately, not at the first open).
  */
 std::string defaultCacheDir();
 

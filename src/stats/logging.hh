@@ -15,9 +15,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace wsel
 {
@@ -57,13 +59,53 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::abort();
 }
 
+/** Mutex serializing all diagnostic output lines. */
+inline std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace detail
 
-/** Emit a non-fatal warning to stderr. */
+/**
+ * Emit one diagnostic line to stderr, thread-safely: the text is
+ * composed first and issued as a single stream insertion under a
+ * global mutex, so concurrent writers (a future parallel campaign
+ * runner) cannot interleave characters within a line.
+ */
+inline void
+logLine(const std::string &line)
+{
+    const std::string out = line + "\n";
+    std::lock_guard<std::mutex> g(detail::logMutex());
+    std::cerr << out;
+}
+
+/**
+ * Emit a non-fatal warning to stderr.  Thread-safe (single write
+ * per line) and rate-limited: after 20 identical messages, further
+ * repeats are suppressed so a hot loop with a persistent problem
+ * (e.g. an unwritable cache directory) cannot flood the log.
+ */
 inline void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    static constexpr std::size_t kMaxRepeats = 20;
+    std::lock_guard<std::mutex> g(detail::logMutex());
+    static std::unordered_map<std::string, std::size_t> counts;
+    // Bound the dedup table; resetting it merely re-allows warnings.
+    if (counts.size() > 1024)
+        counts.clear();
+    const std::size_t n = ++counts[msg];
+    if (n > kMaxRepeats)
+        return;
+    std::string out = "warn: " + msg;
+    if (n == kMaxRepeats)
+        out += " (suppressing further identical warnings)";
+    out += "\n";
+    std::cerr << out;
 }
 
 } // namespace wsel

@@ -1,0 +1,260 @@
+#include "stats/persist.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <system_error>
+
+#include "stats/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define WSEL_HAVE_POSIX_IO 1
+#endif
+
+namespace wsel::persist
+{
+
+namespace
+{
+
+std::mutex faultMutex;
+FaultHook faultHook;
+std::map<std::string, std::uint64_t> faultHits;
+
+/** Directory containing @p path ("." when path has no directory). */
+std::string
+parentDir(const std::string &path)
+{
+    const auto pos = path.find_last_of('/');
+    return pos == std::string::npos ? std::string(".")
+                                    : path.substr(0, pos);
+}
+
+#ifdef WSEL_HAVE_POSIX_IO
+void
+writeAll(int fd, const char *data, std::size_t n,
+         const std::string &what)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            const int e = errno;
+            ::close(fd);
+            WSEL_FATAL("write to '" << what
+                                    << "' failed: " << strerror(e));
+        }
+        off += static_cast<std::size_t>(w);
+    }
+}
+#endif
+
+} // namespace
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    return Fnv1a().update(s).digest();
+}
+
+std::string
+toHex(std::uint64_t v)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    for (int i = 60; i >= 0; i -= 4)
+        s += digits[(v >> i) & 0xf];
+    return s;
+}
+
+bool
+parseHex(std::string_view s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            v |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+void
+atomicWriteFile(const std::string &path, std::string_view contents)
+{
+    faultPoint("atomic.begin");
+#ifdef WSEL_HAVE_POSIX_IO
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        WSEL_FATAL("cannot open '" << tmp << "' for writing: "
+                                   << strerror(errno));
+    writeAll(fd, contents.data(), contents.size(), tmp);
+    if (::fsync(fd) != 0) {
+        const int e = errno;
+        ::close(fd);
+        WSEL_FATAL("fsync '" << tmp << "' failed: " << strerror(e));
+    }
+    ::close(fd);
+    faultPoint("atomic.before-rename");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int e = errno;
+        ::unlink(tmp.c_str());
+        WSEL_FATAL("rename '" << tmp << "' -> '" << path
+                              << "' failed: " << strerror(e));
+    }
+    // Persist the rename itself; best-effort (some filesystems
+    // reject O_RDONLY directory fsync).
+    const int dfd = ::open(parentDir(path).c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+#else
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            WSEL_FATAL("cannot open '" << tmp << "' for writing");
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size()));
+        if (!os)
+            WSEL_FATAL("write to '" << tmp << "' failed");
+    }
+    faultPoint("atomic.before-rename");
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        WSEL_FATAL("rename '" << tmp << "' -> '" << path
+                              << "' failed: " << ec.message());
+#endif
+    faultPoint("atomic.after-rename");
+}
+
+std::string
+quarantineFile(const std::string &path)
+{
+    std::error_code ec;
+    std::string target = path + ".corrupt";
+    for (int n = 1; std::filesystem::exists(target, ec) && n < 100;
+         ++n)
+        target = path + ".corrupt." + std::to_string(n);
+    std::filesystem::rename(path, target, ec);
+    return ec ? std::string() : target;
+}
+
+FileLock::FileLock(const std::string &path)
+{
+#ifdef WSEL_HAVE_POSIX_IO
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0)
+        WSEL_FATAL("cannot open lock file '"
+                   << path << "': " << strerror(errno));
+    while (::flock(fd_, LOCK_EX) != 0) {
+        if (errno == EINTR)
+            continue;
+        const int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        WSEL_FATAL("flock '" << path
+                             << "' failed: " << strerror(e));
+    }
+#else
+    (void)path;
+    fd_ = 0; // no-op lock: always "held"
+#endif
+}
+
+FileLock
+FileLock::tryAcquire(const std::string &path)
+{
+    FileLock lock;
+#ifdef WSEL_HAVE_POSIX_IO
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0)
+        WSEL_FATAL("cannot open lock file '"
+                   << path << "': " << strerror(errno));
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        return lock;
+    }
+    lock.fd_ = fd;
+#else
+    (void)path;
+    lock.fd_ = 0;
+#endif
+    return lock;
+}
+
+void
+FileLock::release()
+{
+#ifdef WSEL_HAVE_POSIX_IO
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+#endif
+    fd_ = -1;
+}
+
+void
+setFaultHook(FaultHook hook)
+{
+    std::lock_guard<std::mutex> g(faultMutex);
+    faultHook = std::move(hook);
+}
+
+void
+resetFaultPoints()
+{
+    std::lock_guard<std::mutex> g(faultMutex);
+    faultHits.clear();
+}
+
+std::uint64_t
+faultPointHits(const char *point)
+{
+    std::lock_guard<std::mutex> g(faultMutex);
+    const auto it = faultHits.find(point);
+    return it == faultHits.end() ? 0 : it->second;
+}
+
+void
+faultPoint(const char *point)
+{
+    FaultHook hook;
+    std::uint64_t hits = 0;
+    {
+        std::lock_guard<std::mutex> g(faultMutex);
+        if (!faultHook)
+            return;
+        hits = ++faultHits[point];
+        hook = faultHook;
+    }
+    // Invoke outside the mutex: the hook may throw (simulated
+    // crash) or re-enter the persistence layer.
+    hook(point, hits);
+}
+
+} // namespace wsel::persist

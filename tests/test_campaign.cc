@@ -134,8 +134,8 @@ TEST(Campaign, CachedCampaignProducesOnceThenLoads)
         ++produced;
         return tinyCampaign();
     };
-    const Campaign a = cachedCampaign("unit_test_key", produce);
-    const Campaign b = cachedCampaign("unit_test_key", produce);
+    const Campaign a = cachedCampaign("unit_test_key", 0, produce);
+    const Campaign b = cachedCampaign("unit_test_key", 0, produce);
     EXPECT_EQ(produced, 1);
     EXPECT_EQ(a.workloads.size(), b.workloads.size());
     unsetenv("WSEL_CACHE_DIR");

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI entry point: build and test the release and asan-ubsan presets.
+#
+# The tier-1 command (cmake -B build -S . && cmake --build build &&
+# ctest) is unchanged; this script is a superset used to shake out
+# memory and UB errors in the persistence / fault-injection paths.
+#
+# Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+presets="${*:-release asan-ubsan}"
+
+for preset in $presets; do
+    echo "==> configure: $preset"
+    cmake --preset "$preset"
+    echo "==> build: $preset"
+    cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
+    echo "==> test: $preset"
+    ctest --preset "$preset"
+done
+
+echo "ci: all presets passed"

@@ -6,8 +6,10 @@
  *   wsel_cli characterize [--cores K] [--insns N]
  *       per-benchmark features and automatic vs Table-IV classes
  *   wsel_cli campaign --out FILE [--cores K] [--insns N]
- *       [--policies LRU,DIP,...] [--limit N]
- *       run a BADCO population campaign and save it as CSV
+ *       [--policies LRU,DIP,...] [--limit N] [--resume 0|1]
+ *       run a BADCO population campaign and save it as CSV;
+ *       progress checkpoints to FILE.partial and, by default, an
+ *       interrupted run resumes from it (--resume 0 restarts)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -22,19 +24,28 @@
  *       run one multiprogram workload through the simulators
  *   wsel_cli report --campaign FILE --out FILE.md
  *       full pairwise markdown analysis of a saved campaign
+ *   wsel_cli cache verify [--dir DIR] [--quarantine 0|1]
+ *       validate every campaign and BADCO-model cache file in the
+ *       cache directory; with --quarantine 1, rename damaged files
+ *       to *.corrupt
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "badco/badco_model.hh"
 #include "core/classify/classify.hh"
 #include "core/report/report.hh"
 #include "core/confidence/confidence.hh"
 #include "core/sampling/sampling.hh"
 #include "sim/campaign.hh"
 #include "stats/logging.hh"
+#include "stats/persist.hh"
 #include "sim/characterize.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
@@ -48,9 +59,10 @@ using namespace wsel;
 class Args
 {
   public:
-    Args(int argc, char **argv)
+    /** Parse --key value pairs from argv[start] onward. */
+    Args(int argc, char **argv, int start = 2)
     {
-        for (int i = 2; i < argc; ++i) {
+        for (int i = start; i < argc; ++i) {
             std::string key = argv[i];
             if (key.rfind("--", 0) != 0)
                 WSEL_FATAL("expected --option, got '" << key << "'");
@@ -173,14 +185,116 @@ cmdCampaign(const Args &args)
                           defaultCacheDir());
     CampaignOptions opts;
     opts.verbose = true;
+    // Checkpoint each completed (policy, workload) cell so a killed
+    // campaign can pick up where it left off (--resume 0 restarts).
+    const std::string out = args.get("out", "");
+    const std::string journal = out + ".partial";
+    if (args.getU64("resume", 1) == 0) {
+        std::error_code ec;
+        std::filesystem::remove(journal, ec);
+    }
+    opts.journalPath = journal;
     const Campaign c = runBadcoCampaign(workloads, policies, cores,
                                         insns, store, suite, opts);
-    c.save(args.get("out", ""));
+    c.save(out);
+    {
+        std::error_code ec;
+        std::filesystem::remove(journal, ec);
+    }
     std::printf("saved %zu workloads x %zu policies to %s "
                 "(%.1f MIPS)\n",
-                c.workloads.size(), c.policies.size(),
-                args.get("out", "").c_str(), c.mips());
+                c.workloads.size(), c.policies.size(), out.c_str(),
+                c.mips());
     return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 3 || std::string(argv[2]) != "verify") {
+        std::fprintf(stderr,
+                     "usage: wsel_cli cache verify [--dir DIR] "
+                     "[--quarantine 0|1]\n");
+        return 2;
+    }
+    const Args args(argc, argv, 3);
+    const std::string dir = args.get("dir", defaultCacheDir());
+    if (dir.empty())
+        WSEL_FATAL("no cache directory configured "
+                   "(WSEL_CACHE_DIR is empty)");
+    const bool quarantine = args.getU64("quarantine", 0) != 0;
+    std::size_t ok = 0, corrupt = 0, journals = 0;
+    std::vector<std::filesystem::path> entries;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec))
+        entries.push_back(it->path());
+    if (ec)
+        WSEL_FATAL("cannot read cache directory '" << dir
+                   << "': " << ec.message());
+    std::sort(entries.begin(), entries.end());
+    for (const auto &path : entries) {
+        const std::string name = path.filename().string();
+        const std::string p = path.string();
+        if (name.find(".corrupt") != std::string::npos ||
+            name.find(".tmp.") != std::string::npos ||
+            (name.size() >= 5 &&
+             name.compare(name.size() - 5, 5, ".lock") == 0))
+            continue;
+        if (name.size() >= 8 &&
+            name.compare(name.size() - 8, 8, ".partial") == 0) {
+            ++journals;
+            std::printf("JOURNAL %s (interrupted campaign; will "
+                        "resume on next run)\n",
+                        p.c_str());
+            continue;
+        }
+        const bool is_campaign =
+            name.rfind("campaign_", 0) == 0 &&
+            name.size() >= 4 &&
+            name.compare(name.size() - 4, 4, ".csv") == 0;
+        const bool is_model = name.rfind("badco_", 0) == 0 &&
+                              name.size() >= 4 &&
+                              name.compare(name.size() - 4, 4,
+                                           ".bin") == 0;
+        if (!is_campaign && !is_model)
+            continue;
+        std::string why;
+        try {
+            if (is_campaign) {
+                const Campaign c = Campaign::load(p);
+                std::printf("OK      %s (%s, %u cores, %zu policies "
+                            "x %zu workloads%s)\n",
+                            p.c_str(), c.simulator.c_str(), c.cores,
+                            c.policies.size(), c.workloads.size(),
+                            c.formatVersion < 2 ? ", legacy v1"
+                                                : "");
+            } else {
+                const BadcoModel m = BadcoModel::loadFile(p);
+                std::printf("OK      %s (model '%s', %zu nodes)\n",
+                            p.c_str(), m.benchmark.c_str(),
+                            m.nodes.size());
+            }
+            ++ok;
+            continue;
+        } catch (const FatalError &e) {
+            why = e.what();
+        }
+        ++corrupt;
+        if (quarantine) {
+            const std::string moved = persist::quarantineFile(p);
+            std::printf("CORRUPT %s -> %s\n  %s\n", p.c_str(),
+                        moved.empty() ? "(quarantine failed)"
+                                      : moved.c_str(),
+                        why.c_str());
+        } else {
+            std::printf("CORRUPT %s\n  %s\n", p.c_str(),
+                        why.c_str());
+        }
+    }
+    std::printf("%zu ok, %zu corrupt, %zu resumable journal%s\n",
+                ok, corrupt, journals, journals == 1 ? "" : "s");
+    return corrupt == 0 ? 0 : 1;
 }
 
 struct PairData
@@ -419,7 +533,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: wsel_cli <characterize|campaign|analyze|select|"
-        "confidence|simulate|report> [--options]\n"
+        "confidence|simulate|report|cache> [--options]\n"
         "see the file header of tools/wsel_cli.cc for details\n");
     return 2;
 }
@@ -433,6 +547,8 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     try {
+        if (cmd == "cache")
+            return cmdCache(argc, argv);
         const Args args(argc, argv);
         if (cmd == "characterize")
             return cmdCharacterize(args);
