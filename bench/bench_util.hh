@@ -16,6 +16,10 @@
  *    8 cores (default 24).
  *  - WSEL_DRAWS: resampling count for empirical confidence
  *    (default 2000; paper 1000-10000).
+ *  - WSEL_JOBS: worker threads for campaign simulation and model
+ *    building (default: all hardware threads).  The IPC numbers
+ *    are bitwise identical for any job count
+ *    (docs/PARALLELISM.md).
  *
  * Campaigns acquired here are fault-tolerant (docs/ROBUSTNESS.md):
  * they checkpoint per-workload progress to a `*.partial` journal
@@ -156,6 +160,7 @@ badcoPopulationCampaign(std::uint32_t cores, std::size_t limit,
                               defaultCacheDir());
         CampaignOptions opts;
         opts.verbose = verbose;
+        opts.jobs = 0; // auto: $WSEL_JOBS, else hardware threads
         opts.journalPath = journal;
         std::fprintf(stderr,
                      "[wsel] simulating %zu x %zu workloads "
@@ -217,6 +222,7 @@ detailedSampleCampaign(std::uint32_t cores, bool verbose = true)
         CampaignOptions opts;
         opts.verbose = verbose;
         opts.progressEvery = 50;
+        opts.jobs = 0; // auto: $WSEL_JOBS, else hardware threads
         opts.journalPath = journal;
         std::fprintf(stderr,
                      "[wsel] simulating %zu x %zu workloads "

@@ -6,11 +6,20 @@
  * and 2.5->1.2 MIPS for BADCO (speedups 15x to 68x); absolute
  * numbers differ on our scaled substrate, the shape (BADCO much
  * faster, speedup growing with core count) is the target.
+ *
+ * A second table reports host-parallel scaling: the same BADCO
+ * campaign run with --jobs 1/2/4/8 on the exec/ work-stealing
+ * pool, with wall-clock speedup over the serial run and a check
+ * that every job count produced the identical IPC matrix
+ * (docs/PARALLELISM.md).  WSEL_SCALE_WORKLOADS sizes the campaign
+ * (default 24 workloads).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "exec/scheduler.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
 
@@ -78,5 +87,56 @@ main()
     for (int i = 0; i < 4; ++i)
         std::printf(" %8.1f", mips_bad[i] / mips_det[i]);
     std::printf("   (paper: 14.8 25.2 38.9 68.1)\n");
+
+    // Host-parallel scaling of one BADCO campaign across worker
+    // threads.  The matrices must match bitwise for every job
+    // count; the speedup column shows what the exec/ scheduler
+    // buys on this host (bounded by its hardware threads).
+    const std::size_t scale_n = static_cast<std::size_t>(
+        envU64("WSEL_SCALE_WORKLOADS", 24));
+    const std::uint32_t scale_cores = 4;
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), scale_cores);
+    const auto workloads = subsamplePopulation(pop, scale_n);
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(scale_cores, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, target, ucfg.llcHitLatency,
+                          defaultCacheDir());
+
+    std::printf("\nHOST-PARALLEL CAMPAIGN SCALING "
+                "(badco, %u cores, %zu workloads x %zu policies, "
+                "%u hardware threads)\n\n",
+                scale_cores, workloads.size(),
+                paperPolicies().size(),
+                static_cast<unsigned>(exec::hardwareConcurrency()));
+    std::printf("%-10s %10s %10s %12s\n", "jobs", "seconds",
+                "speedup", "matrix");
+
+    double serial_sec = 0.0;
+    Campaign ref;
+    const std::size_t job_counts[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        CampaignOptions opts;
+        opts.jobs = job_counts[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        const Campaign c =
+            runBadcoCampaign(workloads, paperPolicies(),
+                             scale_cores, target, store, suite,
+                             opts);
+        const double sec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               t0)
+                               .count();
+        if (i == 0) {
+            serial_sec = sec;
+            ref = c;
+        }
+        const bool same = c.ipc == ref.ipc && c.refIpc == ref.refIpc;
+        std::printf("%-10zu %10.2f %10.2f %12s\n", job_counts[i],
+                    sec, serial_sec / sec,
+                    same ? "identical" : "DIVERGED");
+        if (!same)
+            return 1;
+    }
     return 0;
 }

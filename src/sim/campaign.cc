@@ -1,12 +1,16 @@
 #include "sim/campaign.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
+#include "exec/scheduler.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
 
@@ -328,21 +332,25 @@ loadImpl(const std::string &path)
 
 /**
  * Append-only checkpoint journal for a running campaign: one
- * self-checksummed line per completed (policy, workload) cell,
- * fsynced as written, so a killed campaign loses at most the cell
- * in flight.  A journal left by a previous run is replayed when
- * the header (fingerprint and shape) matches; a mismatched or
- * damaged header quarantines the journal and starts fresh; a
- * damaged tail (the record being written at the kill) is dropped
- * and truncated away.
+ * self-checksummed line per completed (policy, workload) cell, so
+ * a killed campaign loses at most the unflushed batch (batch size
+ * 1, the serial default, fsyncs every cell before the next
+ * starts).  Appends are serialized by a mutex, so the parallel
+ * campaign runners may call append from any worker.  A journal
+ * left by a previous run is replayed when the header (fingerprint
+ * and shape) matches; a mismatched or damaged header quarantines
+ * the journal and starts fresh; a damaged tail (the record being
+ * written at the kill) is dropped and truncated away.
  */
 class CampaignJournal
 {
   public:
     CampaignJournal(std::string path, std::uint64_t fingerprint,
-                    std::size_t npolicies, std::size_t nworkloads)
+                    std::size_t npolicies, std::size_t nworkloads,
+                    std::size_t batch = 1)
         : path_(std::move(path)), fingerprint_(fingerprint),
-          np_(npolicies), nw_(nworkloads), done_(np_ * nw_, 0),
+          np_(npolicies), nw_(nworkloads),
+          batch_(batch ? batch : 1), done_(np_ * nw_, 0),
           cells_(np_ * nw_)
     {
         replay();
@@ -351,6 +359,13 @@ class CampaignJournal
 
     ~CampaignJournal()
     {
+        try {
+            std::lock_guard<std::mutex> g(mu_);
+            flushLocked();
+        } catch (...) {
+            // Best-effort: a record lost here is simply
+            // re-simulated on resume.
+        }
 #ifdef WSEL_HAVE_POSIX_IO
         if (fd_ >= 0)
             ::close(fd_);
@@ -383,10 +398,16 @@ class CampaignJournal
         return replayedInstructions_;
     }
 
-    /** Record a completed cell; durable once this returns. */
+    /**
+     * Record a completed cell.  Durable once the batch it belongs
+     * to is flushed: immediately at batch size 1, otherwise by the
+     * flush when the batch fills, by flush(), or by the
+     * destructor.  Thread-safe.
+     */
     void
     append(std::size_t p, std::size_t w, const SimResult &r)
     {
+        std::lock_guard<std::mutex> g(mu_);
         persist::faultPoint("journal.before-append");
         std::ostringstream os;
         os.precision(17);
@@ -395,12 +416,43 @@ class CampaignJournal
             os << (k ? ";" : "") << r.ipc[k];
         os << "," << r.wallSeconds << "," << r.instructions;
         const std::string prefix = os.str();
-        writeLine(prefix + "," +
-                  persist::toHex(persist::fnv1a(prefix)) + "\n");
-        persist::faultPoint("journal.append");
+        buffer_.push_back(prefix + "," +
+                          persist::toHex(persist::fnv1a(prefix)) +
+                          "\n");
+        if (buffer_.size() >= batch_)
+            flushLocked();
+    }
+
+    /** Write and fsync every buffered record.  Thread-safe. */
+    void
+    flush()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        flushLocked();
     }
 
   private:
+    /**
+     * Flush the buffer with one write and one fsync.  The
+     * journal.append fault point fires once per record after the
+     * fsync, preserving the serial contract ("killed after the
+     * nth durable record") that the resilience tests count on.
+     */
+    void
+    flushLocked()
+    {
+        if (buffer_.empty())
+            return;
+        std::string block;
+        for (const std::string &line : buffer_)
+            block += line;
+        const std::size_t n = buffer_.size();
+        buffer_.clear();
+        writeLine(block);
+        for (std::size_t i = 0; i < n; ++i)
+            persist::faultPoint("journal.append");
+    }
+
     std::string
     headerLine() const
     {
@@ -547,6 +599,9 @@ class CampaignJournal
     std::string path_;
     std::uint64_t fingerprint_;
     std::size_t np_, nw_;
+    std::size_t batch_;
+    std::mutex mu_;
+    std::vector<std::string> buffer_;
     std::vector<char> done_;
     std::vector<std::vector<double>> cells_;
     std::size_t replayed_ = 0;
@@ -566,8 +621,12 @@ openJournal(const CampaignOptions &opts, Campaign &c,
 {
     if (opts.journalPath.empty())
         return nullptr;
+    std::size_t batch = opts.journalBatch;
+    if (batch == 0)
+        batch = exec::resolveJobs(opts.jobs) > 1 ? 16 : 1;
     auto j = std::make_unique<CampaignJournal>(
-        opts.journalPath, c.fingerprint, npolicies, nworkloads);
+        opts.journalPath, c.fingerprint, npolicies, nworkloads,
+        batch);
     if (j->replayedCount() > 0) {
         c.simSeconds += j->replayedSeconds();
         c.instructions += j->replayedInstructions();
@@ -577,6 +636,73 @@ openJournal(const CampaignOptions &opts, Campaign &c,
                 " cells already simulated");
     }
     return j;
+}
+
+/**
+ * Shared cell-execution engine behind the campaign runners.
+ * Resolves journaled cells, runs the rest via @p run_cell — a
+ * plain row-major loop when the resolved job count is 1 (the
+ * legacy serial semantics the resilience tests rely on), a
+ * work-stealing pool otherwise — and accumulates simSeconds and
+ * instructions per cell in index order, so the totals (and the
+ * IPC matrix) are bitwise independent of the thread count and of
+ * task completion order.
+ */
+void
+runCells(Campaign &c, const CampaignOptions &opts,
+         CampaignJournal *journal, const std::string &sim_name,
+         const std::function<SimResult(std::size_t, std::size_t,
+                                       std::uint64_t)> &run_cell)
+{
+    const std::size_t nw = c.workloads.size();
+    const std::size_t total = c.policies.size() * nw;
+    const std::size_t jobs = exec::resolveJobs(opts.jobs);
+    std::vector<double> wall(total, 0.0);
+    std::vector<std::uint64_t> insns(total, 0);
+    std::atomic<std::size_t> done{0};
+    auto label = [&](std::size_t p) {
+        return sim_name + " " + toString(c.policies[p]);
+    };
+    auto cell = [&](std::size_t idx) {
+        const std::size_t p = idx / nw;
+        const std::size_t w = idx % nw;
+        if (journal && journal->done(p, w)) {
+            c.ipc[p][w] = journal->cell(p, w);
+            progress(opts, label(p) + " (resumed)",
+                     done.fetch_add(1) + 1, total);
+            return;
+        }
+        const SimResult r = run_cell(
+            p, w, campaignCellSeed(c.fingerprint, opts.seed, p, w));
+        c.ipc[p][w] = r.ipc;
+        wall[idx] = r.wallSeconds;
+        insns[idx] = r.instructions;
+        if (journal)
+            journal->append(p, w, r);
+        progress(opts, label(p), done.fetch_add(1) + 1, total);
+    };
+    if (jobs <= 1) {
+        for (std::size_t idx = 0; idx < total; ++idx)
+            cell(idx);
+    } else {
+        exec::ThreadPool pool(jobs);
+        exec::parallel_for(pool, std::size_t{0}, total, cell);
+        if (opts.verbose) {
+            const exec::SchedulerStats st = pool.stats();
+            std::ostringstream os;
+            os << "  [" << sim_name << "] " << st.threads
+               << " jobs, " << st.tasksRun << " tasks, "
+               << st.tasksStolen << " stolen, " << st.tasksHelped
+               << " helped";
+            logLine(os.str());
+        }
+    }
+    if (journal)
+        journal->flush();
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        c.simSeconds += wall[idx];
+        c.instructions += insns[idx];
+    }
 }
 
 } // namespace
@@ -599,6 +725,20 @@ campaignFingerprint(const std::string &simulator,
         h.updateU64(p.parameterHash());
     }
     return h.digest();
+}
+
+std::uint64_t
+campaignCellSeed(std::uint64_t fingerprint,
+                 std::uint64_t base_seed, std::size_t policy,
+                 std::size_t workload)
+{
+    persist::Fnv1a h;
+    h.updateU64(fingerprint);
+    h.updateU64(base_seed);
+    h.updateU64(policy);
+    h.updateU64(workload);
+    const std::uint64_t seed = h.digest();
+    return seed ? seed : 0x9e3779b97f4a7c15ULL;
 }
 
 std::size_t
@@ -724,7 +864,7 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
                                         suite);
 
     const std::vector<const BadcoModel *> models =
-        store.getSuite(suite);
+        store.getSuite(suite, exec::resolveJobs(opts.jobs));
 
     {
         UncoreConfig ref =
@@ -737,29 +877,17 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
                  std::vector<std::vector<double>>(workloads.size()));
     auto journal =
         openJournal(opts, c, policies.size(), workloads.size());
-    const std::size_t total = policies.size() * workloads.size();
-    std::size_t done = 0;
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        const std::string what = "badco " + toString(policies[p]);
-        const UncoreConfig ucfg =
-            UncoreConfig::forCores(cores, policies[p]);
-        const BadcoMulticoreSim sim(ucfg, cores, target_uops,
-                                    opts.seed);
-        for (std::size_t w = 0; w < workloads.size(); ++w) {
-            if (journal && journal->done(p, w)) {
-                c.ipc[p][w] = journal->cell(p, w);
-                progress(opts, what + " (resumed)", ++done, total);
-                continue;
-            }
-            const SimResult r = sim.run(workloads[w], models);
-            c.ipc[p][w] = r.ipc;
-            c.simSeconds += r.wallSeconds;
-            c.instructions += r.instructions;
-            if (journal)
-                journal->append(p, w, r);
-            progress(opts, what, ++done, total);
-        }
-    }
+    std::vector<UncoreConfig> ucfgs;
+    ucfgs.reserve(policies.size());
+    for (PolicyKind p : policies)
+        ucfgs.push_back(UncoreConfig::forCores(cores, p));
+    runCells(c, opts, journal.get(), "badco",
+             [&](std::size_t p, std::size_t w,
+                 std::uint64_t seed) -> SimResult {
+                 const BadcoMulticoreSim sim(ucfgs[p], cores,
+                                             target_uops, seed);
+                 return sim.run(workloads[w], models);
+             });
     return c;
 }
 
@@ -797,29 +925,18 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
                  std::vector<std::vector<double>>(workloads.size()));
     auto journal =
         openJournal(opts, c, policies.size(), workloads.size());
-    const std::size_t total = policies.size() * workloads.size();
-    std::size_t done = 0;
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        const std::string what = "detailed " + toString(policies[p]);
-        const UncoreConfig ucfg =
-            UncoreConfig::forCores(cores, policies[p]);
-        const DetailedMulticoreSim sim(core_cfg, ucfg, cores,
-                                       target_uops, opts.seed);
-        for (std::size_t w = 0; w < workloads.size(); ++w) {
-            if (journal && journal->done(p, w)) {
-                c.ipc[p][w] = journal->cell(p, w);
-                progress(opts, what + " (resumed)", ++done, total);
-                continue;
-            }
-            const SimResult r = sim.run(workloads[w], suite);
-            c.ipc[p][w] = r.ipc;
-            c.simSeconds += r.wallSeconds;
-            c.instructions += r.instructions;
-            if (journal)
-                journal->append(p, w, r);
-            progress(opts, what, ++done, total);
-        }
-    }
+    std::vector<UncoreConfig> ucfgs;
+    ucfgs.reserve(policies.size());
+    for (PolicyKind p : policies)
+        ucfgs.push_back(UncoreConfig::forCores(cores, p));
+    runCells(c, opts, journal.get(), "detailed",
+             [&](std::size_t p, std::size_t w,
+                 std::uint64_t seed) -> SimResult {
+                 const DetailedMulticoreSim sim(core_cfg, ucfgs[p],
+                                                cores, target_uops,
+                                                seed);
+                 return sim.run(workloads[w], suite);
+             });
     return c;
 }
 

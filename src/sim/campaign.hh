@@ -14,6 +14,12 @@
  * workload) cell to a journal and resume after a crash, and a
  * corrupt or stale cache file is quarantined and regenerated
  * instead of aborting the run.
+ *
+ * The policy x workload matrix is embarrassingly parallel: with
+ * CampaignOptions::jobs > 1 the cells run on the exec/ work-stealing
+ * pool, each seeded independently by campaignCellSeed, and the
+ * resulting IPC matrix is bitwise identical to a serial run
+ * (docs/PARALLELISM.md).
  */
 
 #ifndef WSEL_SIM_CAMPAIGN_HH
@@ -126,6 +132,20 @@ std::uint64_t campaignFingerprint(
     const std::vector<PolicyKind> &policies,
     const std::vector<BenchmarkProfile> &suite);
 
+/**
+ * Seed for one (policy, workload) cell: derived from the campaign
+ * fingerprint, the campaign base seed and the cell coordinates, so
+ * every cell is an independent deterministic stream whose value
+ * does not depend on which thread simulates it or in which order.
+ * This is the determinism contract behind CampaignOptions::jobs
+ * (docs/PARALLELISM.md): an N-job run is bitwise identical to a
+ * 1-job run.  Never returns 0.
+ */
+std::uint64_t campaignCellSeed(std::uint64_t fingerprint,
+                               std::uint64_t base_seed,
+                               std::size_t policy,
+                               std::size_t workload);
+
 /** Options shared by the campaign runners. */
 struct CampaignOptions
 {
@@ -134,11 +154,32 @@ struct CampaignOptions
     std::size_t progressEvery = 500;
 
     /**
+     * Worker threads simulating (policy, workload) cells.  1 (the
+     * default) runs the cells serially on the calling thread in
+     * row-major order; 0 asks for exec::defaultJobs() ($WSEL_JOBS,
+     * else the hardware concurrency); N > 1 uses a work-stealing
+     * pool of N threads.  The IPC matrix is bitwise independent of
+     * this setting (docs/PARALLELISM.md).
+     */
+    std::size_t jobs = 1;
+
+    /**
+     * Journal records buffered per fsync.  0 (the default) picks
+     * automatically: 1 when running serially (every cell durable
+     * before the next starts, the PR-1 contract), a small batch
+     * when jobs > 1 so concurrent completions amortize the fsync.
+     * A kill loses at most the unflushed batch; completed batches
+     * and the final artifact are always durable.
+     */
+    std::size_t journalBatch = 0;
+
+    /**
      * When non-empty, each completed (policy, workload) cell is
-     * appended (and fsynced) to this journal file, and a journal
-     * left behind by a killed run is replayed on start so the
-     * campaign resumes from the first missing cell.  The caller
-     * removes the journal once the final artifact is saved.
+     * appended (and fsynced, see journalBatch) to this journal
+     * file, and a journal left behind by a killed run is replayed
+     * on start so the campaign resumes from the first missing
+     * cell.  The caller removes the journal once the final
+     * artifact is saved.
      */
     std::string journalPath;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cpu/detailed_core.hh"
+#include "exec/scheduler.hh"
 #include "mem/uncore.hh"
 #include "stats/logging.hh"
 #include "trace/trace_generator.hh"
@@ -79,13 +80,23 @@ std::vector<BenchmarkFeatures>
 characterizeSuite(const std::vector<BenchmarkProfile> &suite,
                   const CoreConfig &core_cfg,
                   const UncoreConfig &uncore_cfg,
-                  std::uint64_t target_uops, std::uint64_t seed)
+                  std::uint64_t target_uops, std::uint64_t seed,
+                  std::size_t jobs)
 {
-    std::vector<BenchmarkFeatures> out;
-    out.reserve(suite.size());
-    for (const BenchmarkProfile &p : suite)
-        out.push_back(characterizeBenchmark(p, core_cfg, uncore_cfg,
-                                            target_uops, seed));
+    std::vector<BenchmarkFeatures> out(suite.size());
+    const std::size_t resolved = exec::resolveJobs(jobs);
+    if (resolved <= 1 || suite.size() <= 1) {
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            out[i] = characterizeBenchmark(
+                suite[i], core_cfg, uncore_cfg, target_uops, seed);
+        return out;
+    }
+    exec::ThreadPool pool(resolved);
+    exec::parallel_for(
+        pool, std::size_t{0}, suite.size(), [&](std::size_t i) {
+            out[i] = characterizeBenchmark(
+                suite[i], core_cfg, uncore_cfg, target_uops, seed);
+        });
     return out;
 }
 

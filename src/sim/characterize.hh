@@ -62,11 +62,18 @@ BenchmarkFeatures characterizeBenchmark(
     const UncoreConfig &uncore_cfg, std::uint64_t target_uops,
     std::uint64_t seed = 1);
 
-/** Characterize a whole suite (suite order preserved). */
+/**
+ * Characterize a whole suite (suite order preserved).  Each
+ * benchmark runs with the same @p seed, so the result does not
+ * depend on @p jobs; with jobs != 1 the benchmarks run
+ * concurrently on the exec/ work-stealing pool (0 asks for
+ * exec::defaultJobs()).
+ */
 std::vector<BenchmarkFeatures> characterizeSuite(
     const std::vector<BenchmarkProfile> &suite,
     const CoreConfig &core_cfg, const UncoreConfig &uncore_cfg,
-    std::uint64_t target_uops, std::uint64_t seed = 1);
+    std::uint64_t target_uops, std::uint64_t seed = 1,
+    std::size_t jobs = 1);
 
 /** Feature matrix for core/classify from characterizations. */
 std::vector<std::vector<double>> featureMatrix(

@@ -2,9 +2,13 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
+#include <optional>
+#include <set>
 #include <sstream>
 
+#include "exec/scheduler.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
 
@@ -39,23 +43,21 @@ BadcoModelStore::cachePath(const BenchmarkProfile &profile) const
     return os.str();
 }
 
-const BadcoModel &
-BadcoModelStore::get(const BenchmarkProfile &profile)
+BadcoModel
+BadcoModelStore::loadOrBuild(const BenchmarkProfile &profile,
+                             double &build_seconds,
+                             bool &built) const
 {
-    auto it = models_.find(profile.name);
-    if (it != models_.end())
-        return it->second;
+    build_seconds = 0.0;
+    built = false;
 
     if (!cacheDir_.empty()) {
         const std::string path = cachePath(profile);
         if (std::filesystem::exists(path)) {
             try {
                 BadcoModel m = BadcoModel::loadFile(path);
-                if (m.traceUops == targetUops_) {
-                    return models_
-                        .emplace(profile.name, std::move(m))
-                        .first->second;
-                }
+                if (m.traceUops == targetUops_)
+                    return m;
                 warn("stale BADCO model cache at " + path +
                      "; rebuilding");
             } catch (const FatalError &e) {
@@ -75,19 +77,68 @@ BadcoModelStore::get(const BenchmarkProfile &profile)
     const auto t0 = std::chrono::steady_clock::now();
     BadcoModel m = buildBadcoModel(profile, coreCfg_, targetUops_,
                                    llcHitLatency_);
-    buildSeconds_ += std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
-    ++built_;
+    build_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    built = true;
 
     if (!cacheDir_.empty())
         m.saveFile(cachePath(profile));
+    return m;
+}
+
+const BadcoModel &
+BadcoModelStore::get(const BenchmarkProfile &profile)
+{
+    auto it = models_.find(profile.name);
+    if (it != models_.end())
+        return it->second;
+    double secs = 0.0;
+    bool built = false;
+    BadcoModel m = loadOrBuild(profile, secs, built);
+    buildSeconds_ += secs;
+    built_ += built ? 1 : 0;
     return models_.emplace(profile.name, std::move(m)).first->second;
 }
 
 std::vector<const BadcoModel *>
-BadcoModelStore::getSuite(const std::vector<BenchmarkProfile> &suite)
+BadcoModelStore::getSuite(const std::vector<BenchmarkProfile> &suite,
+                          std::size_t jobs)
 {
+    const std::size_t resolved = exec::resolveJobs(jobs);
+    if (resolved > 1) {
+        // Phase 1: build or load every model not yet in memory,
+        // concurrently.  Duplicate names are built once; the map
+        // and the cost counters are only updated in the serial
+        // phase below, in suite order.
+        std::vector<const BenchmarkProfile *> missing;
+        std::set<std::string> queued;
+        for (const BenchmarkProfile &p : suite) {
+            if (models_.count(p.name) || !queued.insert(p.name).second)
+                continue;
+            missing.push_back(&p);
+        }
+        if (missing.size() > 1) {
+            std::vector<std::optional<BadcoModel>> slot(
+                missing.size());
+            std::vector<double> secs(missing.size(), 0.0);
+            std::deque<bool> built(missing.size(), false);
+            exec::ThreadPool pool(resolved);
+            exec::parallel_for(
+                pool, std::size_t{0}, missing.size(),
+                [&](std::size_t i) {
+                    bool b = false;
+                    slot[i] = loadOrBuild(*missing[i], secs[i], b);
+                    built[i] = b;
+                });
+            for (std::size_t i = 0; i < missing.size(); ++i) {
+                models_.emplace(missing[i]->name,
+                                std::move(*slot[i]));
+                buildSeconds_ += secs[i];
+                built_ += built[i] ? 1 : 0;
+            }
+        }
+    }
     std::vector<const BadcoModel *> out;
     out.reserve(suite.size());
     for (const BenchmarkProfile &p : suite)

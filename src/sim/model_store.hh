@@ -43,9 +43,18 @@ class BadcoModelStore
     /** Get (building or loading if needed) a benchmark's model. */
     const BadcoModel &get(const BenchmarkProfile &profile);
 
-    /** Models for a whole suite, indexed like the suite. */
+    /**
+     * Models for a whole suite, indexed like the suite.  With
+     * jobs != 1 the missing models are built (or loaded from
+     * disk) concurrently on the exec/ work-stealing pool — model
+     * building is per-benchmark pure, only the map insertion is
+     * serialized — and the result is identical to a serial call.
+     * The store itself is not thread-safe: call get/getSuite from
+     * one thread at a time.
+     */
     std::vector<const BadcoModel *> getSuite(
-        const std::vector<BenchmarkProfile> &suite);
+        const std::vector<BenchmarkProfile> &suite,
+        std::size_t jobs = 1);
 
     /** Host seconds spent building models so far. */
     double buildSeconds() const { return buildSeconds_; }
@@ -55,6 +64,15 @@ class BadcoModelStore
 
   private:
     std::string cachePath(const BenchmarkProfile &profile) const;
+
+    /**
+     * Load @p profile's model from the disk cache or build it,
+     * reporting build cost via the out-parameters.  Does not touch
+     * the in-memory map or the counters, so getSuite can run it
+     * for several benchmarks concurrently.
+     */
+    BadcoModel loadOrBuild(const BenchmarkProfile &profile,
+                           double &build_seconds, bool &built) const;
 
     CoreConfig coreCfg_;
     std::uint64_t targetUops_;

@@ -1,17 +1,22 @@
 #!/usr/bin/env sh
-# CI entry point: build and test the release and asan-ubsan presets.
+# CI entry point: build and test the release, asan-ubsan and tsan
+# presets.
 #
 # The tier-1 command (cmake -B build -S . && cmake --build build &&
 # ctest) is unchanged; this script is a superset used to shake out
-# memory and UB errors in the persistence / fault-injection paths.
+# memory and UB errors in the persistence / fault-injection paths
+# and data races in the exec/ scheduler (the tsan test preset runs
+# the scheduler and parallel-campaign determinism suites under
+# ThreadSanitizer).
 #
-# Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan)
+# Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
+#        tsan)
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-presets="${*:-release asan-ubsan}"
+presets="${*:-release asan-ubsan tsan}"
 
 for preset in $presets; do
     echo "==> configure: $preset"

@@ -3,13 +3,17 @@
  * wsel command-line interface: drive the paper's methodology from a
  * shell.
  *
- *   wsel_cli characterize [--cores K] [--insns N]
+ *   wsel_cli characterize [--cores K] [--insns N] [--jobs N]
  *       per-benchmark features and automatic vs Table-IV classes
  *   wsel_cli campaign --out FILE [--cores K] [--insns N]
  *       [--policies LRU,DIP,...] [--limit N] [--resume 0|1]
+ *       [--jobs N]
  *       run a BADCO population campaign and save it as CSV;
  *       progress checkpoints to FILE.partial and, by default, an
- *       interrupted run resumes from it (--resume 0 restarts)
+ *       interrupted run resumes from it (--resume 0 restarts);
+ *       --jobs N simulates cells on N worker threads (default 0 =
+ *       $WSEL_JOBS, else all hardware threads; the result is
+ *       bitwise identical to --jobs 1, see docs/PARALLELISM.md)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -125,12 +129,15 @@ cmdCharacterize(const Args &args)
     const UncoreConfig ucfg =
         UncoreConfig::forCores(cores, PolicyKind::LRU);
 
+    const std::size_t jobs =
+        static_cast<std::size_t>(args.getU64("jobs", 0));
+
     std::printf("characterizing %zu benchmarks (%llu uops, %u-core "
                 "uncore)...\n\n",
                 suite.size(),
                 static_cast<unsigned long long>(insns), cores);
-    const auto feats =
-        characterizeSuite(suite, CoreConfig{}, ucfg, insns);
+    const auto feats = characterizeSuite(suite, CoreConfig{}, ucfg,
+                                         insns, 1, jobs);
 
     Rng rng(1);
     const auto auto_cls = classifyByFeatures(
@@ -185,6 +192,8 @@ cmdCampaign(const Args &args)
                           defaultCacheDir());
     CampaignOptions opts;
     opts.verbose = true;
+    // 0 = auto: $WSEL_JOBS when set, else all hardware threads.
+    opts.jobs = static_cast<std::size_t>(args.getU64("jobs", 0));
     // Checkpoint each completed (policy, workload) cell so a killed
     // campaign can pick up where it left off (--resume 0 restarts).
     const std::string out = args.get("out", "");
