@@ -20,6 +20,11 @@
  *    building (default: all hardware threads).  The IPC numbers
  *    are bitwise identical for any job count
  *    (docs/PARALLELISM.md).
+ *  - WSEL_METRICS / WSEL_TRACE / WSEL_TRACE_BUF: observability
+ *    outputs (docs/OBSERVABILITY.md).  WSEL_METRICS=1 prints a
+ *    metrics table to stderr when the bench exits; WSEL_METRICS=
+ *    FILE writes the JSON snapshot; WSEL_TRACE=FILE records a
+ *    Chrome/Perfetto trace of the run.
  *
  * Campaigns acquired here are fault-tolerant (docs/ROBUSTNESS.md):
  * they checkpoint per-workload progress to a `*.partial` journal
@@ -41,6 +46,7 @@
 #include <vector>
 
 #include "core/confidence/confidence.hh"
+#include "obs/obs.hh"
 #include "stats/logging.hh"
 #include "core/sampling/sampling.hh"
 #include "sim/campaign.hh"
@@ -48,6 +54,28 @@
 
 namespace wsel::bench
 {
+
+/**
+ * Per-process observability bracket for the bench binaries: picks
+ * up $WSEL_METRICS / $WSEL_TRACE on construction and writes the
+ * configured outputs when the process exits, so every bench gets
+ * `WSEL_METRICS=1 ./bench_x` reporting with no per-bench code.
+ */
+struct ObsSession
+{
+    ObsSession() { obs::initFromEnv(); }
+
+    ~ObsSession()
+    {
+        // Default to the stderr table when metrics were enabled
+        // programmatically without an output destination.
+        if (obs::metricsEnabled() && obs::metricsOutput().empty())
+            obs::setMetricsOutput("-");
+        obs::flushOutputs();
+    }
+};
+
+inline ObsSession obsSession;
 
 /** Read an integer environment knob with a default. */
 inline std::uint64_t

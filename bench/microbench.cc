@@ -3,7 +3,10 @@
  * google-benchmark microbenchmarks for the library's hot paths:
  * RNG draws, trace generation, cache accesses per policy, TAGE
  * prediction, uncore requests, detailed-core cycles and BADCO
- * machine steps.
+ * machine steps — plus the observability primitives (counter
+ * increments and span enter/exit), measured both enabled and
+ * disabled to back the near-zero-overhead-when-off claim in
+ * docs/OBSERVABILITY.md.
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +17,8 @@
 #include "cpu/detailed_core.hh"
 #include "cpu/tage.hh"
 #include "mem/uncore.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "trace/trace_generator.hh"
 
 namespace
@@ -132,6 +137,44 @@ BM_BadcoMachineStep(benchmark::State &state)
         static_cast<std::int64_t>(machine.stats().uops));
 }
 BENCHMARK(BM_BadcoMachineStep);
+
+// -------------------------------------------------------------------
+// Observability primitives (docs/OBSERVABILITY.md)
+// -------------------------------------------------------------------
+
+void
+BM_ObsCounterInc(benchmark::State &state)
+{
+    obs::enableMetrics(state.range(0) != 0);
+    obs::Counter &c = obs::counter("microbench.counter");
+    for (auto _ : state)
+        c.inc();
+    obs::enableMetrics(false);
+    state.SetLabel(state.range(0) ? "enabled" : "disabled");
+    state.SetItemsProcessed(state.iterations());
+}
+// Threads(8) exercises the shard contention story: 8 threads
+// incrementing one counter must not bounce a shared cache line.
+BENCHMARK(BM_ObsCounterInc)->Arg(0)->Arg(1);
+BENCHMARK(BM_ObsCounterInc)->Arg(1)->Threads(8);
+
+void
+BM_ObsSpan(benchmark::State &state)
+{
+    if (state.range(0)) {
+        // Small ring: steady-state span cost includes the
+        // drop-oldest path, the honest number for a long campaign.
+        obs::enableTracing(1 << 10);
+    } else {
+        obs::disableTracing();
+    }
+    for (auto _ : state)
+        obs::Span span("microbench.span");
+    obs::disableTracing();
+    state.SetLabel(state.range(0) ? "enabled" : "disabled");
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpan)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/logging.hh"
 
 namespace wsel::exec
@@ -104,7 +106,12 @@ ThreadPool::submit(std::function<void()> body)
         std::lock_guard<std::mutex> g(workers_[target]->mu);
         workers_[target]->q.push_back(std::move(t));
     }
-    pending_.fetch_add(1, std::memory_order_release);
+    const std::uint64_t depth =
+        pending_.fetch_add(1, std::memory_order_release) + 1;
+    if (obs::metricsEnabled()) {
+        static obs::Gauge &g = obs::gauge("scheduler.queue_depth");
+        g.setAlways(static_cast<double>(depth));
+    }
     {
         std::lock_guard<std::mutex> g(waitMu_);
     }
@@ -121,7 +128,7 @@ ThreadPool::claim(std::size_t self, Task &out, bool &stolen)
         if (!own.q.empty()) {
             out = std::move(own.q.front());
             own.q.pop_front();
-            pending_.fetch_sub(1, std::memory_order_release);
+            noteClaimed();
             stolen = false;
             return true;
         }
@@ -136,12 +143,28 @@ ThreadPool::claim(std::size_t self, Task &out, bool &stolen)
         if (!victim.q.empty()) {
             out = std::move(victim.q.back());
             victim.q.pop_back();
-            pending_.fetch_sub(1, std::memory_order_release);
+            noteClaimed();
             stolen = true;
             return true;
         }
     }
+    if (obs::metricsEnabled()) {
+        static obs::Counter &fails =
+            obs::counter("scheduler.steal_fail");
+        fails.inc();
+    }
     return false;
+}
+
+void
+ThreadPool::noteClaimed()
+{
+    const std::uint64_t depth =
+        pending_.fetch_sub(1, std::memory_order_release) - 1;
+    if (obs::metricsEnabled()) {
+        static obs::Gauge &g = obs::gauge("scheduler.queue_depth");
+        g.setAlways(static_cast<double>(depth));
+    }
 }
 
 bool
@@ -153,9 +176,30 @@ ThreadPool::runOne(std::size_t self, bool helping)
         return false;
     const auto start = std::chrono::steady_clock::now();
     const double queued = seconds(start - t.enqueued);
-    t.body(); // group wrappers never let exceptions escape
-    const double ran =
-        seconds(std::chrono::steady_clock::now() - start);
+    {
+        obs::Span span(helping ? "exec.task.helped" : "exec.task");
+        t.body(); // group wrappers never let exceptions escape
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ran = seconds(end - start);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &run = obs::counter("scheduler.tasks_run");
+        static obs::Counter &stole =
+            obs::counter("scheduler.tasks_stolen");
+        static obs::Counter &helped =
+            obs::counter("scheduler.tasks_helped");
+        static obs::LatencyHistogram &queueNs =
+            obs::histogram("scheduler.queue_ns");
+        static obs::LatencyHistogram &runNs =
+            obs::histogram("scheduler.run_ns");
+        run.inc();
+        if (stolen && !helping)
+            stole.inc();
+        if (helping)
+            helped.inc();
+        queueNs.record(start - t.enqueued);
+        runNs.record(end - start);
+    }
     {
         std::lock_guard<std::mutex> g(statsMu_);
         ++stats_.tasksRun;
@@ -204,6 +248,11 @@ ThreadPool::workerLoop(std::size_t idx)
 void
 ThreadPool::noteCancelled()
 {
+    if (obs::metricsEnabled()) {
+        static obs::Counter &c =
+            obs::counter("scheduler.tasks_cancelled");
+        c.inc();
+    }
     std::lock_guard<std::mutex> g(statsMu_);
     ++stats_.tasksCancelled;
 }
@@ -344,10 +393,18 @@ TaskGraph::run()
         WSEL_FATAL("TaskGraph::run called twice");
     running_ = true;
     TaskGroup group(pool_);
+    // Collect the initially ready nodes before submitting any of
+    // them: once a node runs, workers decrement dependents' waits
+    // concurrently, and reading waits here unsynchronized could
+    // observe a dependent hitting zero mid-scan and release it a
+    // second time.
+    std::vector<NodeId> ready;
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         if (nodes_[id]->waits == 0)
-            release(group, id);
+            ready.push_back(id);
     }
+    for (NodeId id : ready)
+        release(group, id);
     group.wait(); // rethrows the first node error
     std::lock_guard<std::mutex> g(mu_);
     if (executed_ != nodes_.size())

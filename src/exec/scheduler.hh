@@ -138,6 +138,9 @@ class ThreadPool
      */
     bool claim(std::size_t self, Task &out, bool &stolen);
 
+    /** Decrement pending_ and refresh the queue-depth gauge. */
+    void noteClaimed();
+
     /** Claim-and-run helper shared by workers and helpOne. */
     bool runOne(std::size_t self, bool helping);
 

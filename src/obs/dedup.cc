@@ -1,0 +1,91 @@
+#include "obs/dedup.hh"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace wsel::obs
+{
+
+namespace
+{
+
+/**
+ * One slot of the open-addressed table.  `hash` is 0 while the
+ * slot is free; a writer claims it with a CAS and then counts via
+ * fetch_add.  A slot is never released (the table only ever fills
+ * up), which is what makes lock-free readers safe.
+ */
+struct Slot
+{
+    std::atomic<std::uint64_t> hash{0};
+    std::atomic<std::uint64_t> count{0};
+};
+
+constexpr std::size_t kSlots = 4096; ///< power of two
+constexpr std::size_t kMaxProbe = 16;
+
+std::array<Slot, kSlots> table;
+
+/** Overflow store for the (rare) case of a full probe window. */
+std::mutex overflowMu;
+std::unordered_map<std::uint64_t, std::uint64_t> &
+overflowMap()
+{
+    static std::unordered_map<std::uint64_t, std::uint64_t> m;
+    return m;
+}
+
+/** FNV-1a, local copy so this TU stays dependency-free. */
+std::uint64_t
+hashKey(std::string_view key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    // 0 marks a free slot; remap a genuine 0 digest.
+    return h ? h : 0x9e3779b97f4a7c15ULL;
+}
+
+} // namespace
+
+std::uint64_t
+noteRepeat(std::string_view key)
+{
+    const std::uint64_t h = hashKey(key);
+    for (std::size_t i = 0; i < kMaxProbe; ++i) {
+        Slot &s = table[(h + i) & (kSlots - 1)];
+        std::uint64_t have = s.hash.load(std::memory_order_acquire);
+        if (have == 0) {
+            // Free slot: try to claim it.  A losing racer re-reads
+            // and either finds our hash (shares the slot) or moves
+            // on to the next probe position.
+            if (s.hash.compare_exchange_strong(
+                    have, h, std::memory_order_acq_rel))
+                have = h;
+        }
+        if (have == h)
+            return s.count.fetch_add(1,
+                                     std::memory_order_relaxed) +
+                   1;
+    }
+    std::lock_guard<std::mutex> g(overflowMu);
+    return ++overflowMap()[h];
+}
+
+void
+resetRepeatCounts()
+{
+    for (Slot &s : table) {
+        s.hash.store(0, std::memory_order_relaxed);
+        s.count.store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> g(overflowMu);
+    overflowMap().clear();
+}
+
+} // namespace wsel::obs

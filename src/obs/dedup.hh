@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Lock-free message-repeat counting for rate-limited diagnostics.
+ *
+ * `warn()` in stats/logging.hh must decide "have I seen this
+ * message N times already?" on paths that may be hot loops inside
+ * pool workers.  The original implementation kept an
+ * unordered_map guarded by the global log mutex, so even fully
+ * suppressed warnings serialized every worker.  noteRepeat()
+ * replaces it with a fixed-size open-addressed table of atomic
+ * (hash, count) slots: the steady state of a flooding warning is
+ * one relaxed fetch_add with no lock and no allocation.
+ *
+ * This header is intentionally dependency-free (no logging.hh, no
+ * other obs headers) so stats/logging.hh can include it without an
+ * include cycle.
+ */
+
+#ifndef WSEL_OBS_DEDUP_HH
+#define WSEL_OBS_DEDUP_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace wsel::obs
+{
+
+/**
+ * Record one occurrence of @p key and return its 1-based
+ * occurrence count ("this is the nth time").  Thread-safe and
+ * lock-free for keys already in the table; distinct keys whose
+ * 64-bit hashes collide share a count (harmless for rate
+ * limiting).  When the fixed table fills up, overflow keys fall
+ * back to a small mutex-guarded map rather than losing counts.
+ */
+std::uint64_t noteRepeat(std::string_view key);
+
+/**
+ * Forget every recorded key (counts restart at 1).  Test-only:
+ * not safe against concurrent noteRepeat callers.
+ */
+void resetRepeatCounts();
+
+} // namespace wsel::obs
+
+#endif // WSEL_OBS_DEDUP_HH

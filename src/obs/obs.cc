@@ -1,0 +1,139 @@
+#include "obs/obs.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "stats/logging.hh"
+
+namespace wsel::obs
+{
+
+namespace
+{
+
+/**
+ * Output sinks. Deliberately leaked (never destroyed): benches
+ * flush from a static destructor in another translation unit, and
+ * cross-TU destruction order is unspecified.
+ */
+struct Outputs
+{
+    std::mutex mu;
+    std::string metricsOut; // "" = none, "-" = stderr table, else path
+    std::string traceOut;   // "" = none, else path
+};
+
+Outputs &
+outputs()
+{
+    static Outputs *o = new Outputs;
+    return *o;
+}
+
+std::string
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? std::string(v) : std::string();
+}
+
+} // namespace
+
+void
+setMetricsOutput(std::string path)
+{
+    Outputs &o = outputs();
+    std::lock_guard<std::mutex> lk(o.mu);
+    o.metricsOut = std::move(path);
+}
+
+void
+setTraceOutput(std::string path)
+{
+    Outputs &o = outputs();
+    std::lock_guard<std::mutex> lk(o.mu);
+    o.traceOut = std::move(path);
+}
+
+std::string
+metricsOutput()
+{
+    Outputs &o = outputs();
+    std::lock_guard<std::mutex> lk(o.mu);
+    return o.metricsOut;
+}
+
+std::string
+traceOutput()
+{
+    Outputs &o = outputs();
+    std::lock_guard<std::mutex> lk(o.mu);
+    return o.traceOut;
+}
+
+void
+initFromEnv()
+{
+    const std::string metrics = envString("WSEL_METRICS");
+    if (!metrics.empty() && metrics != "0") {
+        enableMetrics();
+        if (metrics == "1" || metrics == "-" || metrics == "stderr")
+            setMetricsOutput("-");
+        else
+            setMetricsOutput(metrics);
+    }
+
+    const std::string trace = envString("WSEL_TRACE");
+    if (!trace.empty() && trace != "0") {
+        std::size_t capacity = 1 << 16;
+        const std::string buf = envString("WSEL_TRACE_BUF");
+        if (!buf.empty()) {
+            try {
+                capacity = static_cast<std::size_t>(std::stoull(buf));
+            } catch (const std::exception &) {
+                warn("ignoring invalid WSEL_TRACE_BUF '" + buf + "'");
+            }
+        }
+        enableTracing(capacity);
+        setTraceOutput(trace == "1" ? "wsel_trace.json" : trace);
+    }
+}
+
+void
+writeMetricsJson(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        WSEL_FATAL("cannot open metrics output '" << path << "'");
+    out << metricsSnapshot().toJson();
+    out.flush();
+    if (!out)
+        WSEL_FATAL("failed writing metrics output '" << path << "'");
+}
+
+void
+flushOutputs()
+{
+    std::string metricsOut, traceOut;
+    {
+        Outputs &o = outputs();
+        std::lock_guard<std::mutex> lk(o.mu);
+        metricsOut = o.metricsOut;
+        traceOut = o.traceOut;
+    }
+
+    if (!metricsOut.empty()) {
+        if (metricsOut == "-")
+            std::cerr << metricsSnapshot().toTable();
+        else
+            writeMetricsJson(metricsOut);
+    }
+
+    if (!traceOut.empty())
+        writeChromeTrace(traceOut);
+}
+
+} // namespace wsel::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Observability subsystem front door (docs/OBSERVABILITY.md):
+ * umbrella include for the metrics registry and the tracer, plus
+ * the process-level wiring shared by the CLI and the bench
+ * binaries — environment-variable initialization and output
+ * flushing.
+ *
+ * Environment knobs:
+ *  - WSEL_METRICS: "" / "0" leaves metrics off.  A path enables
+ *    metrics and writes the JSON snapshot there at flush; "1",
+ *    "-" or "stderr" enables metrics and prints the plain-text
+ *    table to stderr at flush.
+ *  - WSEL_TRACE: "" / "0" leaves tracing off.  A path enables
+ *    tracing and writes Chrome trace-event JSON there at flush;
+ *    "1" uses ./wsel_trace.json.
+ *  - WSEL_TRACE_BUF: tracer ring capacity in events (default
+ *    65536).
+ *
+ * `wsel_cli campaign|characterize --metrics-out FILE` and
+ * `--trace-out FILE` set the same outputs explicitly.
+ */
+
+#ifndef WSEL_OBS_OBS_HH
+#define WSEL_OBS_OBS_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace wsel::obs
+{
+
+/**
+ * Configure metrics and tracing from WSEL_METRICS / WSEL_TRACE /
+ * WSEL_TRACE_BUF.  Idempotent; an invalid WSEL_TRACE_BUF is
+ * warned about and ignored.
+ */
+void initFromEnv();
+
+/**
+ * Route the metrics snapshot written by flushOutputs(): a file
+ * path for JSON, "-" for a plain-text table on stderr, "" for
+ * nothing.  Does not itself enable metrics.
+ */
+void setMetricsOutput(std::string path);
+
+/**
+ * Route the Chrome trace JSON written by flushOutputs(); "" for
+ * nothing.  Does not itself enable tracing.
+ */
+void setTraceOutput(std::string path);
+
+/** The currently configured outputs ("" when unset). */
+std::string metricsOutput();
+std::string traceOutput();
+
+/**
+ * Write every configured output: the metrics snapshot (JSON file
+ * or stderr table) and the trace JSON.  Safe to call multiple
+ * times (each call re-renders current state) and with nothing
+ * configured (no-op).
+ */
+void flushOutputs();
+
+/** Write the metrics snapshot as JSON to @p path (WSEL_FATAL on I/O error). */
+void writeMetricsJson(const std::string &path);
+
+} // namespace wsel::obs
+
+#endif // WSEL_OBS_OBS_HH

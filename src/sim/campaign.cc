@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -11,6 +12,8 @@
 #include <sstream>
 
 #include "exec/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
 
@@ -448,7 +451,12 @@ class CampaignJournal
             block += line;
         const std::size_t n = buffer_.size();
         buffer_.clear();
-        writeLine(block);
+        {
+            static obs::LatencyHistogram &flushNs =
+                obs::histogram("campaign.journal_flush_ns");
+            obs::LatencyHistogram::Timer t(flushNs);
+            writeLine(block);
+        }
         for (std::size_t i = 0; i < n; ++i)
             persist::faultPoint("journal.append");
     }
@@ -667,13 +675,27 @@ runCells(Campaign &c, const CampaignOptions &opts,
         const std::size_t p = idx / nw;
         const std::size_t w = idx % nw;
         if (journal && journal->done(p, w)) {
+            static obs::Counter &resumed =
+                obs::counter("campaign.cells_resumed");
+            resumed.inc();
             c.ipc[p][w] = journal->cell(p, w);
             progress(opts, label(p) + " (resumed)",
                      done.fetch_add(1) + 1, total);
             return;
         }
+        obs::Span span(
+            "campaign.cell",
+            obs::tracingEnabled()
+                ? "policy=" + toString(c.policies[p]) +
+                      ",workload=" + std::to_string(w)
+                : std::string());
+        static obs::Counter &cells = obs::counter("campaign.cells");
+        static obs::LatencyHistogram &cellNs =
+            obs::histogram("campaign.cell_ns");
+        obs::LatencyHistogram::Timer timer(cellNs);
         const SimResult r = run_cell(
             p, w, campaignCellSeed(c.fingerprint, opts.seed, p, w));
+        cells.inc();
         c.ipc[p][w] = r.ipc;
         wall[idx] = r.wallSeconds;
         insns[idx] = r.instructions;
@@ -681,6 +703,7 @@ runCells(Campaign &c, const CampaignOptions &opts,
             journal->append(p, w, r);
         progress(opts, label(p), done.fetch_add(1) + 1, total);
     };
+    const auto t0 = std::chrono::steady_clock::now();
     if (jobs <= 1) {
         for (std::size_t idx = 0; idx < total; ++idx)
             cell(idx);
@@ -688,13 +711,34 @@ runCells(Campaign &c, const CampaignOptions &opts,
         exec::ThreadPool pool(jobs);
         exec::parallel_for(pool, std::size_t{0}, total, cell);
         if (opts.verbose) {
-            const exec::SchedulerStats st = pool.stats();
-            std::ostringstream os;
-            os << "  [" << sim_name << "] " << st.threads
-               << " jobs, " << st.tasksRun << " tasks, "
-               << st.tasksStolen << " stolen, " << st.tasksHelped
-               << " helped";
-            logLine(os.str());
+            if (obs::metricsEnabled()) {
+                // Scheduler behavior now lives in the metrics
+                // registry; print that section instead of the old
+                // ad-hoc SchedulerStats dump.
+                std::ostringstream os;
+                os << "  [" << sim_name << "] " << jobs
+                   << " jobs; scheduler metrics:\n"
+                   << obs::metricsSnapshot().toTable("scheduler.");
+                logLine(os.str());
+            } else {
+                const exec::SchedulerStats st = pool.stats();
+                std::ostringstream os;
+                os << "  [" << sim_name << "] " << st.threads
+                   << " jobs, " << st.tasksRun << " tasks, "
+                   << st.tasksStolen << " stolen, "
+                   << st.tasksHelped << " helped";
+                logLine(os.str());
+            }
+        }
+    }
+    if (obs::metricsEnabled()) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (elapsed > 0.0) {
+            obs::gauge("campaign.cells_per_sec")
+                .set(static_cast<double>(total) / elapsed);
         }
     }
     if (journal)

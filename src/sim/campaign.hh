@@ -34,6 +34,7 @@
 
 #include "cache/replacement.hh"
 #include "core/metrics/throughput.hh"
+#include "obs/metrics.hh"
 #include "core/workload/workload.hh"
 #include "cpu/core_config.hh"
 #include "sim/model_store.hh"
@@ -251,6 +252,7 @@ cachedCampaign(const std::string &cache_key,
             if (c.formatVersion >= 2 &&
                 (expected_fingerprint == 0 ||
                  c.fingerprint == expected_fingerprint)) {
+                obs::counter("persist.cache_hit").inc();
                 return c;
             }
             const std::string moved = persist::quarantineFile(path);
@@ -264,6 +266,7 @@ cachedCampaign(const std::string &cache_key,
             // load() already quarantined the file and warned.
         }
     }
+    obs::counter("persist.cache_miss").inc();
     Campaign c = invoke(path + ".partial");
     c.save(path);
     std::error_code ec;

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "exec/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
 
@@ -56,8 +58,10 @@ BadcoModelStore::loadOrBuild(const BenchmarkProfile &profile,
         if (std::filesystem::exists(path)) {
             try {
                 BadcoModel m = BadcoModel::loadFile(path);
-                if (m.traceUops == targetUops_)
+                if (m.traceUops == targetUops_) {
+                    obs::counter("persist.cache_hit").inc();
                     return m;
+                }
                 warn("stale BADCO model cache at " + path +
                      "; rebuilding");
             } catch (const FatalError &e) {
@@ -74,13 +78,23 @@ BadcoModelStore::loadOrBuild(const BenchmarkProfile &profile,
         }
     }
 
+    obs::counter("persist.cache_miss").inc();
     const auto t0 = std::chrono::steady_clock::now();
-    BadcoModel m = buildBadcoModel(profile, coreCfg_, targetUops_,
-                                   llcHitLatency_);
-    build_seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+    BadcoModel m;
+    {
+        obs::Span span("badco.build",
+                       obs::tracingEnabled()
+                           ? "benchmark=" + profile.name
+                           : std::string());
+        m = buildBadcoModel(profile, coreCfg_, targetUops_,
+                            llcHitLatency_);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    build_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
     built = true;
+    obs::counter("badco.models_built").inc();
+    obs::histogram("badco.build_ns").record(t1 - t0);
 
     if (!cacheDir_.empty())
         m.saveFile(cachePath(profile));

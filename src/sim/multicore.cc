@@ -6,6 +6,8 @@
 
 #include "cpu/detailed_core.hh"
 #include "badco/badco_machine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/logging.hh"
 #include "trace/trace_generator.hh"
 
@@ -59,6 +61,7 @@ DetailedMulticoreSim::run(
                                    << " threads for " << cores_
                                    << " cores");
     const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("sim.detailed.run");
 
     Uncore uncore(uncoreCfg_, cores_, seed_);
     std::vector<std::unique_ptr<TraceGenerator>> traces;
@@ -109,6 +112,15 @@ DetailedMulticoreSim::run(
     res.instructions = static_cast<std::uint64_t>(cores_) *
                        targetUops_;
     res.wallSeconds = elapsedSeconds(t0);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &cells =
+            obs::counter("sim.detailed.cells");
+        static obs::LatencyHistogram &cellNs =
+            obs::histogram("sim.detailed.cell_ns");
+        cells.inc();
+        cellNs.recordNs(
+            static_cast<std::uint64_t>(res.wallSeconds * 1e9));
+    }
     return res;
 }
 
@@ -172,6 +184,7 @@ BadcoMulticoreSim::run(
                                    << " threads for " << cores_
                                    << " cores");
     const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("sim.badco.run");
 
     Uncore uncore(uncoreCfg_, cores_, seed_);
     std::vector<std::unique_ptr<BadcoMachine>> machines;
@@ -214,6 +227,14 @@ BadcoMulticoreSim::run(
     res.instructions = static_cast<std::uint64_t>(cores_) *
                        targetUops_;
     res.wallSeconds = elapsedSeconds(t0);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &cells = obs::counter("sim.badco.cells");
+        static obs::LatencyHistogram &cellNs =
+            obs::histogram("sim.badco.cell_ns");
+        cells.inc();
+        cellNs.recordNs(
+            static_cast<std::uint64_t>(res.wallSeconds * 1e9));
+    }
     return res;
 }
 

@@ -19,7 +19,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+
+#include "obs/dedup.hh"
+#include "obs/metrics.hh"
 
 namespace wsel
 {
@@ -88,23 +90,27 @@ logLine(const std::string &line)
  * per line) and rate-limited: after 20 identical messages, further
  * repeats are suppressed so a hot loop with a persistent problem
  * (e.g. an unwritable cache directory) cannot flood the log.
+ *
+ * Repeat counting goes through the lock-free table in
+ * obs/dedup.hh, so a fully suppressed warning costs one hash plus
+ * one relaxed fetch_add and never touches the log mutex — pool
+ * workers flooding the same warning no longer serialize on it
+ * (tests/test_logging.cc).
  */
 inline void
 warn(const std::string &msg)
 {
-    static constexpr std::size_t kMaxRepeats = 20;
-    std::lock_guard<std::mutex> g(detail::logMutex());
-    static std::unordered_map<std::string, std::size_t> counts;
-    // Bound the dedup table; resetting it merely re-allows warnings.
-    if (counts.size() > 1024)
-        counts.clear();
-    const std::size_t n = ++counts[msg];
+    static constexpr std::uint64_t kMaxRepeats = 20;
+    static obs::Counter &warns = obs::counter("log.warns");
+    warns.inc();
+    const std::uint64_t n = obs::noteRepeat(msg);
     if (n > kMaxRepeats)
         return;
     std::string out = "warn: " + msg;
     if (n == kMaxRepeats)
         out += " (suppressing further identical warnings)";
     out += "\n";
+    std::lock_guard<std::mutex> g(detail::logMutex());
     std::cerr << out;
 }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <system_error>
 
+#include "obs/metrics.hh"
 #include "stats/logging.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -160,6 +161,8 @@ quarantineFile(const std::string &path)
          ++n)
         target = path + ".corrupt." + std::to_string(n);
     std::filesystem::rename(path, target, ec);
+    if (!ec)
+        obs::counter("persist.cache_quarantine").inc();
     return ec ? std::string() : target;
 }
 

@@ -1,11 +1,13 @@
 /**
  * @file
- * Tests for the fatal/panic error-reporting macros and the Pearson
- * correlation helper.
+ * Tests for the fatal/panic error-reporting macros, the warn()
+ * rate limiter (now backed by the lock-free obs dedup table), and
+ * the Pearson correlation helper.
  */
 
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +53,73 @@ TEST(Logging, AssertAbortsOnFalseCondition)
 TEST(Logging, PanicAborts)
 {
     EXPECT_DEATH(WSEL_PANIC("internal bug " << 3), "panic");
+}
+
+namespace
+{
+
+/** Count non-overlapping occurrences of @p needle in @p hay. */
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle);
+         at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+// The repeat counts live in the process-global obs dedup table, so
+// each test uses a unique message string.
+
+TEST(Logging, WarnSuppressesAfterTwentyRepeats)
+{
+    const std::string msg = "test-warn-suppression-regression";
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 50; ++i)
+        warn(msg);
+    const std::string err = testing::internal::GetCapturedStderr();
+    // Exactly 20 lines emitted; the 20th announces the suppression.
+    EXPECT_EQ(countOccurrences(err, "warn: " + msg), 20u);
+    EXPECT_EQ(countOccurrences(
+                  err, "(suppressing further identical warnings)"),
+              1u);
+}
+
+TEST(Logging, WarnSuppressionIsExactUnderConcurrency)
+{
+    // 8 threads flooding one message must emit exactly 20 lines —
+    // the dedup table hands out one occurrence number per call, so
+    // no line is lost or duplicated by the race.
+    const std::string msg = "test-warn-concurrent-regression";
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&msg] {
+            for (int i = 0; i < 500; ++i)
+                warn(msg);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(err, "warn: " + msg), 20u);
+}
+
+TEST(Logging, WarnKeepsDistinctMessagesApart)
+{
+    const std::string a = "test-warn-distinct-a";
+    const std::string b = "test-warn-distinct-b";
+    testing::internal::CaptureStderr();
+    warn(a);
+    warn(b);
+    warn(a);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(countOccurrences(err, "warn: " + a), 2u);
+    EXPECT_EQ(countOccurrences(err, "warn: " + b), 1u);
 }
 
 TEST(Pearson, PerfectCorrelation)

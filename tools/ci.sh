@@ -5,9 +5,13 @@
 # The tier-1 command (cmake -B build -S . && cmake --build build &&
 # ctest) is unchanged; this script is a superset used to shake out
 # memory and UB errors in the persistence / fault-injection paths
-# and data races in the exec/ scheduler (the tsan test preset runs
-# the scheduler and parallel-campaign determinism suites under
-# ThreadSanitizer).
+# and data races in the exec/ scheduler and in src/obs/ (the tsan
+# test preset runs the scheduler, parallel-campaign determinism,
+# and observability suites under ThreadSanitizer).
+#
+# After the release preset passes, a 2-core smoke campaign archives
+# sample observability artifacts (metrics.json and trace.json,
+# docs/OBSERVABILITY.md) under build-release/obs-smoke/.
 #
 # Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
 #        tsan)
@@ -25,6 +29,23 @@ for preset in $presets; do
     cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
     echo "==> test: $preset"
     ctest --preset "$preset"
+
+    if [ "$preset" = "release" ]; then
+        echo "==> obs smoke artifacts: $preset"
+        smoke="build-release/obs-smoke"
+        rm -rf "$smoke"
+        mkdir -p "$smoke"
+        WSEL_CACHE_DIR="$smoke/cache" \
+            ./build-release/tools/wsel_cli campaign \
+            --cores 2 --insns 5000 --limit 12 --jobs 2 \
+            --out "$smoke/campaign.csv" \
+            --metrics-out "$smoke/metrics.json" \
+            --trace-out "$smoke/trace.json"
+        test -s "$smoke/metrics.json"
+        test -s "$smoke/trace.json"
+        rm -rf "$smoke/cache"
+        echo "==> obs artifacts archived in $smoke"
+    fi
 done
 
 echo "ci: all presets passed"

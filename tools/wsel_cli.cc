@@ -4,16 +4,21 @@
  * shell.
  *
  *   wsel_cli characterize [--cores K] [--insns N] [--jobs N]
+ *       [--metrics-out FILE] [--trace-out FILE]
  *       per-benchmark features and automatic vs Table-IV classes
  *   wsel_cli campaign --out FILE [--cores K] [--insns N]
  *       [--policies LRU,DIP,...] [--limit N] [--resume 0|1]
- *       [--jobs N]
+ *       [--jobs N] [--metrics-out FILE] [--trace-out FILE]
  *       run a BADCO population campaign and save it as CSV;
  *       progress checkpoints to FILE.partial and, by default, an
  *       interrupted run resumes from it (--resume 0 restarts);
  *       --jobs N simulates cells on N worker threads (default 0 =
  *       $WSEL_JOBS, else all hardware threads; the result is
- *       bitwise identical to --jobs 1, see docs/PARALLELISM.md)
+ *       bitwise identical to --jobs 1, see docs/PARALLELISM.md);
+ *       --metrics-out writes the metrics snapshot as JSON and
+ *       --trace-out a Chrome/Perfetto trace on exit
+ *       (docs/OBSERVABILITY.md; $WSEL_METRICS and $WSEL_TRACE set
+ *       the same outputs for every command)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -44,6 +49,7 @@
 
 #include "badco/badco_model.hh"
 #include "core/classify/classify.hh"
+#include "obs/obs.hh"
 #include "core/report/report.hh"
 #include "core/confidence/confidence.hh"
 #include "core/sampling/sampling.hh"
@@ -119,9 +125,29 @@ parsePolicyList(const std::string &s)
     return out;
 }
 
+/**
+ * Observability for the simulation commands: metrics are always
+ * collected (the verbose campaign summary prints the scheduler
+ * section), and --metrics-out/--trace-out route the end-of-run
+ * snapshot and trace (docs/OBSERVABILITY.md).
+ */
+void
+setupObs(const Args &args)
+{
+    obs::enableMetrics();
+    if (args.has("metrics-out"))
+        obs::setMetricsOutput(args.get("metrics-out", ""));
+    if (args.has("trace-out")) {
+        if (!obs::tracingEnabled())
+            obs::enableTracing();
+        obs::setTraceOutput(args.get("trace-out", ""));
+    }
+}
+
 int
 cmdCharacterize(const Args &args)
 {
+    setupObs(args);
     const std::uint32_t cores =
         static_cast<std::uint32_t>(args.getU64("cores", 4));
     const std::uint64_t insns = args.getU64("insns", 100000);
@@ -162,6 +188,7 @@ cmdCharacterize(const Args &args)
 int
 cmdCampaign(const Args &args)
 {
+    setupObs(args);
     if (!args.has("out"))
         WSEL_FATAL("campaign requires --out FILE");
     const std::uint32_t cores =
@@ -547,6 +574,30 @@ usage()
     return 2;
 }
 
+int
+dispatch(int argc, char **argv)
+{
+    const std::string cmd = argv[1];
+    if (cmd == "cache")
+        return cmdCache(argc, argv);
+    const Args args(argc, argv);
+    if (cmd == "characterize")
+        return cmdCharacterize(args);
+    if (cmd == "campaign")
+        return cmdCampaign(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    if (cmd == "select")
+        return cmdSelect(args);
+    if (cmd == "confidence")
+        return cmdConfidence(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "report")
+        return cmdReport(args);
+    return usage();
+}
+
 } // namespace
 
 int
@@ -554,28 +605,17 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
-    const std::string cmd = argv[1];
+    wsel::obs::initFromEnv();
+    int rc;
     try {
-        if (cmd == "cache")
-            return cmdCache(argc, argv);
-        const Args args(argc, argv);
-        if (cmd == "characterize")
-            return cmdCharacterize(args);
-        if (cmd == "campaign")
-            return cmdCampaign(args);
-        if (cmd == "analyze")
-            return cmdAnalyze(args);
-        if (cmd == "select")
-            return cmdSelect(args);
-        if (cmd == "confidence")
-            return cmdConfidence(args);
-        if (cmd == "simulate")
-            return cmdSimulate(args);
-        if (cmd == "report")
-            return cmdReport(args);
-        return usage();
+        rc = dispatch(argc, argv);
     } catch (const wsel::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        rc = 1;
     }
+    // Write --metrics-out/--trace-out (and the $WSEL_* outputs)
+    // even when the command failed: the partial trace is exactly
+    // what one wants when diagnosing the failure.
+    wsel::obs::flushOutputs();
+    return rc;
 }
