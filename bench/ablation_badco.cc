@@ -41,10 +41,10 @@ main()
             ref_cpi.push_back(1.0 / ipc);
         UncoreConfig slow_cfg = ucfg;
         for (const auto &p : suite) {
-            TraceGenerator trace(p);
             PerfectUncore slow(ucfg.llcHitLatency + 200);
             CoreConfig ccfg;
-            DetailedCore core(ccfg, trace, slow, 0, target, 1);
+            DetailedCore core(ccfg, TraceStore::global().cursor(p),
+                              slow, 0, target, 1);
             std::uint64_t now = 0;
             while (!core.reachedTarget()) {
                 core.tick(now);

@@ -25,6 +25,10 @@
  *    metrics table to stderr when the bench exits; WSEL_METRICS=
  *    FILE writes the JSON snapshot; WSEL_TRACE=FILE records a
  *    Chrome/Perfetto trace of the run.
+ *  - WSEL_TRACE_MEM: resident budget of the shared trace store in
+ *    MiB (default 512; docs/PERFORMANCE.md).  Evicted chunks are
+ *    regenerated deterministically, so this trades memory for
+ *    wall time without changing any result.
  *
  * Campaigns acquired here are fault-tolerant (docs/ROBUSTNESS.md):
  * they checkpoint per-workload progress to a `*.partial` journal

@@ -20,6 +20,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace
 {
@@ -44,6 +45,43 @@ BM_TraceGeneratorNext(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceGeneratorNext);
+
+// Steady-state µop fetch through the memoized SoA store: the
+// cursor-vs-generator comparison backing docs/PERFORMANCE.md. The
+// walk wraps at the chunk size (the simulators' thread-restart
+// pattern), so the one-time chunk build is not in the measurement.
+void
+BM_TraceCursorNext(benchmark::State &state)
+{
+    static TraceStore store; // chunks shared across iterations
+    TraceCursor cur = store.cursor(findProfile("mcf"));
+    for (auto _ : state) {
+        if (cur.generated() == TraceStore::kDefaultChunkUops)
+            cur.reset();
+        MicroOp u = cur.next();
+        benchmark::DoNotOptimize(u);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCursorNext);
+
+// Cost of materializing one chunk (generator replay + SoA pack):
+// what a cold start or a post-eviction regeneration pays. A zero
+// budget evicts each chunk as the next lands, so every fetch below
+// is a fresh build; items = µops packed.
+void
+BM_TraceChunkBuild(benchmark::State &state)
+{
+    TraceStore store(0);
+    auto stream = store.stream(findProfile("mcf"));
+    std::uint64_t idx = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream->chunk(idx++));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        TraceStore::kDefaultChunkUops);
+}
+BENCHMARK(BM_TraceChunkBuild);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -104,9 +142,9 @@ BM_DetailedCoreUop(benchmark::State &state)
     const BenchmarkProfile &p = findProfile(
         state.range(0) == 0 ? "povray" : "mcf");
     PerfectUncore uncore(6);
-    TraceGenerator trace(p);
     CoreConfig cfg;
-    DetailedCore core(cfg, trace, uncore, 0, 1ULL << 60, 1);
+    DetailedCore core(cfg, TraceStore::global().cursor(p), uncore,
+                      0, 1ULL << 60, 1);
     std::uint64_t now = 0;
     std::uint64_t committed = 0;
     for (auto _ : state) {

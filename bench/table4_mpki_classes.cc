@@ -44,9 +44,9 @@ main()
                 "class", "paper", "match");
     for (const auto &p : suite) {
         Uncore uncore(ucfg, 1, 1);
-        TraceGenerator trace(p);
         CoreConfig ccfg;
-        DetailedCore core(ccfg, trace, uncore, 0, target, 1);
+        DetailedCore core(ccfg, TraceStore::global().cursor(p),
+                          uncore, 0, target, 1);
         std::uint64_t now = 0;
         while (!core.reachedTarget()) {
             core.tick(now);

@@ -65,9 +65,9 @@ main()
     const UncoreConfig ucfg =
         UncoreConfig::forCores(4, PolicyKind::LRU);
     Uncore uncore(ucfg, 1, 1);
-    TraceGenerator trace(dbms);
     CoreConfig ccfg;
-    DetailedCore core(ccfg, trace, uncore, 0, target, 1);
+    DetailedCore core(ccfg, TraceStore::global().cursor(dbms),
+                      uncore, 0, target, 1);
     std::uint64_t now = 0;
     while (!core.reachedTarget()) {
         core.tick(now);

@@ -21,6 +21,16 @@ BadcoMachine::BadcoMachine(const BadcoModel &model, UncoreIf &uncore,
         WSEL_FATAL("empty BADCO model for " << model.benchmark);
     if (max_outstanding == 0 || window_ == 0)
         WSEL_FATAL("degenerate BADCO machine limits");
+    if (!model_.finalized)
+        WSEL_FATAL("BADCO model for " << model.benchmark
+                   << " was not finalize()d");
+    nodeCount_ = model_.nodeWeight.size();
+    nodeWeight_ = model_.nodeWeight.data();
+    nodeUops_ = model_.nodeUops.data();
+    nodeVaddr_ = model_.nodeVaddr.data();
+    nodePc_ = model_.nodePc.data();
+    nodeType_ = model_.nodeType.data();
+    nodeDependsOn_ = model_.nodeDependsOn.data();
     loadCompletion_.assign(model_.loadCount, 0);
     outstanding_.reserve(max_outstanding);
 }
@@ -37,9 +47,23 @@ BadcoMachine::ipc() const
 void
 BadcoMachine::expireOutstanding()
 {
-    std::erase_if(outstanding_, [this](const Outstanding &o) {
-        return o.completion <= clock_;
-    });
+    // Nothing can have completed before the earliest completion:
+    // skipping the scan is behaviour-identical and saves the most
+    // frequent loop in the BADCO hot path.
+    if (outstandingMin_ > clock_)
+        return;
+    // Stable one-pass compaction (same surviving order as
+    // erase_if) that recomputes the minimum as it goes.
+    std::uint64_t min = UINT64_MAX;
+    std::size_t n = 0;
+    for (const Outstanding &o : outstanding_) {
+        if (o.completion > clock_) {
+            outstanding_[n++] = o;
+            min = std::min(min, o.completion);
+        }
+    }
+    outstanding_.resize(n);
+    outstandingMin_ = min;
 }
 
 void
@@ -71,7 +95,7 @@ BadcoMachine::run(std::uint64_t until)
 void
 BadcoMachine::step()
 {
-    if (nodeIdx_ >= model_.nodes.size()) {
+    if (nodeIdx_ >= nodeCount_) {
         // Tail of the slice, then thread restart.
         clock_ += model_.tailWeight;
         totalUops_ += model_.tailUops;
@@ -82,67 +106,70 @@ BadcoMachine::step()
         return;
     }
 
-    const BadcoNode &node = model_.nodes[nodeIdx_];
+    const std::size_t i = nodeIdx_;
 
-    // Intrinsic execution of the node's µops.
-    clock_ += node.weight;
-    totalUops_ += node.uops;
+    // Intrinsic execution of the node's µops (SoA walk).
+    clock_ += nodeWeight_[i];
+    totalUops_ += nodeUops_[i];
     stats_.uops = totalUops_;
     expireOutstanding();
 
     // Effective-window constraint: the machine cannot be more than
-    // window_ µops past an incomplete blocking load.
+    // window_ µops past an incomplete blocking load.  uopMark is
+    // non-decreasing in push order, so once an entry is inside the
+    // window every later entry is too — the scan can stop there.
     for (const Outstanding &o : outstanding_) {
-        if (totalUops_ > o.uopMark + window_ &&
-            o.completion > clock_) {
+        if (totalUops_ <= o.uopMark + window_)
+            break;
+        if (o.completion > clock_) {
             stats_.windowStallCycles += o.completion - clock_;
             clock_ = o.completion;
         }
     }
     expireOutstanding();
 
-    const BadcoRequest &req = node.req;
-    switch (req.type) {
+    const std::uint64_t vaddr = nodeVaddr_[i];
+    const std::uint64_t pc = nodePc_[i];
+    switch (static_cast<BadcoReqType>(nodeType_[i])) {
       case BadcoReqType::Load: {
-        if (req.dependsOn >= 0) {
-            WSEL_ASSERT(static_cast<std::uint64_t>(req.dependsOn) <
+        const std::int64_t depends_on = nodeDependsOn_[i];
+        if (depends_on >= 0) {
+            WSEL_ASSERT(static_cast<std::uint64_t>(depends_on) <
                             loadSeqInIter_,
                         "forward load dependency in model");
             const std::uint64_t dep_done =
-                loadCompletion_[req.dependsOn];
+                loadCompletion_[depends_on];
             if (dep_done > clock_) {
                 stats_.depStallCycles += dep_done - clock_;
                 clock_ = dep_done;
                 expireOutstanding();
             }
         }
-        // Outstanding-slot (MSHR) limit.
+        // Outstanding-slot (MSHR) limit: wait for the earliest
+        // completion (the cached minimum — same value the old
+        // full scan computed).
         if (outstanding_.size() >= maxOutstanding_) {
-            std::uint64_t earliest = UINT64_MAX;
-            for (const Outstanding &o : outstanding_)
-                earliest = std::min(earliest, o.completion);
-            if (earliest > clock_)
-                clock_ = earliest;
+            if (outstandingMin_ > clock_)
+                clock_ = outstandingMin_;
             expireOutstanding();
         }
         const std::uint64_t comp = uncore_.access(
-            clock_, coreId_, req.vaddr, false, req.pc, false);
+            clock_, coreId_, vaddr, false, pc, false);
         outstanding_.push_back(Outstanding{comp, totalUops_});
+        outstandingMin_ = std::min(outstandingMin_, comp);
         WSEL_ASSERT(loadSeqInIter_ < loadCompletion_.size(),
                     "load numbering overflow");
         loadCompletion_[loadSeqInIter_++] = comp;
         break;
       }
       case BadcoReqType::Store:
-        uncore_.access(clock_, coreId_, req.vaddr, true, req.pc,
-                       false);
+        uncore_.access(clock_, coreId_, vaddr, true, pc, false);
         break;
       case BadcoReqType::Prefetch:
-        uncore_.access(clock_, coreId_, req.vaddr, false, req.pc,
-                       true);
+        uncore_.access(clock_, coreId_, vaddr, false, pc, true);
         break;
       case BadcoReqType::Writeback:
-        uncore_.writeback(clock_, coreId_, req.vaddr);
+        uncore_.writeback(clock_, coreId_, vaddr);
         break;
     }
     ++stats_.requests;

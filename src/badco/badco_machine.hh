@@ -44,7 +44,8 @@ class BadcoMachine
 {
   public:
     /**
-     * @param model Behavioural model to execute (caller-owned).
+     * @param model Behavioural model to execute (caller-owned;
+     *        must be finalize()d — the machine walks the SoA view).
      * @param uncore Shared uncore (caller-owned).
      * @param core_id Core index at the uncore.
      * @param target_uops µop count after which IPC freezes.
@@ -98,6 +99,17 @@ class BadcoMachine
     const std::uint32_t window_;
     const std::uint32_t maxOutstanding_;
 
+    /** @name Raw SoA pointers into model_ (hot node walk). */
+    /** @{ */
+    std::size_t nodeCount_ = 0;
+    const std::uint32_t *nodeWeight_ = nullptr;
+    const std::uint32_t *nodeUops_ = nullptr;
+    const std::uint64_t *nodeVaddr_ = nullptr;
+    const std::uint64_t *nodePc_ = nullptr;
+    const std::uint8_t *nodeType_ = nullptr;
+    const std::int64_t *nodeDependsOn_ = nullptr;
+    /** @} */
+
     std::uint64_t clock_ = 0;
     std::size_t nodeIdx_ = 0;
     std::uint64_t totalUops_ = 0;
@@ -109,6 +121,13 @@ class BadcoMachine
         std::uint64_t uopMark; ///< machine µop count at issue
     };
     std::vector<Outstanding> outstanding_;
+
+    /**
+     * Min completion over outstanding_ (UINT64_MAX when empty):
+     * lets expireOutstanding() skip the scan while nothing can have
+     * completed yet.
+     */
+    std::uint64_t outstandingMin_ = UINT64_MAX;
 
     /** Completion cycle of each load in the current iteration. */
     std::vector<std::uint64_t> loadCompletion_;

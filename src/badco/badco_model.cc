@@ -11,7 +11,7 @@
 #include "mem/uncore.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -124,9 +124,9 @@ detailedCyclesAt(const BenchmarkProfile &profile,
                  std::uint64_t seed, BadcoModel *model,
                  ModelRecorder *recorder)
 {
-    TraceGenerator trace(profile);
     PerfectUncore uncore(latency);
-    DetailedCore core(core_cfg, trace, uncore, 0, target_uops, seed);
+    DetailedCore core(core_cfg, TraceStore::global().cursor(profile),
+                      uncore, 0, target_uops, seed);
     if (recorder)
         core.setObserver(recorder);
     std::uint64_t now = 0;
@@ -178,6 +178,10 @@ buildBadcoModel(const BenchmarkProfile &profile,
                          ? target_uops - recorder.lastUop()
                          : 0;
 
+    // The calibration replays below run BadcoMachines, which walk
+    // the SoA view.
+    model.finalize();
+
     // Second trace: uniformly slow uncore. Calibrates the effective
     // window so the replay reproduces the detailed core's
     // sensitivity to uncore latency (its real MLP).
@@ -211,6 +215,30 @@ buildBadcoModel(const BenchmarkProfile &profile,
     }
     model.window = best_w;
     return model;
+}
+
+void
+BadcoModel::finalize()
+{
+    if (finalized)
+        return;
+    const std::size_t n = nodes.size();
+    nodeWeight.reserve(n);
+    nodeUops.reserve(n);
+    nodeVaddr.reserve(n);
+    nodePc.reserve(n);
+    nodeType.reserve(n);
+    nodeDependsOn.reserve(n);
+    for (const BadcoNode &node : nodes) {
+        nodeWeight.push_back(node.weight);
+        nodeUops.push_back(node.uops);
+        nodeVaddr.push_back(node.req.vaddr);
+        nodePc.push_back(node.req.pc);
+        nodeType.push_back(
+            static_cast<std::uint8_t>(node.req.type));
+        nodeDependsOn.push_back(node.req.dependsOn);
+    }
+    finalized = true;
 }
 
 void
@@ -276,6 +304,7 @@ BadcoModel::load(std::istream &is)
         node.req.type = get<BadcoReqType>(is);
         node.req.dependsOn = get<std::int64_t>(is);
     }
+    m.finalize();
     return m;
 }
 

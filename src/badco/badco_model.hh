@@ -108,6 +108,30 @@ struct BadcoModel
      */
     std::uint32_t window = 32;
 
+    /**
+     * @name SoA runtime view.
+     * The machine's quantum loop walks one node per iteration;
+     * split arrays keep that walk on a few dense streams instead of
+     * striding through 48-byte BadcoNode records (uopSeq is not
+     * needed at run time at all). Built by finalize(); nodes stays
+     * the build/serialization format.
+     */
+    /** @{ */
+    std::vector<std::uint32_t> nodeWeight;
+    std::vector<std::uint32_t> nodeUops;
+    std::vector<std::uint64_t> nodeVaddr;
+    std::vector<std::uint64_t> nodePc;
+    std::vector<std::uint8_t> nodeType; ///< BadcoReqType
+    std::vector<std::int64_t> nodeDependsOn;
+    bool finalized = false;
+    /** @} */
+
+    /**
+     * Build the SoA runtime view from nodes. Idempotent; called by
+     * buildBadcoModel() and load(). BadcoMachine requires it.
+     */
+    void finalize();
+
     /** Serialize to a binary stream. */
     void save(std::ostream &os) const;
 

@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "stats/logging.hh"
@@ -53,8 +54,10 @@ Cache::Cache(const CacheGeometry &geom, PolicyFactory factory,
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(static_cast<std::uint64_t>(geom_.lineBytes)));
     setMask_ = geom_.sets() - 1;
-    lines_.assign(static_cast<std::size_t>(geom_.sets()) * geom_.ways,
-                  Line{});
+    const std::size_t n =
+        static_cast<std::size_t>(geom_.sets()) * geom_.ways;
+    tags_.assign(n, 0);
+    dirty_.assign(n, 0);
     policy_ = factory_();
     if (!policy_)
         WSEL_FATAL("policy factory returned null for cache '"
@@ -78,7 +81,10 @@ Cache::access(std::uint64_t byte_addr, bool is_write,
 {
     const std::uint64_t la = lineAddr(byte_addr);
     const std::uint32_t set = setIndex(la);
-    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.ways;
+    const std::uint32_t *tags = &tags_[base];
+    const std::uint32_t want = tagFor(la);
 
     if (is_prefetch)
         ++stats_.prefetchAccesses;
@@ -86,10 +92,10 @@ Cache::access(std::uint64_t byte_addr, bool is_write,
         ++stats_.demandAccesses;
 
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (ln[w].valid && ln[w].tag == la) {
+        if (tags[w] == want) {
             policy_->onHit(set, w);
             if (is_write)
-                ln[w].dirty = true;
+                dirty_[base + w] = 1;
             if (is_prefetch)
                 ++stats_.prefetchHits;
             else
@@ -110,11 +116,13 @@ Cache::Result
 Cache::fill(std::uint64_t line_addr, bool is_write)
 {
     const std::uint32_t set = setIndex(line_addr);
-    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.ways;
+    std::uint32_t *tags = &tags_[base];
 
     std::uint32_t victim = geom_.ways;
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (!ln[w].valid) {
+        if (tags[w] == 0) {
             victim = w;
             break;
         }
@@ -125,18 +133,62 @@ Cache::fill(std::uint64_t line_addr, bool is_write)
         victim = policy_->selectVictim(set);
         WSEL_ASSERT(victim < geom_.ways,
                     "policy returned way " << victim);
-        if (ln[victim].dirty) {
-            res.evicted = Evicted{true, true, ln[victim].tag};
+        const std::uint64_t old_la = tags[victim] >> 1;
+        if (dirty_[base + victim]) {
+            res.evicted = Evicted{true, true, old_la};
             ++stats_.writebacksOut;
         } else {
-            res.evicted = Evicted{true, false, ln[victim].tag};
+            res.evicted = Evicted{true, false, old_la};
         }
     }
-    ln[victim].tag = line_addr;
-    ln[victim].valid = true;
-    ln[victim].dirty = is_write;
+    tags[victim] = tagFor(line_addr);
+    dirty_[base + victim] = is_write ? 1 : 0;
     policy_->onFill(set, victim);
     return res;
+}
+
+bool
+Cache::accessIfHit(std::uint64_t byte_addr, bool is_write,
+                   bool is_prefetch)
+{
+    const std::uint64_t la = lineAddr(byte_addr);
+    const std::uint32_t set = setIndex(la);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.ways;
+    const std::uint32_t *tags = &tags_[base];
+    const std::uint32_t want = tagFor(la);
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (tags[w] == want) {
+            if (is_prefetch) {
+                ++stats_.prefetchAccesses;
+                ++stats_.prefetchHits;
+            } else {
+                ++stats_.demandAccesses;
+                ++stats_.demandHits;
+            }
+            policy_->onHit(set, w);
+            if (is_write)
+                dirty_[base + w] = 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+Cache::Result
+Cache::missFill(std::uint64_t byte_addr, bool is_write,
+                bool is_prefetch)
+{
+    const std::uint64_t la = lineAddr(byte_addr);
+    if (is_prefetch) {
+        ++stats_.prefetchAccesses;
+        ++stats_.prefetchMisses;
+    } else {
+        ++stats_.demandAccesses;
+        ++stats_.demandMisses;
+    }
+    policy_->onMiss(setIndex(la));
+    return fill(la, is_write);
 }
 
 bool
@@ -144,10 +196,11 @@ Cache::probe(std::uint64_t byte_addr) const
 {
     const std::uint64_t la = lineAddr(byte_addr);
     const std::uint32_t set = setIndex(la);
-    const Line *ln =
-        &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    const std::uint32_t *tags =
+        &tags_[static_cast<std::size_t>(set) * geom_.ways];
+    const std::uint32_t want = tagFor(la);
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (ln[w].valid && ln[w].tag == la)
+        if (tags[w] == want)
             return true;
     }
     return false;
@@ -158,10 +211,13 @@ Cache::writeback(std::uint64_t byte_addr)
 {
     const std::uint64_t la = lineAddr(byte_addr);
     const std::uint32_t set = setIndex(la);
-    Line *ln = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.ways;
+    const std::uint32_t *tags = &tags_[base];
+    const std::uint32_t want = tagFor(la);
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (ln[w].valid && ln[w].tag == la) {
-            ln[w].dirty = true;
+        if (tags[w] == want) {
+            dirty_[base + w] = 1;
             // Writebacks do not update replacement state: they are
             // not program references.
             return Result{true, {}};
@@ -173,8 +229,8 @@ Cache::writeback(std::uint64_t byte_addr)
 void
 Cache::reset()
 {
-    for (auto &l : lines_)
-        l = Line{};
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     policy_ = factory_();
     stats_ = CacheStats{};
 }

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "cache/replacement.hh"
+#include "stats/logging.hh"
 
 namespace wsel
 {
@@ -117,6 +118,27 @@ class Cache
     bool probe(std::uint64_t byte_addr) const;
 
     /**
+     * Hit half of access() in one tag scan: on a hit, applies
+     * exactly the hit-side effects (stats, replacement update,
+     * dirty bit) and returns true; on a miss, mutates nothing and
+     * returns false — the caller decides whether the miss is ever
+     * accounted (it is not when an outstanding MSHR absorbs it).
+     * Equivalent to probe() followed by access() on the hit path,
+     * without the second scan.
+     */
+    bool accessIfHit(std::uint64_t byte_addr, bool is_write,
+                     bool is_prefetch = false);
+
+    /**
+     * Miss half of access() without the tag scan, for callers that
+     * already observed the miss (probe() or accessIfHit()) with no
+     * intervening fill: accounts the miss and allocates the line.
+     * Equivalent to access() on a known-missing address.
+     */
+    Result missFill(std::uint64_t byte_addr, bool is_write,
+                    bool is_prefetch = false);
+
+    /**
      * Write-back from an inner level: marks the line dirty if
      * present; otherwise allocates it dirty (no inclusion tracking).
      */
@@ -138,13 +160,6 @@ class Cache
     }
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint32_t setIndex(std::uint64_t line_addr) const;
     Result fill(std::uint64_t line_addr, bool is_write);
 
@@ -153,7 +168,31 @@ class Cache
     PolicyFactory factory_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
-    std::vector<Line> lines_;
+
+    /**
+     * Tag metadata split into contiguous per-field arrays so the
+     * way-probe loop scans one dense cache line per set instead of
+     * striding through full line records. Encoding:
+     * tags_[i] = (lineAddr << 1) | 1 for a valid line, 0 when
+     * invalid. Tags are packed to 32 bits so a 16-way set scan
+     * touches a single host cache line; every address this project
+     * generates (virtual regions below ~4.5 GiB, sequentially
+     * allocated physical pages) keeps line addresses far below the
+     * 31-bit limit, which tagFor() asserts.
+     */
+    std::uint32_t
+    tagFor(std::uint64_t line_addr) const
+    {
+        WSEL_ASSERT(line_addr >> 31 == 0,
+                    "line address exceeds the 31-bit packed-tag "
+                    "range in cache '"
+                        << name_ << "'");
+        return (static_cast<std::uint32_t>(line_addr) << 1) | 1u;
+    }
+
+    std::vector<std::uint32_t> tags_;
+    std::vector<std::uint8_t> dirty_;
+
     std::unique_ptr<ReplacementPolicy> policy_;
     CacheStats stats_;
 };

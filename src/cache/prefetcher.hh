@@ -74,6 +74,16 @@ std::unique_ptr<Prefetcher> makeStreamPrefetcher(
 std::unique_ptr<Prefetcher> makeCompositePrefetcher(
     std::vector<std::unique_ptr<Prefetcher>> parts);
 
+/**
+ * The ip-stride + stream pair fused into one statically dispatched
+ * object: training state and proposal order are identical to
+ * composite(ip-stride, stream), without the per-observe virtual
+ * hops. Used by the uncore when both engines are enabled.
+ */
+std::unique_ptr<Prefetcher> makeIpStrideStreamPrefetcher(
+    std::uint32_t table_entries, std::uint32_t streams,
+    std::uint32_t degree);
+
 /** No-op prefetcher. */
 std::unique_ptr<Prefetcher> makeNullPrefetcher();
 

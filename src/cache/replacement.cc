@@ -1,6 +1,7 @@
 #include "cache/replacement.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "stats/logging.hh"
 
@@ -77,10 +78,19 @@ class LruPolicy : public ReplacementPolicy
     LruPolicy(std::uint32_t sets, std::uint32_t ways)
         : ReplacementPolicy(sets, ways), rank_(sets * ways)
     {
-        for (std::uint32_t s = 0; s < sets; ++s)
-            for (std::uint32_t w = 0; w < ways; ++w)
-                rank_[s * ways + w] =
-                    static_cast<std::uint8_t>(w);
+        // Every set starts with the same 0..ways-1 stack: write it
+        // once and replicate with doubling copies (policies are
+        // constructed per campaign cell, so this runs hot).
+        for (std::uint32_t w = 0; w < ways; ++w)
+            rank_[w] = static_cast<std::uint8_t>(w);
+        const std::size_t total =
+            static_cast<std::size_t>(sets) * ways;
+        for (std::size_t filled = ways; filled < total;) {
+            const std::size_t chunk =
+                std::min(filled, total - filled);
+            std::memcpy(&rank_[filled], rank_.data(), chunk);
+            filled += chunk;
+        }
     }
 
     void
@@ -109,13 +119,33 @@ class LruPolicy : public ReplacementPolicy
     PolicyKind kind() const override { return PolicyKind::LRU; }
 
   protected:
-    /** Promote @p way to MRU. */
+    /**
+     * Promote @p way to MRU.  The rank row is adjusted eight ways
+     * at a time with byte-parallel (SWAR) arithmetic: ranks are
+     * < ways_ ≤ 127, so per-byte `x + (128 - old)` sets a byte's
+     * high bit exactly when x >= old, with no inter-byte carry —
+     * the complement, shifted down, is the per-byte increment.
+     * Behaviour is identical to the scalar loop.
+     */
     void
     touch(std::uint32_t set, std::uint32_t way)
     {
         std::uint8_t *r = &rank_[set * ways_];
         const std::uint8_t old = r[way];
-        for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (old == 0)
+            return; // already MRU: nothing outranks it
+        constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+        constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+        const std::uint64_t bias =
+            (0x80ULL - old) * kLo;
+        std::uint32_t w = 0;
+        for (; w + 8 <= ways_; w += 8) {
+            std::uint64_t x;
+            std::memcpy(&x, r + w, 8);
+            x += (~(x + bias) & kHi) >> 7;
+            std::memcpy(r + w, &x, 8);
+        }
+        for (; w < ways_; ++w) {
             if (r[w] < old)
                 ++r[w];
         }
@@ -128,7 +158,22 @@ class LruPolicy : public ReplacementPolicy
     {
         std::uint8_t *r = &rank_[set * ways_];
         const std::uint8_t old = r[way];
-        for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (old == ways_ - 1)
+            return; // already LRU
+        // SWAR mirror of touch(): decrement every rank > old,
+        // i.e. every byte with x >= old + 1.
+        constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+        constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+        const std::uint64_t bias =
+            (0x80ULL - (old + 1ULL)) * kLo;
+        std::uint32_t w = 0;
+        for (; w + 8 <= ways_; w += 8) {
+            std::uint64_t x;
+            std::memcpy(&x, r + w, 8);
+            x -= ((x + bias) & kHi) >> 7;
+            std::memcpy(r + w, &x, 8);
+        }
+        for (; w < ways_; ++w) {
             if (r[w] > old)
                 --r[w];
         }

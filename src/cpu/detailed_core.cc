@@ -31,11 +31,12 @@ CoreStats::ipc(std::uint64_t target_uops) const
 }
 
 DetailedCore::DetailedCore(const CoreConfig &cfg,
-                           TraceGenerator &trace, UncoreIf &uncore,
+                           TraceCursor trace, UncoreIf &uncore,
                            std::uint32_t core_id,
                            std::uint64_t target_uops,
                            std::uint64_t seed)
-    : cfg_(cfg), trace_(trace), uncore_(uncore), coreId_(core_id),
+    : cfg_(cfg), trace_(std::move(trace)), uncore_(uncore),
+      coreId_(core_id),
       targetUops_(target_uops), tage_(cfg.tage, seed ^ 0x7a6e),
       il1_(cfg.il1, PolicyKind::LRU, seed ^ 0x111, "il1"),
       dl1_(cfg.dl1, PolicyKind::LRU, seed ^ 0xdd1, "dl1"),

@@ -27,7 +27,7 @@
 #include "cpu/core_observer.hh"
 #include "cpu/tage.hh"
 #include "mem/uncore.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -61,14 +61,15 @@ class DetailedCore
   public:
     /**
      * @param cfg Core parameters (Table I).
-     * @param trace µop stream to execute (owned by the caller).
+     * @param trace Cursor over the µop stream to execute (from
+     *        TraceStore; moved into the core).
      * @param uncore Shared uncore (owned by the caller).
      * @param core_id This core's index at the uncore.
      * @param target_uops Commit count after which IPC is frozen and
      *        the thread restarts (paper Section IV-A).
      * @param seed Determinism seed (predictor allocation, policies).
      */
-    DetailedCore(const CoreConfig &cfg, TraceGenerator &trace,
+    DetailedCore(const CoreConfig &cfg, TraceCursor trace,
                  UncoreIf &uncore, std::uint32_t core_id,
                  std::uint64_t target_uops, std::uint64_t seed);
 
@@ -141,7 +142,7 @@ class DetailedCore
     std::int64_t inheritedMissDep(const RobEntry &e) const;
 
     const CoreConfig cfg_;
-    TraceGenerator &trace_;
+    TraceCursor trace_;
     UncoreIf &uncore_;
     const std::uint32_t coreId_;
     const std::uint64_t targetUops_;

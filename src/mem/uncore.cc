@@ -17,9 +17,23 @@ Uncore::Uncore(const UncoreConfig &cfg, std::uint32_t num_cores,
         WSEL_FATAL("uncore needs at least one core");
     if (cfg.mshrs == 0 || cfg.writeBufferEntries == 0)
         WSEL_FATAL("uncore needs MSHRs and write-buffer entries");
+    pageShift_ =
+        std::countr_zero(static_cast<std::uint64_t>(cfg.pageBytes));
+    xlate_.resize(static_cast<std::size_t>(num_cores) *
+                  kXlateEntries);
     mshrs_.reserve(cfg.mshrs);
     writeBuffer_.reserve(cfg.writeBufferEntries);
+    // Head off rehash churn from first-touch allocation bursts; the
+    // bucket count is unobservable in results.
+    pageTable_.reserve(4096);
     for (std::uint32_t c = 0; c < num_cores; ++c) {
+        if (cfg.ipStridePrefetch && cfg.streamPrefetch) {
+            // The standard pairing gets the fused, statically
+            // dispatched implementation (identical behaviour).
+            prefetchers_.push_back(makeIpStrideStreamPrefetcher(
+                64, 8, cfg.prefetchDegree));
+            continue;
+        }
         std::vector<std::unique_ptr<Prefetcher>> parts;
         if (cfg.ipStridePrefetch)
             parts.push_back(
@@ -51,23 +65,31 @@ Uncore::coreStats(std::uint32_t core_id) const
 std::uint64_t
 Uncore::translate(std::uint32_t core_id, std::uint64_t vaddr)
 {
-    const std::uint64_t page_shift =
-        std::countr_zero(static_cast<std::uint64_t>(cfg_.pageBytes));
-    const std::uint64_t vpn = vaddr >> page_shift;
+    const std::uint64_t vpn = vaddr >> pageShift_;
     // Key combines core and VPN: threads do not share pages.
     const std::uint64_t key =
         (static_cast<std::uint64_t>(core_id) << 52) ^ vpn;
-    auto it = pageTable_.find(key);
+    XlateEntry &slot =
+        xlate_[static_cast<std::size_t>(core_id) * kXlateEntries +
+               (vpn & (kXlateEntries - 1))];
     std::uint64_t ppn;
-    if (it == pageTable_.end()) {
-        // First touch: allocate the next physical page (the paper's
-        // BADCO "allocates a new physical page" on a page miss).
-        ppn = nextPpn_++;
-        pageTable_.emplace(key, ppn);
+    if (slot.key == key) {
+        ppn = slot.ppn;
     } else {
-        ppn = it->second;
+        auto it = pageTable_.find(key);
+        if (it == pageTable_.end()) {
+            // First touch: allocate the next physical page (the
+            // paper's BADCO "allocates a new physical page" on a
+            // page miss).
+            ppn = nextPpn_++;
+            pageTable_.emplace(key, ppn);
+        } else {
+            ppn = it->second;
+        }
+        slot.key = key;
+        slot.ppn = ppn;
     }
-    return (ppn << page_shift) |
+    return (ppn << pageShift_) |
            (vaddr & (cfg_.pageBytes - 1));
 }
 
@@ -83,8 +105,20 @@ Uncore::busTransfer(std::uint64_t earliest)
 void
 Uncore::expireMshrs(std::uint64_t now)
 {
-    std::erase_if(mshrs_,
-                  [now](const Mshr &m) { return m.completion <= now; });
+    if (mshrMin_ > now)
+        return; // no entry can have completed: nothing to erase
+    // Stable one-pass compaction (same surviving order as
+    // erase_if) that recomputes the minimum as it goes.
+    std::uint64_t min = UINT64_MAX;
+    std::size_t n = 0;
+    for (const Mshr &m : mshrs_) {
+        if (m.completion > now) {
+            mshrs_[n++] = m;
+            min = std::min(min, m.completion);
+        }
+    }
+    mshrs_.resize(n);
+    mshrMin_ = min;
 }
 
 std::uint64_t
@@ -101,13 +135,11 @@ Uncore::missPath(std::uint64_t start, std::uint64_t paddr,
             return m.completion;
     }
 
-    // MSHR structural hazard: wait for the earliest completion.
+    // MSHR structural hazard: wait for the earliest completion
+    // (the cached minimum — the value the old full scan computed).
     std::uint64_t t = start;
     if (mshrs_.size() >= cfg_.mshrs) {
-        std::uint64_t earliest = UINT64_MAX;
-        for (const Mshr &m : mshrs_)
-            earliest = std::min(earliest, m.completion);
-        t = std::max(t, earliest);
+        t = std::max(t, mshrMin_);
         expireMshrs(t);
     }
 
@@ -117,11 +149,13 @@ Uncore::missPath(std::uint64_t start, std::uint64_t paddr,
         bus_start + cfg_.dramLatency + cfg_.fsbCyclesPerTransfer;
 
     mshrs_.push_back(Mshr{line, completion});
+    mshrMin_ = std::min(mshrMin_, completion);
 
     // Fill the LLC now (tag state is updated in request order).
+    // Every caller observed the miss with no intervening fill, so
+    // the tag scan inside access() is skipped.
     const Cache::Result fill =
-        llc_.access(paddr, is_write, is_prefetch);
-    WSEL_ASSERT(!fill.hit, "missPath called on an LLC hit");
+        llc_.missFill(paddr, is_write, is_prefetch);
     if (fill.evicted.valid && fill.evicted.dirty) {
         // The dirty victim leaves eagerly through the write buffer:
         // it may use the FSB as soon as a buffer slot and the bus
@@ -169,13 +203,14 @@ Uncore::access(std::uint64_t cycle, std::uint32_t core_id,
     const std::uint64_t start = std::max(cycle, portNextFree_);
     portNextFree_ = start + 1;
 
-    const bool hit = llc_.probe(paddr);
+    // One scan resolves the hit path: probe and hit-side update
+    // are fused, and the miss path defers its accounting to
+    // missFill() (an MSHR-merged miss is never accounted, exactly
+    // as before).
+    const bool hit = llc_.accessIfHit(paddr, is_write, is_prefetch);
 
     std::uint64_t completion;
     if (hit) {
-        const Cache::Result r =
-            llc_.access(paddr, is_write, is_prefetch);
-        WSEL_ASSERT(r.hit, "probe/access disagreement");
         completion = start + cfg_.llcHitLatency;
         // The tags fill at request time, so a "hit" may target a
         // line whose data is still in flight: wait for its MSHR.
@@ -205,7 +240,8 @@ Uncore::maybePrefetch(std::uint64_t start, std::uint32_t core_id,
                       std::uint64_t pc, std::uint64_t paddr,
                       bool was_miss)
 {
-    std::vector<std::uint64_t> proposals;
+    prefetchScratch_.clear();
+    std::vector<std::uint64_t> &proposals = prefetchScratch_;
     prefetchers_[core_id]->observe(pc, llc_.lineAddr(paddr), was_miss,
                                    proposals);
     for (std::uint64_t line : proposals) {

@@ -177,6 +177,22 @@ class Uncore : public UncoreIf
     /** First-touch page table: (core, vpn) -> ppn. */
     std::unordered_map<std::uint64_t, std::uint64_t> pageTable_;
     std::uint64_t nextPpn_ = 1;
+    std::uint64_t pageShift_ = 12;
+
+    /**
+     * Per-core direct-mapped translation cache (indexed by low VPN
+     * bits): working sets touch a handful of pages between misses,
+     * so this skips the page-table hash on the vast majority of
+     * requests. Pure cache — the (core, vpn) -> ppn mapping is
+     * immutable once created, so any hit is exact.
+     */
+    static constexpr std::uint32_t kXlateEntries = 64;
+    struct XlateEntry
+    {
+        std::uint64_t key = UINT64_MAX;
+        std::uint64_t ppn = 0;
+    };
+    std::vector<XlateEntry> xlate_;
 
     /** LLC port: accepts one request per cycle. */
     std::uint64_t portNextFree_ = 0;
@@ -193,11 +209,22 @@ class Uncore : public UncoreIf
     };
     std::vector<Mshr> mshrs_;
 
+    /**
+     * Min completion over mshrs_ (UINT64_MAX when empty): lets
+     * expireMshrs() skip its scan while nothing can have completed
+     * — the erased set is unchanged, since no entry's completion
+     * can precede the minimum.
+     */
+    std::uint64_t mshrMin_ = UINT64_MAX;
+
     /** Pending write buffer slots: completion cycles. */
     std::vector<std::uint64_t> writeBuffer_;
 
     /** Per-core prefetchers. */
     std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+
+    /** Reused proposal buffer for maybePrefetch(). */
+    std::vector<std::uint64_t> prefetchScratch_;
 
     std::vector<UncoreCoreStats> coreStats_;
 };

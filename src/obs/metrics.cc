@@ -135,6 +135,11 @@ constexpr CatalogEntry kCatalog[] = {
     {"sim.detailed.cell_ns", 'h'},
     {"sim.badco.cells", 'c'},
     {"sim.badco.cell_ns", 'h'},
+    {"trace_store.chunks_built", 'c'},
+    {"trace_store.chunk_hits", 'c'},
+    {"trace_store.chunks_evicted", 'c'},
+    {"trace_store.resident_bytes", 'g'},
+    {"trace_store.build_ns", 'h'},
     {"log.warns", 'c'},
     {"trace.dropped", 'c'},
 };

@@ -16,6 +16,7 @@
 #include "obs/trace.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
+#include "trace/trace_store.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -956,6 +957,28 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
     c.fingerprint = campaignFingerprint(c.simulator, cores,
                                         target_uops, policies,
                                         suite);
+
+    // Materialize each benchmark's trace chunks once, up front:
+    // every cell's cursors then stream from the shared store instead
+    // of re-generating the µop stream cores x cells times
+    // (docs/PERFORMANCE.md).  Chunk content is a pure function of
+    // the profile, so the build order across the suite is free.
+    {
+        TraceStore &ts = TraceStore::global();
+        const unsigned jobs = exec::resolveJobs(opts.jobs);
+        if (jobs <= 1 || suite.size() <= 1) {
+            for (const BenchmarkProfile &p : suite)
+                ts.ensureBuilt(p, target_uops);
+        } else {
+            exec::ThreadPool pool(std::min<std::size_t>(
+                jobs, suite.size()));
+            exec::parallel_for(pool, 0, suite.size(),
+                               [&](std::size_t i) {
+                                   ts.ensureBuilt(suite[i],
+                                                  target_uops);
+                               });
+        }
+    }
 
     {
         UncoreConfig ref =

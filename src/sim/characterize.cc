@@ -6,7 +6,7 @@
 #include "exec/scheduler.hh"
 #include "mem/uncore.hh"
 #include "stats/logging.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -35,18 +35,18 @@ characterizeBenchmark(const BenchmarkProfile &profile,
 
     // Instruction mix from the trace itself (the simulator sees the
     // same deterministic stream).
-    TraceGenerator mix_gen(profile);
+    TraceCursor mix_cur = TraceStore::global().cursor(profile);
     std::uint64_t loads = 0, stores = 0, branches = 0;
     for (std::uint64_t i = 0; i < target_uops; ++i) {
-        const MicroOp &u = mix_gen.next();
+        const MicroOp u = mix_cur.next();
         loads += u.kind == OpKind::Load;
         stores += u.kind == OpKind::Store;
         branches += u.kind == OpKind::Branch;
     }
 
     Uncore uncore(uncore_cfg, 1, seed);
-    TraceGenerator trace(profile);
-    DetailedCore core(core_cfg, trace, uncore, 0, target_uops, seed);
+    DetailedCore core(core_cfg, TraceStore::global().cursor(profile),
+                      uncore, 0, target_uops, seed);
     std::uint64_t now = 0;
     while (!core.reachedTarget()) {
         core.tick(now);

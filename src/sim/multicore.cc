@@ -9,7 +9,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "stats/logging.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -64,20 +64,18 @@ DetailedMulticoreSim::run(
     obs::Span span("sim.detailed.run");
 
     Uncore uncore(uncoreCfg_, cores_, seed_);
-    std::vector<std::unique_ptr<TraceGenerator>> traces;
     std::vector<std::unique_ptr<DetailedCore>> coresv;
-    traces.reserve(cores_);
     coresv.reserve(cores_);
     for (std::uint32_t k = 0; k < cores_; ++k) {
         const std::uint32_t bench = workload[k];
         if (bench >= suite.size())
             WSEL_FATAL("workload references benchmark " << bench
                        << " outside the suite");
-        traces.push_back(
-            std::make_unique<TraceGenerator>(suite[bench]));
+        // Cursors into the shared memoized stream replace the old
+        // per-cell-per-core TraceGenerator (docs/PERFORMANCE.md).
         coresv.push_back(std::make_unique<DetailedCore>(
-            coreCfg_, *traces.back(), uncore, k, targetUops_,
-            seed_ + 0x1000 * (k + 1)));
+            coreCfg_, TraceStore::global().cursor(suite[bench]),
+            uncore, k, targetUops_, seed_ + 0x1000 * (k + 1)));
     }
 
     std::uint64_t now = 0;
@@ -136,9 +134,8 @@ DetailedMulticoreSim::referenceIpcs(
     refs.reserve(suite.size());
     for (const BenchmarkProfile &p : suite) {
         Uncore uncore(ref_cfg, 1, seed_);
-        TraceGenerator trace(p);
-        DetailedCore core(coreCfg_, trace, uncore, 0, targetUops_,
-                          seed_ + 0x51);
+        DetailedCore core(coreCfg_, TraceStore::global().cursor(p),
+                          uncore, 0, targetUops_, seed_ + 0x51);
         std::uint64_t now = 0;
         while (!core.reachedTarget()) {
             core.tick(now);
@@ -199,19 +196,33 @@ BadcoMulticoreSim::run(
         machines.back()->stopAtTarget(!restartThreads_);
     }
 
-    // Round-robin quanta with rotating start for fairness.
+    // Round-robin quanta with rotating start for fairness. A
+    // machine whose clock already passed the quantum boundary
+    // would return from run() without stepping (a long stall can
+    // overshoot many quanta), so the call is skipped — the uncore
+    // request interleaving, and therefore the result, is untouched.
+    std::vector<BadcoMachine *> mview;
+    mview.reserve(cores_);
+    for (const auto &m : machines)
+        mview.push_back(m.get());
     std::uint64_t t = 0;
     std::uint32_t first = 0;
     while (true) {
         bool all_done = true;
-        for (const auto &m : machines)
+        for (const BadcoMachine *m : mview)
             all_done = all_done && m->reachedTarget();
         if (all_done)
             break;
         t += quantum_;
-        for (std::uint32_t i = 0; i < cores_; ++i)
-            machines[(first + i) % cores_]->run(t);
-        first = (first + 1) % cores_;
+        for (std::uint32_t i = 0; i < cores_; ++i) {
+            std::uint32_t k = first + i;
+            if (k >= cores_)
+                k -= cores_;
+            BadcoMachine &m = *mview[k];
+            if (m.localClock() < t)
+                m.run(t);
+        }
+        first = first + 1 == cores_ ? 0 : first + 1;
     }
 
     SimResult res;

@@ -174,6 +174,42 @@ TraceGenerator::reset()
     std::fill(loopCounters_.begin(), loopCounters_.end(), 0);
 }
 
+TraceDynState
+TraceGenerator::saveState() const
+{
+    TraceDynState s;
+    s.dyn = dyn_;
+    s.generated = generated_;
+    s.curBlock = curBlock_;
+    s.curOffset = curOffset_;
+    s.l1Pos = l1Pos_;
+    s.hotPos = hotPos_;
+    s.streamPos = streamPos_;
+    s.chaseCur = chaseCur_;
+    s.lastChaseAge = lastChaseAge_;
+    s.haveChase = haveChase_;
+    s.loopCounters = loopCounters_;
+    return s;
+}
+
+void
+TraceGenerator::restoreState(const TraceDynState &state)
+{
+    WSEL_ASSERT(state.loopCounters.size() == blocks_.size(),
+                "trace state from a different static layout");
+    dyn_ = state.dyn;
+    generated_ = state.generated;
+    curBlock_ = state.curBlock;
+    curOffset_ = state.curOffset;
+    l1Pos_ = state.l1Pos;
+    hotPos_ = state.hotPos;
+    streamPos_ = state.streamPos;
+    chaseCur_ = state.chaseCur;
+    lastChaseAge_ = state.lastChaseAge;
+    haveChase_ = state.haveChase;
+    loopCounters_ = state.loopCounters;
+}
+
 std::uint64_t
 TraceGenerator::regionAddress(Region r)
 {

@@ -21,6 +21,7 @@
 #include "sim/characterize.hh"
 #include "stats/persist.hh"
 #include "test_util.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -220,6 +221,44 @@ TEST_F(CampaignParallel, DetailedCampaignIsJobsInvariant)
         pop.enumerateAll(), {PolicyKind::LRU}, 2, kUops,
         CoreConfig{}, suite, opts);
     expectSameResults(serial, parallel);
+}
+
+TEST_F(CampaignParallel, DetailedCampaignJobsInvariantUnderTraceEviction)
+{
+    // Same contract as DetailedCampaignIsJobsInvariant, but with the
+    // shared trace store squeezed to a one-chunk budget so workers
+    // evict and regenerate each other's chunks mid-simulation: the
+    // IPC matrix must still be bitwise identical at every job count.
+    const auto suite = testSuite();
+    const WorkloadPopulation pop(2, 2); // 3 workloads
+    const auto run = [&](std::size_t jobs) {
+        CampaignOptions opts;
+        opts.jobs = jobs;
+        return runDetailedCampaign(pop.enumerateAll(),
+                                   {PolicyKind::LRU}, 2, kUops,
+                                   CoreConfig{}, suite, opts);
+    };
+    const Campaign base = run(1);
+
+    TraceStore &ts = TraceStore::global();
+    TraceChunk probe;
+    probe.count = 256;
+    ts.clear();
+    ts.setChunkUops(256);
+    ts.setBudgetBytes(probe.bytes());
+    const std::uint64_t evictions_before = ts.evictions();
+
+    const Campaign squeezed_serial = run(1);
+    const Campaign squeezed_parallel = run(8);
+
+    ts.setChunkUops(TraceStore::kDefaultChunkUops);
+    ts.setBudgetBytes(TraceStore::kDefaultBudgetBytes);
+    ts.clear();
+
+    expectSameResults(base, squeezed_serial);
+    expectSameResults(base, squeezed_parallel);
+    EXPECT_GT(ts.evictions(), evictions_before)
+        << "budget squeeze forced no evictions; test is vacuous";
 }
 
 TEST_F(CampaignParallel, CharacterizationIsJobsInvariant)

@@ -9,7 +9,7 @@
 #include "mem/uncore.hh"
 #include "stats/logging.hh"
 #include "test_util.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -59,8 +59,8 @@ TEST(DetailedCore, IdleSkippingPreservesTiming)
     const std::uint64_t target = 8000;
 
     Uncore u1(ucfg, 1, 5);
-    TraceGenerator t1(p);
-    DetailedCore skip(ccfg, t1, u1, 0, target, 1);
+    DetailedCore skip(ccfg, TraceStore::global().cursor(p), u1, 0,
+                      target, 1);
     std::uint64_t now = 0;
     while (!skip.reachedTarget()) {
         skip.tick(now);
@@ -69,8 +69,8 @@ TEST(DetailedCore, IdleSkippingPreservesTiming)
     }
 
     Uncore u2(ucfg, 1, 5);
-    TraceGenerator t2(p);
-    DetailedCore step(ccfg, t2, u2, 0, target, 1);
+    DetailedCore step(ccfg, TraceStore::global().cursor(p), u2, 0,
+                      target, 1);
     now = 0;
     while (!step.reachedTarget()) {
         step.tick(now);
@@ -121,8 +121,8 @@ TEST(DetailedCore, ThreadRestartsAfterTarget)
     const BenchmarkProfile p = test::lightProfile();
     PerfectUncore uncore(6);
     CoreConfig cfg;
-    TraceGenerator trace(p);
-    DetailedCore core(cfg, trace, uncore, 0, 5000, 1);
+    DetailedCore core(cfg, TraceStore::global().cursor(p), uncore,
+                      0, 5000, 1);
     std::uint64_t now = 0;
     while (!core.reachedTarget())
         core.tick(now++);
@@ -152,8 +152,8 @@ TEST(DetailedCore, ObserverSeesConsistentRequestStream)
     const BenchmarkProfile p = test::heavyProfile();
     PerfectUncore uncore(6);
     CoreConfig cfg;
-    TraceGenerator trace(p);
-    DetailedCore core(cfg, trace, uncore, 0, 20000, 1);
+    DetailedCore core(cfg, TraceStore::global().cursor(p), uncore,
+                      0, 20000, 1);
     EventCollector obs;
     core.setObserver(&obs);
     std::uint64_t now = 0;
@@ -184,8 +184,8 @@ TEST(DetailedCore, RejectsZeroTarget)
     const BenchmarkProfile p = test::lightProfile();
     PerfectUncore uncore(6);
     CoreConfig cfg;
-    TraceGenerator trace(p);
-    EXPECT_THROW(DetailedCore(cfg, trace, uncore, 0, 0, 1),
+    EXPECT_THROW(DetailedCore(cfg, TraceStore::global().cursor(p),
+                              uncore, 0, 0, 1),
                  FatalError);
 }
 

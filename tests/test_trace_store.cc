@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the shared memoized trace store (src/trace/trace_store):
+ * a TraceCursor must replay the exact µop stream a fresh
+ * TraceGenerator produces (including the thread-restart reset and
+ * across chunk boundaries), eviction under a tiny budget must only
+ * cost time — never change a stream or a campaign artifact — and a
+ * concurrent cold start must build every chunk exactly once.
+ *
+ * The fixture names carry the "TraceStore" prefix on purpose: the
+ * tsan CMake preset's test filter selects them for race checking.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hh"
+#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
+#include "test_util.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+constexpr std::uint32_t kSmallChunk = 512;
+
+void
+expectSameUop(const MicroOp &want, const MicroOp &got,
+              std::uint64_t at)
+{
+    ASSERT_EQ(static_cast<int>(want.kind),
+              static_cast<int>(got.kind))
+        << "µop " << at;
+    ASSERT_EQ(want.addr, got.addr) << "µop " << at;
+    ASSERT_EQ(want.pc, got.pc) << "µop " << at;
+    ASSERT_EQ(want.dep1, got.dep1) << "µop " << at;
+    ASSERT_EQ(want.dep2, got.dep2) << "µop " << at;
+    ASSERT_EQ(want.latency, got.latency) << "µop " << at;
+    ASSERT_EQ(want.taken, got.taken) << "µop " << at;
+}
+
+/** Walk @p n µops of @p cur against a fresh generator of @p p. */
+void
+expectCursorMatchesGenerator(TraceCursor cur,
+                             const BenchmarkProfile &p,
+                             std::uint64_t n)
+{
+    TraceGenerator gen(p);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const MicroOp want = gen.next();
+        const MicroOp got = cur.next();
+        expectSameUop(want, got, i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(TraceStoreTest, CursorMatchesGeneratorAcrossChunks)
+{
+    const BenchmarkProfile light = test::lightProfile(7);
+    const BenchmarkProfile heavy = test::heavyProfile(11);
+    TraceStore store(TraceStore::kDefaultBudgetBytes, kSmallChunk);
+    // ~10 chunk boundaries, ending mid-chunk.
+    expectCursorMatchesGenerator(store.cursor(light), light,
+                                 10 * kSmallChunk + 129);
+    expectCursorMatchesGenerator(store.cursor(heavy), heavy,
+                                 4 * kSmallChunk + 1);
+}
+
+TEST(TraceStoreTest, ResetReplaysTheStreamFromUopZero)
+{
+    const BenchmarkProfile p = test::lightProfile(7);
+    TraceStore store(TraceStore::kDefaultBudgetBytes, kSmallChunk);
+    TraceCursor cur = store.cursor(p);
+    for (std::uint64_t i = 0; i < 3 * kSmallChunk + 17; ++i)
+        cur.next();
+    EXPECT_EQ(cur.generated(), 3 * kSmallChunk + 17);
+    cur.reset();
+    EXPECT_EQ(cur.generated(), 0u);
+    expectCursorMatchesGenerator(std::move(cur), p,
+                                 2 * kSmallChunk + 5);
+}
+
+TEST(TraceStoreTest, StreamsAreMemoizedPerProfile)
+{
+    const BenchmarkProfile p = test::lightProfile(7);
+    TraceStore store;
+    const auto a = store.stream(p);
+    const auto b = store.stream(p);
+    EXPECT_EQ(a.get(), b.get());
+    // A different seed is a different stream.
+    EXPECT_NE(a.get(), store.stream(test::lightProfile(8)).get());
+}
+
+TEST(TraceStoreTest, ChunksAreSharedAcrossTargetLengths)
+{
+    const BenchmarkProfile p = test::lightProfile(7);
+    TraceStore store(TraceStore::kDefaultBudgetBytes, kSmallChunk);
+    store.ensureBuilt(p, 4 * kSmallChunk);
+    const auto s = store.stream(p);
+    EXPECT_EQ(s->builds(), 4u);
+    // A shorter and a longer target reuse the position-aligned
+    // chunks: only the two new chunks are built.
+    store.ensureBuilt(p, 2 * kSmallChunk);
+    store.ensureBuilt(p, 6 * kSmallChunk);
+    EXPECT_EQ(s->builds(), 6u);
+}
+
+TEST(TraceStoreTest, EvictionRegeneratesTheIdenticalStream)
+{
+    const BenchmarkProfile p = test::heavyProfile(11);
+    // Budget of one chunk: every chunk transition evicts the
+    // previous chunk, and a second pass regenerates every chunk.
+    TraceChunk probe;
+    probe.count = kSmallChunk;
+    TraceStore store(probe.bytes(), kSmallChunk);
+    const std::uint64_t n = 6 * kSmallChunk + 77;
+    expectCursorMatchesGenerator(store.cursor(p), p, n);
+    EXPECT_GT(store.evictions(), 0u);
+    const std::uint64_t evicted_after_first = store.evictions();
+    // Regenerated chunks are bit-identical to the originals.
+    expectCursorMatchesGenerator(store.cursor(p), p, n);
+    EXPECT_GT(store.evictions(), evicted_after_first);
+    EXPECT_GT(store.stream(p)->builds(), 7u); // rebuilt, not cached
+}
+
+TEST(TraceStoreTest, ResidentBytesStayWithinBudget)
+{
+    const BenchmarkProfile p = test::lightProfile(7);
+    TraceChunk probe;
+    probe.count = kSmallChunk;
+    const std::size_t budget = 3 * probe.bytes();
+    TraceStore store(budget, kSmallChunk);
+    store.ensureBuilt(p, 16 * kSmallChunk);
+    EXPECT_LE(store.residentBytes(), budget);
+    EXPECT_GE(store.evictions(), 13u);
+    // Shrinking the budget evicts immediately.
+    store.setBudgetBytes(probe.bytes());
+    EXPECT_LE(store.residentBytes(), probe.bytes());
+}
+
+TEST(TraceStoreTest, ConcurrentColdStartBuildsEachChunkOnce)
+{
+    const BenchmarkProfile p = test::heavyProfile(11);
+    constexpr std::uint32_t kChunk = 1024;
+    constexpr std::uint64_t kPerThread = 8 * kChunk;
+    TraceStore store(TraceStore::kDefaultBudgetBytes, kChunk);
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&store, &p] {
+            TraceCursor cur = store.cursor(p);
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                sum += cur.next().pc;
+            EXPECT_NE(sum, 0u);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    // 8 threads raced over the same 8 cold chunks; the per-stream
+    // build lock must have built each exactly once.
+    EXPECT_EQ(store.stream(p)->builds(), kPerThread / kChunk);
+    EXPECT_EQ(store.evictions(), 0u);
+}
+
+/**
+ * Reconfigures the process-global store (tiny chunks + tiny budget
+ * to force eviction in the middle of real simulations) and restores
+ * the defaults even when an assertion fails.
+ */
+class TraceStoreCampaignTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        unsetenv("WSEL_JOBS");
+    }
+
+    void
+    TearDown() override
+    {
+        TraceStore &ts = TraceStore::global();
+        ts.setChunkUops(TraceStore::kDefaultChunkUops);
+        ts.setBudgetBytes(TraceStore::kDefaultBudgetBytes);
+        ts.clear();
+    }
+};
+
+TEST_F(TraceStoreCampaignTest, EvictionNeverChangesCampaignResults)
+{
+    constexpr std::uint64_t kUops = 3000;
+    std::vector<BenchmarkProfile> suite;
+    suite.push_back(test::lightProfile(7));
+    suite.push_back(test::heavyProfile(11));
+    const WorkloadPopulation pop(2, 2); // 3 workloads
+    CampaignOptions opts;
+    opts.jobs = 1;
+
+    const auto run = [&] {
+        return runDetailedCampaign(pop.enumerateAll(),
+                                   {PolicyKind::LRU, PolicyKind::DIP},
+                                   2, kUops, CoreConfig{}, suite,
+                                   opts);
+    };
+
+    const Campaign base = run();
+
+    // Rebuild the streams as 256-µop chunks under a one-chunk
+    // budget: every core's cursor now evicts and regenerates chunks
+    // while cells are simulating, serially and in parallel.
+    TraceStore &ts = TraceStore::global();
+    TraceChunk probe;
+    probe.count = 256;
+    ts.clear();
+    ts.setChunkUops(256);
+    ts.setBudgetBytes(probe.bytes());
+    const std::uint64_t evictions_before = ts.evictions();
+
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        opts.jobs = jobs;
+        const Campaign c = run();
+        ASSERT_EQ(base.refIpc.size(), c.refIpc.size());
+        for (std::size_t i = 0; i < base.refIpc.size(); ++i)
+            EXPECT_EQ(base.refIpc[i], c.refIpc[i])
+                << "refIpc " << i << " jobs " << jobs;
+        ASSERT_EQ(base.ipc.size(), c.ipc.size());
+        for (std::size_t p = 0; p < base.ipc.size(); ++p) {
+            for (std::size_t w = 0; w < base.ipc[p].size(); ++w) {
+                ASSERT_EQ(base.ipc[p][w].size(), c.ipc[p][w].size());
+                for (std::size_t k = 0; k < base.ipc[p][w].size();
+                     ++k)
+                    EXPECT_EQ(base.ipc[p][w][k], c.ipc[p][w][k])
+                        << "cell (" << p << "," << w << "," << k
+                        << ") jobs " << jobs;
+            }
+        }
+    }
+    EXPECT_GT(TraceStore::global().evictions(), evictions_before)
+        << "tiny budget did not force eviction; the test is vacuous";
+}
+
+} // namespace
+} // namespace wsel

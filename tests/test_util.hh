@@ -12,7 +12,7 @@
 #include "cpu/detailed_core.hh"
 #include "mem/uncore.hh"
 #include "trace/benchmark_profile.hh"
-#include "trace/trace_generator.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel::test
 {
@@ -72,8 +72,8 @@ runSingleCore(const BenchmarkProfile &profile, UncoreIf &uncore,
               std::uint64_t target, std::uint64_t seed = 1)
 {
     CoreConfig cfg;
-    TraceGenerator trace(profile);
-    DetailedCore core(cfg, trace, uncore, 0, target, seed);
+    DetailedCore core(cfg, TraceStore::global().cursor(profile),
+                      uncore, 0, target, seed);
     std::uint64_t now = 0;
     while (!core.reachedTarget()) {
         core.tick(now);

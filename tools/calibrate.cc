@@ -32,8 +32,8 @@ main(int argc, char **argv)
                 "il1m", "dtlbm", "brMPR", "pfMPK", "cls?", "cyc/u");
     for (const auto &p : suite) {
         Uncore uncore(ucfg, 1, 1);
-        TraceGenerator trace(p);
-        DetailedCore core(ccfg, trace, uncore, 0, target, 1);
+        DetailedCore core(ccfg, TraceStore::global().cursor(p),
+                          uncore, 0, target, 1);
         std::uint64_t now = 0;
         while (!core.reachedTarget()) {
             core.tick(now);

@@ -11,7 +11,10 @@
 #
 # After the release preset passes, a 2-core smoke campaign archives
 # sample observability artifacts (metrics.json and trace.json,
-# docs/OBSERVABILITY.md) under build-release/obs-smoke/.
+# docs/OBSERVABILITY.md) under build-release/obs-smoke/, and
+# table3_sim_speed records the trace-store hot-path throughput
+# (cells/sec at --jobs 1/8 plus the trace_store.* counter snapshot,
+# docs/PERFORMANCE.md) to build-release/BENCH_trace_store.json.
 #
 # Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
 #        tsan)
@@ -45,6 +48,18 @@ for preset in $presets; do
         test -s "$smoke/trace.json"
         rm -rf "$smoke/cache"
         echo "==> obs artifacts archived in $smoke"
+
+        echo "==> trace-store bench: $preset"
+        WSEL_CACHE_DIR="$smoke/cache" \
+        WSEL_INSNS=20000 \
+        WSEL_SPEED_REPS=2 \
+        WSEL_SCALE_WORKLOADS=8 \
+        WSEL_TS_WORKLOADS=12 \
+        WSEL_BENCH_JSON="build-release/BENCH_trace_store.json" \
+            ./build-release/bench/table3_sim_speed
+        test -s "build-release/BENCH_trace_store.json"
+        rm -rf "$smoke/cache"
+        echo "==> bench archived in build-release/BENCH_trace_store.json"
     fi
 done
 

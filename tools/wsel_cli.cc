@@ -4,11 +4,12 @@
  * shell.
  *
  *   wsel_cli characterize [--cores K] [--insns N] [--jobs N]
- *       [--metrics-out FILE] [--trace-out FILE]
+ *       [--metrics-out FILE] [--trace-out FILE] [--trace-mem MIB]
  *       per-benchmark features and automatic vs Table-IV classes
  *   wsel_cli campaign --out FILE [--cores K] [--insns N]
  *       [--policies LRU,DIP,...] [--limit N] [--resume 0|1]
  *       [--jobs N] [--metrics-out FILE] [--trace-out FILE]
+ *       [--trace-mem MIB]
  *       run a BADCO population campaign and save it as CSV;
  *       progress checkpoints to FILE.partial and, by default, an
  *       interrupted run resumes from it (--resume 0 restarts);
@@ -18,7 +19,10 @@
  *       --metrics-out writes the metrics snapshot as JSON and
  *       --trace-out a Chrome/Perfetto trace on exit
  *       (docs/OBSERVABILITY.md; $WSEL_METRICS and $WSEL_TRACE set
- *       the same outputs for every command)
+ *       the same outputs for every command);
+ *       --trace-mem caps the shared trace store's resident chunk
+ *       memory in MiB (default 512; $WSEL_TRACE_MEM sets the same
+ *       budget, see docs/PERFORMANCE.md)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -59,6 +63,7 @@
 #include "sim/characterize.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
+#include "trace/trace_store.hh"
 
 namespace
 {
@@ -142,6 +147,9 @@ setupObs(const Args &args)
             obs::enableTracing();
         obs::setTraceOutput(args.get("trace-out", ""));
     }
+    if (args.has("trace-mem"))
+        TraceStore::global().setBudgetBytes(
+            args.getU64("trace-mem", 512) << 20);
 }
 
 int
