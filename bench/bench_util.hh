@@ -151,22 +151,25 @@ pairStats(const Campaign &c, const PolicyPair &pair,
     return differenceStats(m, tb, ta);
 }
 
-/** Deterministic subsample of a population enumeration. */
-inline std::vector<Workload>
+/**
+ * Deterministic subsample of a population as a rank-based
+ * WorkloadSet: the full population costs O(1) memory (no
+ * enumeration), a subsample costs O(limit) ranks.
+ */
+inline WorkloadSet
 subsamplePopulation(const WorkloadPopulation &pop, std::size_t limit,
                     std::uint64_t seed = 2013)
 {
     if (limit == 0 || limit >= pop.size()) {
-        return pop.enumerateAll();
+        return WorkloadSet::fullPopulation(pop);
     }
     Rng rng(seed);
-    std::vector<Workload> out;
-    out.reserve(limit);
-    const auto idx = rng.sampleWithoutReplacement(
-        static_cast<std::size_t>(pop.size()), limit);
-    for (std::size_t i : idx)
-        out.push_back(pop.unrank(i));
-    return out;
+    std::vector<std::uint64_t> ranks;
+    ranks.reserve(limit);
+    for (std::size_t i : rng.sampleWithoutReplacement(
+             static_cast<std::size_t>(pop.size()), limit))
+        ranks.push_back(i);
+    return WorkloadSet::fromRanks(pop, std::move(ranks));
 }
 
 /** Cached BADCO campaign over (a subsample of) the population. */

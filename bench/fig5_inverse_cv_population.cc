@@ -5,17 +5,86 @@
  * metrics, showing that the metrics rank policies identically
  * (same signs) but require different sample sizes (different
  * magnitudes).
+ *
+ * Two population-engine sections extend the figure
+ * (docs/PERFORMANCE.md, "Population campaigns"):
+ *
+ *  - a 4-core cells/sec comparison of the pre-existing campaign
+ *    path (per-cell journal + in-memory matrix + campaign_v2 text
+ *    save) against the streamed population runner (campaign_v3
+ *    shards + streaming statistics) over the same rank range at
+ *    --jobs 8 (WSEL_POP_BENCH_ROWS sizes it, default 600 rows);
+ *  - an 8-core streamed run (WSEL_POP8_ROWS rows, default 1500;
+ *    0 = the full 4.3M-workload population) reporting per-pair
+ *    1/cv from the one-pass Welford statistics, cells/sec, and
+ *    peak RSS — the paper's Figure 5 point that 8-core populations
+ *    are only approachable with bounded-memory streaming.
+ *
+ * When WSEL_BENCH_JSON names a file, the engine sections are
+ * archived there as JSON (tools/ci.sh stores it as
+ * BENCH_population.json).
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define WSEL_HAVE_RUSAGE 1
+#endif
 
 #include "bench_util.hh"
+#include "exec/scheduler.hh"
+#include "sim/model_store.hh"
+#include "sim/population.hh"
+
+namespace
+{
+
+using namespace wsel;
+using namespace wsel::bench;
+
+double
+peakRssMib()
+{
+#ifdef WSEL_HAVE_RUSAGE
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0)
+        return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+    return 0.0;
+}
+
+std::vector<PopulationPairSpec>
+paperPairSpecs(const std::vector<PolicyKind> &policies,
+               ThroughputMetric m)
+{
+    auto index_of = [&](PolicyKind k) {
+        for (std::size_t i = 0; i < policies.size(); ++i)
+            if (policies[i] == k)
+                return i;
+        WSEL_FATAL("policy not in campaign");
+    };
+    std::vector<PopulationPairSpec> specs;
+    for (const PolicyPair &pair : paperPolicyPairs()) {
+        PopulationPairSpec s;
+        s.y = index_of(pair.a); // hypothesized winner
+        s.x = index_of(pair.b);
+        s.metric = m;
+        s.label = pair.label();
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+} // namespace
 
 int
 main()
 {
-    using namespace wsel;
-    using namespace wsel::bench;
+    namespace fs = std::filesystem;
 
     const Campaign c = standardBadcoCampaign(4);
 
@@ -48,5 +117,170 @@ main()
                 "sample size (eq. 8) depends on the metric "
                 "(paper example: RND-FIFO needs 32 with HSU,\n"
                 "50 with IPCT).\n");
+
+    // --------------------------------------------------------------
+    // Population-engine comparison: old campaign path vs streamed
+    // runner on the same 4-core rank range, both at 8 jobs.
+    // --------------------------------------------------------------
+    const std::uint64_t target = targetUops();
+    const auto &suite = spec2006Suite();
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(suite.size());
+    const WorkloadPopulation pop4(b, 4);
+    const std::uint64_t bench_rows = std::min<std::uint64_t>(
+        pop4.size(), envU64("WSEL_POP_BENCH_ROWS", 600));
+    const auto policies = paperPolicies();
+    const std::size_t np = policies.size();
+    const std::string scratch = ".wsel_bench_population";
+    fs::create_directories(scratch);
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(4, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, target, ucfg.llcHitLatency,
+                          defaultCacheDir());
+    // Build the models outside the timed runs.
+    (void)store.getSuite(suite, exec::resolveJobs(0));
+
+    const double cells4 =
+        static_cast<double>(bench_rows) * static_cast<double>(np);
+    std::printf("\nPOPULATION ENGINE (badco, 4 cores, %llu "
+                "workloads x %zu policies, jobs=8)\n\n",
+                static_cast<unsigned long long>(bench_rows), np);
+    std::printf("%-28s %10s %12s\n", "path", "seconds", "cells/sec");
+
+    double old_cps = 0.0;
+    {
+        const std::string journal = scratch + "/old_path.partial";
+        const std::string out = scratch + "/old_path.campaign";
+        std::error_code ec;
+        fs::remove(journal, ec);
+        CampaignOptions opts;
+        opts.jobs = 8;
+        opts.journalPath = journal;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Campaign oc = runBadcoCampaign(
+            WorkloadSet::populationRange(pop4, 0, bench_rows),
+            policies, 4, target, store, suite, opts);
+        oc.save(out);
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        old_cps = cells4 / sec;
+        std::printf("%-28s %10.2f %12.0f\n",
+                    "journal + v2 text save", sec, old_cps);
+    }
+
+    double new_cps = 0.0;
+    {
+        const std::string out = scratch + "/new_path.v3";
+        PopulationOptions opts;
+        opts.jobs = 8;
+        opts.lastRank = bench_rows;
+        opts.resume = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        const PopulationResult r = runBadcoPopulationCampaign(
+            pop4, policies, target, store, suite,
+            paperPairSpecs(policies, ThroughputMetric::IPCT), out,
+            opts);
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        new_cps = cells4 / sec;
+        std::printf("%-28s %10.2f %12.0f\n",
+                    "streamed v3 shards", sec, new_cps);
+        (void)r;
+    }
+    const double speedup = old_cps > 0.0 ? new_cps / old_cps : 0.0;
+    std::printf("%-28s %10s %11.2fx\n", "speedup", "", speedup);
+
+    // --------------------------------------------------------------
+    // 8-core streamed population: per-pair 1/cv from the one-pass
+    // statistics, plus throughput and peak RSS.
+    // --------------------------------------------------------------
+    const WorkloadPopulation pop8(b, 8);
+    const std::uint64_t rows8_req = envU64("WSEL_POP8_ROWS", 1500);
+    const std::uint64_t rows8 =
+        rows8_req == 0 ? pop8.size()
+                       : std::min<std::uint64_t>(pop8.size(),
+                                                 rows8_req);
+    BadcoModelStore store8(CoreConfig{}, target,
+                           UncoreConfig::forCores(8, PolicyKind::LRU)
+                               .llcHitLatency,
+                           defaultCacheDir());
+    (void)store8.getSuite(suite, exec::resolveJobs(0));
+
+    PopulationOptions opts8;
+    opts8.jobs = 0; // $WSEL_JOBS, else hardware threads
+    opts8.lastRank = rows8;
+    opts8.resume = false;
+    const PopulationResult r8 = runBadcoPopulationCampaign(
+        pop8, policies, target, store8, suite,
+        paperPairSpecs(policies, ThroughputMetric::IPCT),
+        scratch + "/pop8.v3", opts8);
+
+    std::printf("\n8-CORE STREAMED POPULATION "
+                "(%llu of %llu workloads, IPCT)\n\n",
+                static_cast<unsigned long long>(rows8),
+                static_cast<unsigned long long>(pop8.size()));
+    std::printf("%-12s %8s %8s %8s\n", "pair", "1/cv", "eq8-W",
+                "strata");
+    for (const PopulationPairSummary &p : r8.pairs) {
+        const StreamedWorkloadStrata strata(
+            p.sketch, p.d.count(), WorkloadStrataConfig{});
+        std::printf("%-12s %8.3f %8zu %7zu\n", p.spec.label.c_str(),
+                    p.inverseCv(), requiredSampleSize(p.cv()),
+                    strata.strataCount());
+    }
+    const double rss = peakRssMib();
+    std::printf("\n%llu cells at %.0f cells/sec into %llu shards; "
+                "peak RSS %.1f MiB\n",
+                static_cast<unsigned long long>(r8.cellsSimulated),
+                r8.cellsPerSec(),
+                static_cast<unsigned long long>(r8.shardsWritten),
+                rss);
+
+    if (const char *json = std::getenv("WSEL_BENCH_JSON");
+        json && *json) {
+        FILE *f = std::fopen(json, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json);
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"population\",\n"
+            "  \"target_uops\": %llu,\n"
+            "  \"bench4\": {\n"
+            "    \"workloads\": %llu,\n"
+            "    \"policies\": %zu,\n"
+            "    \"cells_per_sec_old\": %.2f,\n"
+            "    \"cells_per_sec_new\": %.2f,\n"
+            "    \"speedup\": %.3f\n"
+            "  },\n"
+            "  \"pop8\": {\n"
+            "    \"workloads\": %llu,\n"
+            "    \"population\": %llu,\n"
+            "    \"cells\": %llu,\n"
+            "    \"cells_per_sec\": %.2f,\n"
+            "    \"shards\": %llu,\n"
+            "    \"peak_rss_mib\": %.1f\n"
+            "  }\n"
+            "}\n",
+            static_cast<unsigned long long>(target),
+            static_cast<unsigned long long>(bench_rows), np,
+            old_cps, new_cps, speedup,
+            static_cast<unsigned long long>(rows8),
+            static_cast<unsigned long long>(pop8.size()),
+            static_cast<unsigned long long>(r8.cellsSimulated),
+            r8.cellsPerSec(),
+            static_cast<unsigned long long>(r8.shardsWritten), rss);
+        std::fclose(f);
+    }
+
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
     return 0;
 }

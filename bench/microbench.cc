@@ -11,14 +11,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "badco/badco_machine.hh"
 #include "badco/badco_model.hh"
 #include "cache/cache.hh"
+#include "core/workload/workload.hh"
 #include "cpu/detailed_core.hh"
 #include "cpu/tage.hh"
 #include "mem/uncore.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "stats/persist_v3.hh"
+#include "stats/summary.hh"
 #include "trace/trace_generator.hh"
 #include "trace/trace_store.hh"
 
@@ -213,6 +218,103 @@ BM_ObsSpan(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsSpan)->Arg(0)->Arg(1);
+
+// -------------------------------------------------------------------
+// Population-campaign building blocks (docs/PERFORMANCE.md,
+// "Population campaigns")
+// -------------------------------------------------------------------
+
+// Baseline: materialize the whole 4-core population (12650
+// Workloads, one heap vector each).
+void
+BM_EnumerateAll(benchmark::State &state)
+{
+    const WorkloadPopulation pop(22, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pop.enumerateAll());
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(pop.size()));
+}
+BENCHMARK(BM_EnumerateAll);
+
+// Streamed alternative: walk the same population with the
+// successor-rule cursor; no per-workload allocation.
+void
+BM_UnrankIterator(benchmark::State &state)
+{
+    const WorkloadPopulation pop(22, 4);
+    WorkloadCursor cur(pop, 0);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        if (cur.atEnd())
+            cur = WorkloadCursor(pop, 0);
+        sum += cur.benchmarks()[0];
+        cur.next();
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnrankIterator);
+
+// One campaign_v3 shard write (checksum + atomic replace); items =
+// IPC cells persisted.
+void
+BM_CampaignV3ShardWrite(benchmark::State &state)
+{
+    const std::string dir = ".wsel_microbench_v3";
+    std::filesystem::create_directories(dir);
+    persist::V3Manifest m;
+    m.fingerprint = 0x1234;
+    m.simulator = "badco";
+    m.cores = 4;
+    m.targetUops = 1000;
+    m.policies = {"LRU", "RND", "FIFO", "DIP", "DRRIP"};
+    m.benchmarks.assign(22, "b");
+    m.refIpc.assign(22, 1.0);
+    m.popBenchmarks = 22;
+    m.popCores = 4;
+    m.firstRank = 0;
+    m.lastRank = 12650;
+    m.shardRows = 64 * 1024 / m.policies.size();
+    const std::size_t cells = static_cast<std::size_t>(
+        m.rowsInShard(0) * m.policies.size());
+    const std::vector<double> payload(cells * m.cores, 1.0);
+    for (auto _ : state)
+        persist::writeV3Shard(dir, m, 0,
+                              {payload.data(), payload.size()});
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cells));
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(payload.size() *
+                                  sizeof(double)));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_CampaignV3ShardWrite);
+
+// Merging per-shard Welford partials: the per-campaign reduction
+// cost of the streamed statistics (1024 partials per iteration).
+void
+BM_WelfordMerge(benchmark::State &state)
+{
+    std::vector<RunningStats> parts(1024);
+    Rng rng(7);
+    for (RunningStats &p : parts)
+        for (int i = 0; i < 64; ++i)
+            p.add(rng.nextDouble());
+    for (auto _ : state) {
+        RunningStats total;
+        for (const RunningStats &p : parts)
+            total.merge(p);
+        benchmark::DoNotOptimize(total.mean());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(parts.size()));
+}
+BENCHMARK(BM_WelfordMerge);
 
 } // namespace
 

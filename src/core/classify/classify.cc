@@ -233,4 +233,28 @@ classCountFeatures(const std::vector<Workload> &workloads,
     return out;
 }
 
+std::vector<std::vector<double>>
+classCountFeatures(const WorkloadSet &workloads,
+                   const std::vector<std::uint32_t> &benchmark_class,
+                   std::uint32_t num_classes)
+{
+    if (num_classes == 0)
+        WSEL_FATAL("need at least one class");
+    std::vector<std::vector<double>> out;
+    out.reserve(workloads.size());
+    workloads.forEach(
+        [&](std::size_t, std::span<const std::uint32_t> benches) {
+            std::vector<double> sig(num_classes, 0.0);
+            for (std::uint32_t b : benches) {
+                if (b >= benchmark_class.size() ||
+                    benchmark_class[b] >= num_classes)
+                    WSEL_FATAL("benchmark "
+                               << b << " has no valid class");
+                sig[benchmark_class[b]] += 1.0;
+            }
+            out.push_back(std::move(sig));
+        });
+    return out;
+}
+
 } // namespace wsel

@@ -73,6 +73,12 @@ std::vector<std::vector<double>> classCountFeatures(
     const std::vector<std::uint32_t> &benchmark_class,
     std::uint32_t num_classes);
 
+/** WorkloadSet variant (streams rank-based sets; no Workloads). */
+std::vector<std::vector<double>> classCountFeatures(
+    const WorkloadSet &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes);
+
 } // namespace wsel
 
 #endif // WSEL_CORE_CLASSIFY_CLASSIFY_HH

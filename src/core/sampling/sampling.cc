@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
 
@@ -24,23 +25,41 @@ std::vector<std::size_t>
 Sample::flatten() const
 {
     std::vector<std::size_t> out;
+    flattenInto(out);
+    return out;
+}
+
+void
+Sample::flattenInto(std::vector<std::size_t> &out) const
+{
+    out.clear();
     out.reserve(totalSize());
     for (const Stratum &s : strata)
         out.insert(out.end(), s.indices.begin(), s.indices.end());
-    return out;
 }
 
 double
 sampleThroughput(const Sample &sample, ThroughputMetric m,
                  std::span<const double> t)
 {
+    ThroughputScratch scratch;
+    return sampleThroughput(sample, m, t, scratch);
+}
+
+double
+sampleThroughput(const Sample &sample, ThroughputMetric m,
+                 std::span<const double> t,
+                 ThroughputScratch &scratch)
+{
     if (sample.strata.empty())
         WSEL_FATAL("empty sample");
-    std::vector<double> means;
-    std::vector<double> weights;
+    std::vector<double> &means = scratch.means;
+    std::vector<double> &weights = scratch.weights;
+    std::vector<double> &vals = scratch.vals;
+    means.clear();
+    weights.clear();
     means.reserve(sample.strata.size());
     weights.reserve(sample.strata.size());
-    std::vector<double> vals;
     for (const Sample::Stratum &s : sample.strata) {
         if (s.indices.empty())
             continue;
@@ -141,15 +160,23 @@ class RandomSampler : public Sampler
     Sample
     draw(std::size_t size, Rng &rng) const override
     {
+        Sample s;
+        drawInto(s, size, rng);
+        return s;
+    }
+
+    void
+    drawInto(Sample &out, std::size_t size, Rng &rng) const override
+    {
         if (size == 0)
             WSEL_FATAL("cannot draw an empty sample");
-        Sample s;
-        s.strata.resize(1);
-        s.strata[0].weight = 1.0;
-        s.strata[0].indices.reserve(size);
+        out.strata.resize(1);
+        out.strata[0].weight = 1.0;
+        auto &idx = out.strata[0].indices;
+        idx.clear();
+        idx.reserve(size);
         for (std::size_t i = 0; i < size; ++i)
-            s.strata[0].indices.push_back(rng.nextInt(n_));
-        return s;
+            idx.push_back(rng.nextInt(n_));
     }
 
     std::string name() const override { return "random"; }
@@ -226,6 +253,14 @@ class StratifiedSamplerBase : public Sampler
     Sample
     draw(std::size_t size, Rng &rng) const override
     {
+        Sample s;
+        drawInto(s, size, rng);
+        return s;
+    }
+
+    void
+    drawInto(Sample &out, std::size_t size, Rng &rng) const override
+    {
         if (size == 0)
             WSEL_FATAL("cannot draw an empty sample");
         std::vector<std::size_t> sizes;
@@ -242,20 +277,22 @@ class StratifiedSamplerBase : public Sampler
         const std::vector<std::size_t> alloc =
             weightedAllocation(sizes, weights, size, rng);
 
-        Sample s;
+        std::size_t used = 0;
         for (std::size_t h = 0; h < groups_.size(); ++h) {
             if (alloc[h] == 0)
                 continue; // unsampled stratum (W below L)
-            Sample::Stratum st;
+            if (used == out.strata.size())
+                out.strata.emplace_back();
+            Sample::Stratum &st = out.strata[used++];
             st.weight = static_cast<double>(groups_[h].size());
             const auto picks = rng.sampleWithoutReplacement(
                 groups_[h].size(), alloc[h]);
+            st.indices.clear();
             st.indices.reserve(picks.size());
             for (std::size_t p : picks)
                 st.indices.push_back(groups_[h][p]);
-            s.strata.push_back(std::move(st));
         }
-        return s;
+        out.strata.resize(used);
     }
 
     /** Number of strata this sampler defines. */
@@ -280,31 +317,71 @@ class BenchmarkStratifiedSampler : public StratifiedSamplerBase
         const std::vector<std::uint32_t> &benchmark_class,
         std::uint32_t num_classes)
     {
+        validate(benchmark_class, num_classes);
+        std::map<std::vector<std::uint32_t>, std::size_t> sig_to_id;
+        std::vector<std::uint32_t> sig;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const auto &b = workloads[i].benchmarks();
+            classify(sig_to_id, sig,
+                     {b.data(), b.size()}, i,
+                     benchmark_class, num_classes);
+        }
+    }
+
+    BenchmarkStratifiedSampler(
+        const WorkloadSet &workloads,
+        const std::vector<std::uint32_t> &benchmark_class,
+        std::uint32_t num_classes)
+    {
+        validate(benchmark_class, num_classes);
+        std::map<std::vector<std::uint32_t>, std::size_t> sig_to_id;
+        std::vector<std::uint32_t> sig;
+        workloads.forEach(
+            [&](std::size_t i,
+                std::span<const std::uint32_t> benches) {
+                classify(sig_to_id, sig, benches, i,
+                         benchmark_class, num_classes);
+            });
+    }
+
+    std::string name() const override { return "bench-strata"; }
+
+  private:
+    static void
+    validate(const std::vector<std::uint32_t> &benchmark_class,
+             std::uint32_t num_classes)
+    {
         if (num_classes == 0)
             WSEL_FATAL("need at least one benchmark class");
         for (std::uint32_t c : benchmark_class) {
             if (c >= num_classes)
-                WSEL_FATAL("benchmark class " << c << " out of range");
-        }
-        // Stratum signature: occurrences of each class (c1..cM).
-        std::map<std::vector<std::uint32_t>, std::size_t> sig_to_id;
-        for (std::size_t i = 0; i < workloads.size(); ++i) {
-            std::vector<std::uint32_t> sig(num_classes, 0);
-            for (std::uint32_t bench : workloads[i].benchmarks()) {
-                if (bench >= benchmark_class.size())
-                    WSEL_FATAL("workload references benchmark "
-                               << bench << " outside the suite");
-                ++sig[benchmark_class[bench]];
-            }
-            auto [it, inserted] =
-                sig_to_id.emplace(std::move(sig), groups_.size());
-            if (inserted)
-                groups_.emplace_back();
-            groups_[it->second].push_back(i);
+                WSEL_FATAL("benchmark class " << c
+                                              << " out of range");
         }
     }
 
-    std::string name() const override { return "bench-strata"; }
+    /** Stratum signature: occurrences of each class (c1..cM). */
+    void
+    classify(std::map<std::vector<std::uint32_t>, std::size_t>
+                 &sig_to_id,
+             std::vector<std::uint32_t> &sig,
+             std::span<const std::uint32_t> benches, std::size_t i,
+             const std::vector<std::uint32_t> &benchmark_class,
+             std::uint32_t num_classes)
+    {
+        sig.assign(num_classes, 0);
+        for (std::uint32_t bench : benches) {
+            if (bench >= benchmark_class.size())
+                WSEL_FATAL("workload references benchmark "
+                           << bench << " outside the suite");
+            ++sig[benchmark_class[bench]];
+        }
+        auto [it, inserted] =
+            sig_to_id.emplace(sig, groups_.size());
+        if (inserted)
+            groups_.emplace_back();
+        groups_[it->second].push_back(i);
+    }
 };
 
 class WorkloadStratifiedSampler : public StratifiedSamplerBase
@@ -362,6 +439,30 @@ class WorkloadStratifiedSampler : public StratifiedSamplerBase
     std::string name() const override { return "workload-strata"; }
 };
 
+/**
+ * A stratified sampler over strata built elsewhere (e.g. by
+ * StreamedWorkloadStrata).  Reports the same name as the exact
+ * workload-stratified sampler: it implements the same method, just
+ * from streamed inputs.
+ */
+class PrebuiltStratifiedSampler : public StratifiedSamplerBase
+{
+  public:
+    PrebuiltStratifiedSampler(
+        std::vector<std::vector<std::size_t>> groups,
+        std::vector<double> alloc_weights, std::string name)
+        : name_(std::move(name))
+    {
+        groups_ = std::move(groups);
+        allocWeights_ = std::move(alloc_weights);
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+};
+
 } // namespace
 
 std::unique_ptr<Sampler>
@@ -389,6 +490,16 @@ makeBenchmarkStratifiedSampler(
 }
 
 std::unique_ptr<Sampler>
+makeBenchmarkStratifiedSampler(
+    const WorkloadSet &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes)
+{
+    return std::make_unique<BenchmarkStratifiedSampler>(
+        workloads, benchmark_class, num_classes);
+}
+
+std::unique_ptr<Sampler>
 makeWorkloadStratifiedSampler(std::span<const double> d,
                               const WorkloadStrataConfig &cfg)
 {
@@ -403,6 +514,82 @@ countWorkloadStrata(std::span<const double> d,
     return s.strataCount();
 }
 
+StreamedWorkloadStrata::StreamedWorkloadStrata(
+    const QuantileSketch &sketch, std::uint64_t population_size,
+    const WorkloadStrataConfig &cfg)
+    : cfg_(cfg)
+{
+    if (sketch.sampleSize() == 0)
+        WSEL_FATAL("workload stratification needs d(w) values");
+    if (cfg_.wt == 0)
+        WSEL_FATAL("minimum stratum size cannot be zero");
+    if (population_size == 0)
+        WSEL_FATAL("cannot stratify an empty population");
+
+    // Replay the §VI-B2 growth rule on the sketch's kept sample,
+    // scaling every kept value up to scale population workloads, so
+    // "stratum size >= wt" means wt *population* workloads.  The
+    // value at which a stratum closes becomes its upper boundary in
+    // d-space.
+    const std::vector<double> vals = sketch.sortedValues();
+    const double scale = static_cast<double>(population_size) /
+                         static_cast<double>(vals.size());
+    RunningStats stats;
+    std::size_t count = 0;
+    for (double v : vals) {
+        stats.add(v);
+        ++count;
+        if (static_cast<double>(count) * scale >=
+                static_cast<double>(cfg_.wt) &&
+            stats.stddevPopulation() > cfg_.tsd) {
+            boundaries_.push_back(v);
+            stats = RunningStats{};
+            count = 0;
+        }
+    }
+    // The last (possibly still-open) stratum catches everything
+    // above the final boundary.
+    boundaries_.push_back(
+        std::numeric_limits<double>::infinity());
+    groups_.resize(boundaries_.size());
+    groupStats_.resize(boundaries_.size());
+}
+
+void
+StreamedWorkloadStrata::add(std::size_t index, double d)
+{
+    // First boundary >= d: values equal to a closing value stay in
+    // the stratum that closed on it, matching the growth replay.
+    const std::size_t h = static_cast<std::size_t>(
+        std::lower_bound(boundaries_.begin(), boundaries_.end(), d) -
+        boundaries_.begin());
+    groups_[h].push_back(index);
+    groupStats_[h].add(d);
+    ++added_;
+}
+
+std::unique_ptr<Sampler>
+StreamedWorkloadStrata::build() const
+{
+    if (added_ == 0)
+        WSEL_FATAL("no workloads were added to the streamed strata");
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<double> weights;
+    for (std::size_t h = 0; h < groups_.size(); ++h) {
+        if (groups_[h].empty())
+            continue;
+        groups.push_back(groups_[h]);
+        if (cfg_.allocation == Allocation::Neyman) {
+            const double sigma = std::max(
+                groupStats_[h].stddevPopulation(), 1e-12);
+            weights.push_back(
+                static_cast<double>(groups_[h].size()) * sigma);
+        }
+    }
+    return std::make_unique<PrebuiltStratifiedSampler>(
+        std::move(groups), std::move(weights), "workload-strata");
+}
+
 double
 empiricalConfidence(const Sampler &sampler, std::size_t size,
                     std::size_t draws, ThroughputMetric m,
@@ -413,11 +600,17 @@ empiricalConfidence(const Sampler &sampler, std::size_t size,
         WSEL_FATAL("need at least one draw");
     if (t_x.size() != t_y.size())
         WSEL_FATAL("X and Y throughput vectors differ in length");
+    // One Sample and one scratch for the whole experiment: at the
+    // paper's 10^4 draws the per-draw allocations of draw() +
+    // sampleThroughput() dominate the loop (bench/
+    // fig7_actual_confidence.cc measures this path).
     std::size_t wins = 0;
+    Sample s;
+    ThroughputScratch scratch;
     for (std::size_t i = 0; i < draws; ++i) {
-        const Sample s = sampler.draw(size, rng);
-        const double tx = sampleThroughput(s, m, t_x);
-        const double ty = sampleThroughput(s, m, t_y);
+        sampler.drawInto(s, size, rng);
+        const double tx = sampleThroughput(s, m, t_x, scratch);
+        const double ty = sampleThroughput(s, m, t_y, scratch);
         if (ty > tx)
             ++wins;
     }

@@ -31,6 +31,7 @@
 #include "core/metrics/throughput.hh"
 #include "core/workload/workload.hh"
 #include "stats/rng.hh"
+#include "stats/summary.hh"
 
 namespace wsel
 {
@@ -51,6 +52,25 @@ struct Sample
 
     /** Flatten all indices (for handing to a detailed simulator). */
     std::vector<std::size_t> flatten() const;
+
+    /**
+     * flatten() into a caller buffer (cleared first), so tight
+     * draw loops reuse one allocation across draws.
+     */
+    void flattenInto(std::vector<std::size_t> &out) const;
+};
+
+/**
+ * Reusable buffers for sampleThroughput in tight draw loops (e.g.
+ * the paper's 10^4-draw confidence experiments): per-stratum value,
+ * mean and weight vectors that would otherwise be reallocated for
+ * every draw.
+ */
+struct ThroughputScratch
+{
+    std::vector<double> vals;
+    std::vector<double> means;
+    std::vector<double> weights;
 };
 
 /**
@@ -63,6 +83,11 @@ struct Sample
 double sampleThroughput(const Sample &sample, ThroughputMetric m,
                         std::span<const double> t);
 
+/** Allocation-free variant; @p scratch is clobbered. */
+double sampleThroughput(const Sample &sample, ThroughputMetric m,
+                        std::span<const double> t,
+                        ThroughputScratch &scratch);
+
 /**
  * Abstract sampling method.
  */
@@ -73,6 +98,18 @@ class Sampler
 
     /** Draw a sample of @p size workloads. */
     virtual Sample draw(std::size_t size, Rng &rng) const = 0;
+
+    /**
+     * Draw into @p out, reusing its vectors where the method
+     * supports it (the built-in samplers do).  Consumes the same
+     * RNG stream as draw(), so the two are interchangeable in
+     * seeded experiments.  The default copies through draw().
+     */
+    virtual void
+    drawInto(Sample &out, std::size_t size, Rng &rng) const
+    {
+        out = draw(size, rng);
+    }
 
     /** Method name for reports ("random", "workload-strata", ...). */
     virtual std::string name() const = 0;
@@ -110,6 +147,16 @@ std::unique_ptr<Sampler> makeBalancedRandomSampler(
  */
 std::unique_ptr<Sampler> makeBenchmarkStratifiedSampler(
     const std::vector<Workload> &workloads,
+    const std::vector<std::uint32_t> &benchmark_class,
+    std::uint32_t num_classes);
+
+/**
+ * Benchmark stratification over a WorkloadSet (rank-based sets
+ * stream through the set's cursor; no Workload vector is
+ * materialized).
+ */
+std::unique_ptr<Sampler> makeBenchmarkStratifiedSampler(
+    const WorkloadSet &workloads,
     const std::vector<std::uint32_t> &benchmark_class,
     std::uint32_t num_classes);
 
@@ -154,6 +201,57 @@ std::unique_ptr<Sampler> makeWorkloadStratifiedSampler(
 std::size_t countWorkloadStrata(
     std::span<const double> d,
     const WorkloadStrataConfig &cfg = WorkloadStrataConfig{});
+
+/**
+ * Two-pass workload stratification for populations too large to
+ * hold d(w) in memory (§VI-B2 at population scale):
+ *
+ *  1. A campaign streams d(w) into a QuantileSketch (e.g. the
+ *     population runner's per-pair sketch).  The constructor sorts
+ *     the sketch's kept sample and replays the §VI-B2 growth rule
+ *     on it with every count scaled by N / sample-size, yielding
+ *     approximate stratum boundaries in d-space.
+ *  2. The caller streams d(w) once more (or the part of it being
+ *     sampled), calling add(index, d) for every workload; each
+ *     observation is binned into its boundary interval.
+ *
+ * build() then produces the same kind of sampler as
+ * makeWorkloadStratifiedSampler (name "workload-strata", optional
+ * Neyman allocation from the per-stratum streamed sigmas).  With a
+ * sketch that kept the whole population (capacity >= N) and
+ * tie-free d values the strata are identical to the exact ones;
+ * otherwise boundaries are approximate but the weights (real
+ * stratum sizes) are exact, so the eq. 9 estimator stays unbiased.
+ */
+class StreamedWorkloadStrata
+{
+  public:
+    StreamedWorkloadStrata(
+        const QuantileSketch &sketch, std::uint64_t population_size,
+        const WorkloadStrataConfig &cfg = WorkloadStrataConfig{});
+
+    /** Phase 2: assign workload @p index with difference @p d. */
+    void add(std::size_t index, double d);
+
+    /** Strata defined by the boundaries (before dropping empties). */
+    std::size_t strataCount() const { return groups_.size(); }
+
+    /** Workloads added so far. */
+    std::size_t population() const { return added_; }
+
+    /**
+     * Finish: a stratified sampler over everything add()ed.
+     * Empty strata are dropped.  Fatal when nothing was added.
+     */
+    std::unique_ptr<Sampler> build() const;
+
+  private:
+    WorkloadStrataConfig cfg_;
+    std::vector<double> boundaries_; ///< upper d per stratum
+    std::vector<std::vector<std::size_t>> groups_;
+    std::vector<RunningStats> groupStats_; ///< for Neyman sigmas
+    std::size_t added_ = 0;
+};
 
 /**
  * Experimental degree of confidence (paper §V-A/§VI): the fraction

@@ -140,6 +140,11 @@ constexpr CatalogEntry kCatalog[] = {
     {"trace_store.chunks_evicted", 'c'},
     {"trace_store.resident_bytes", 'g'},
     {"trace_store.build_ns", 'h'},
+    {"population.cells", 'c'},
+    {"population.shards_written", 'c'},
+    {"population.bytes", 'c'},
+    {"population.cells_per_sec", 'g'},
+    {"population.shard_write_ns", 'h'},
     {"log.warns", 'c'},
     {"trace.dropped", 'c'},
 };

@@ -16,6 +16,7 @@
 #include "obs/trace.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
+#include "stats/persist_v3.hh"
 #include "trace/trace_store.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -213,7 +214,8 @@ parseCampaignBody(const std::string &body, int version)
         throw persist::CacheInvalid(
             "implausible workload count " + std::to_string(nw64));
     const std::size_t nw = static_cast<std::size_t>(nw64);
-    c.workloads.reserve(nw);
+    std::vector<Workload> wls;
+    wls.reserve(nw);
     for (std::size_t w = 0; w < nw; ++w) {
         if (!reader.next(line))
             throw persist::CacheInvalid("truncated workload list");
@@ -239,10 +241,13 @@ parseCampaignBody(const std::string &body, int version)
                 std::to_string(reader.lineNo()) + " has " +
                 std::to_string(benches.size()) + " slots, campaign "
                 "has " + std::to_string(c.cores) + " cores");
-        c.workloads.push_back(Workload(std::move(benches)));
+        wls.push_back(Workload(std::move(benches)));
     }
-    c.ipc.assign(c.policies.size(),
-                 std::vector<std::vector<double>>(nw));
+    c.workloads = WorkloadSet(std::move(wls));
+    c.ipc.reshape(c.policies.size(), nw, c.cores);
+    // The contiguous matrix is zero-initialized, so duplicate
+    // detection needs its own bitmap (a zero cell is legal).
+    std::vector<char> seen(c.policies.size() * nw, 0);
     std::size_t rows = 0;
     while (reader.next(line)) {
         if (line.empty())
@@ -260,7 +265,7 @@ parseCampaignBody(const std::string &body, int version)
             throw persist::CacheInvalid(
                 "ipc line out of range at line " +
                 std::to_string(reader.lineNo()));
-        if (!c.ipc[p][w].empty())
+        if (seen[p * nw + w])
             throw persist::CacheInvalid(
                 "duplicate ipc cell (" + std::to_string(p) + "," +
                 std::to_string(w) + ") at line " +
@@ -273,7 +278,8 @@ parseCampaignBody(const std::string &body, int version)
                 std::to_string(reader.lineNo()) + " has " +
                 std::to_string(ipcs.size()) + " values, expected " +
                 std::to_string(c.cores));
-        c.ipc[p][w] = std::move(ipcs);
+        c.ipc.setCell(p, w, {ipcs.data(), ipcs.size()});
+        seen[p * nw + w] = 1;
         ++rows;
     }
     if (rows != c.policies.size() * nw)
@@ -332,6 +338,68 @@ loadImpl(const std::string &path)
         return c;
     }
     return parseCampaignBody(body, version);
+}
+
+/**
+ * Load a sharded binary campaign_v3 directory (population
+ * campaigns, src/stats/persist_v3.hh).  Throws
+ * persist::CacheInvalid on any validation failure.
+ */
+Campaign
+loadV3Impl(const std::string &path)
+{
+    const persist::V3Manifest m = persist::readV3Manifest(path);
+    Campaign c;
+    c.formatVersion = 3;
+    c.fingerprint = m.fingerprint;
+    c.simulator = m.simulator;
+    c.cores = m.cores;
+    c.targetUops = m.targetUops;
+    c.simSeconds = m.simSeconds;
+    c.instructions = m.instructions;
+    try {
+        for (const std::string &p : m.policies)
+            c.policies.push_back(parsePolicyKind(p));
+    } catch (const FatalError &e) {
+        throw persist::CacheInvalid(
+            std::string("campaign_v3 manifest: unknown policy: ") +
+            e.what());
+    }
+    c.benchmarks = m.benchmarks;
+    c.refIpc = m.refIpc;
+    if (m.popBenchmarks == 0 || m.popCores == 0 ||
+        m.popCores != m.cores ||
+        m.popBenchmarks != m.benchmarks.size())
+        throw persist::CacheInvalid(
+            "campaign_v3 manifest: bad population shape");
+    const WorkloadPopulation pop(m.popBenchmarks, m.popCores);
+    if (m.lastRank > pop.size() || m.firstRank > m.lastRank)
+        throw persist::CacheInvalid(
+            "campaign_v3 manifest: rank range outside population");
+    c.workloads =
+        WorkloadSet::populationRange(pop, m.firstRank, m.lastRank);
+    const std::size_t nw =
+        static_cast<std::size_t>(m.rows());
+    const std::size_t np = c.policies.size();
+    c.ipc.reshape(np, nw, c.cores);
+    for (std::uint64_t s = 0; s < m.shardCount(); ++s) {
+        const std::vector<double> payload =
+            persist::readV3Shard(path, m, s);
+        // Shards are row-major (workload, policy, core); the
+        // matrix is policy-major, so scatter by cell.
+        const std::size_t rows =
+            static_cast<std::size_t>(m.rowsInShard(s));
+        const std::size_t base_w =
+            static_cast<std::size_t>(s * m.shardRows);
+        const double *src = payload.data();
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t p = 0; p < np; ++p) {
+                c.ipc.setCell(p, base_w + r, {src, c.cores});
+                src += c.cores;
+            }
+        }
+    }
+    return c;
 }
 
 /**
@@ -679,17 +747,19 @@ runCells(Campaign &c, const CampaignOptions &opts,
             static obs::Counter &resumed =
                 obs::counter("campaign.cells_resumed");
             resumed.inc();
-            c.ipc[p][w] = journal->cell(p, w);
+            const std::vector<double> &jc = journal->cell(p, w);
+            c.ipc.setCell(p, w, {jc.data(), jc.size()});
             progress(opts, label(p) + " (resumed)",
                      done.fetch_add(1) + 1, total);
             return;
         }
-        obs::Span span(
-            "campaign.cell",
-            obs::tracingEnabled()
-                ? "policy=" + toString(c.policies[p]) +
-                      ",workload=" + std::to_string(w)
-                : std::string());
+        std::string tag;
+        if (obs::tracingEnabled()) {
+            tag = "policy=" + toString(c.policies[p]) +
+                  ",workload=";
+            c.workloads.keyInto(w, tag);
+        }
+        obs::Span span("campaign.cell", tag);
         static obs::Counter &cells = obs::counter("campaign.cells");
         static obs::LatencyHistogram &cellNs =
             obs::histogram("campaign.cell_ns");
@@ -697,7 +767,7 @@ runCells(Campaign &c, const CampaignOptions &opts,
         const SimResult r = run_cell(
             p, w, campaignCellSeed(c.fingerprint, opts.seed, p, w));
         cells.inc();
-        c.ipc[p][w] = r.ipc;
+        c.ipc.setCell(p, w, {r.ipc.data(), r.ipc.size()});
         wall[idx] = r.wallSeconds;
         insns[idx] = r.instructions;
         if (journal)
@@ -800,18 +870,32 @@ std::vector<double>
 Campaign::perWorkloadThroughputs(std::size_t policy_idx,
                                  ThroughputMetric m) const
 {
+    std::vector<double> t(workloads.size());
+    perWorkloadThroughputsInto(policy_idx, m,
+                               {t.data(), t.size()});
+    return t;
+}
+
+void
+Campaign::perWorkloadThroughputsInto(std::size_t policy_idx,
+                                     ThroughputMetric m,
+                                     std::span<double> out) const
+{
     if (policy_idx >= policies.size())
         WSEL_FATAL("policy index " << policy_idx << " out of range");
-    std::vector<double> t;
-    t.reserve(workloads.size());
+    if (out.size() != workloads.size())
+        WSEL_FATAL("throughput buffer has " << out.size()
+                                            << " slots for "
+                                            << workloads.size()
+                                            << " workloads");
     std::vector<double> refs(cores, 1.0);
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const std::vector<double> &ipcs = ipc[policy_idx][w];
-        for (std::size_t k = 0; k < cores; ++k)
-            refs[k] = refIpc[workloads[w][k]];
-        t.push_back(perWorkloadThroughput(m, ipcs, refs));
-    }
-    return t;
+    workloads.forEach(
+        [&](std::size_t w, std::span<const std::uint32_t> benches) {
+            for (std::size_t k = 0; k < cores; ++k)
+                refs[k] = refIpc[benches[k]];
+            out[w] = perWorkloadThroughput(
+                m, ipc.cell(policy_idx, w), refs);
+        });
 }
 
 double
@@ -847,17 +931,19 @@ Campaign::save(const std::string &path) const
         os << (i ? ";" : "") << refIpc[i];
     os << "\n";
     os << "nworkloads," << workloads.size() << "\n";
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        os << "w,";
-        for (std::size_t k = 0; k < workloads[w].size(); ++k)
-            os << (k ? ";" : "") << workloads[w][k];
-        os << "\n";
-    }
+    workloads.forEach(
+        [&](std::size_t, std::span<const std::uint32_t> benches) {
+            os << "w,";
+            for (std::size_t k = 0; k < benches.size(); ++k)
+                os << (k ? ";" : "") << benches[k];
+            os << "\n";
+        });
     for (std::size_t p = 0; p < policies.size(); ++p) {
         for (std::size_t w = 0; w < workloads.size(); ++w) {
             os << "i," << p << "," << w << ",";
-            for (std::size_t k = 0; k < ipc[p][w].size(); ++k)
-                os << (k ? ";" : "") << ipc[p][w][k];
+            const auto cell = ipc.cell(p, w);
+            for (std::size_t k = 0; k < cell.size(); ++k)
+                os << (k ? ";" : "") << cell[k];
             os << "\n";
         }
     }
@@ -873,6 +959,8 @@ Campaign
 Campaign::load(const std::string &path, LoadMode mode)
 {
     try {
+        if (persist::isV3CampaignDir(path))
+            return loadV3Impl(path);
         return loadImpl(path);
     } catch (const persist::CacheInvalid &e) {
         if (mode == LoadMode::Strict)
@@ -887,7 +975,7 @@ Campaign::load(const std::string &path, LoadMode mode)
 }
 
 Campaign
-runBadcoCampaign(const std::vector<Workload> &workloads,
+runBadcoCampaign(const WorkloadSet &workloads,
                  const std::vector<PolicyKind> &policies,
                  std::uint32_t cores, std::uint64_t target_uops,
                  BadcoModelStore &store,
@@ -918,8 +1006,7 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
         c.refIpc = ref_sim.referenceIpcs(models);
     }
 
-    c.ipc.assign(policies.size(),
-                 std::vector<std::vector<double>>(workloads.size()));
+    c.ipc.reshape(policies.size(), workloads.size(), cores);
     auto journal =
         openJournal(opts, c, policies.size(), workloads.size());
     std::vector<UncoreConfig> ucfgs;
@@ -931,13 +1018,14 @@ runBadcoCampaign(const std::vector<Workload> &workloads,
                  std::uint64_t seed) -> SimResult {
                  const BadcoMulticoreSim sim(ucfgs[p], cores,
                                              target_uops, seed);
-                 return sim.run(workloads[w], models);
+                 const Workload wl = workloads[w];
+                 return sim.run(wl, models);
              });
     return c;
 }
 
 Campaign
-runDetailedCampaign(const std::vector<Workload> &workloads,
+runDetailedCampaign(const WorkloadSet &workloads,
                     const std::vector<PolicyKind> &policies,
                     std::uint32_t cores, std::uint64_t target_uops,
                     const CoreConfig &core_cfg,
@@ -988,8 +1076,7 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
         c.refIpc = ref_sim.referenceIpcs(suite);
     }
 
-    c.ipc.assign(policies.size(),
-                 std::vector<std::vector<double>>(workloads.size()));
+    c.ipc.reshape(policies.size(), workloads.size(), cores);
     auto journal =
         openJournal(opts, c, policies.size(), workloads.size());
     std::vector<UncoreConfig> ucfgs;
@@ -1002,7 +1089,8 @@ runDetailedCampaign(const std::vector<Workload> &workloads,
                  const DetailedMulticoreSim sim(core_cfg, ucfgs[p],
                                                 cores, target_uops,
                                                 seed);
-                 return sim.run(workloads[w], suite);
+                 const Workload wl = workloads[w];
+                 return sim.run(wl, suite);
              });
     return c;
 }

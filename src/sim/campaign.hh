@@ -13,7 +13,9 @@
  * atomically, long runs checkpoint each completed (policy,
  * workload) cell to a journal and resume after a crash, and a
  * corrupt or stale cache file is quarantined and regenerated
- * instead of aborting the run.
+ * instead of aborting the run.  Population-scale runs persist to
+ * the sharded binary `campaign_v3` directory format
+ * (src/stats/persist_v3.hh); Campaign::load reads both.
  *
  * The policy x workload matrix is embarrassingly parallel: with
  * CampaignOptions::jobs > 1 the cells run on the exec/ work-stealing
@@ -25,8 +27,10 @@
 #ifndef WSEL_SIM_CAMPAIGN_HH
 #define WSEL_SIM_CAMPAIGN_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -62,6 +66,215 @@ enum class LoadMode
     Cached,
 };
 
+/**
+ * The campaign IPC matrix: one contiguous policy-major
+ * [P x N x K] buffer of doubles (policy, then workload, then
+ * core), replacing the former vector<vector<vector<double>>> so a
+ * 4.3M-workload population costs one allocation and cells are
+ * cache-line friendly.  The old triple-indexing syntax keeps
+ * working through lightweight read proxies:
+ * `ipc[p][w][k]`, range-for over policies and cells, and
+ * element-wise equality all behave as before.
+ */
+class IpcMatrix
+{
+  public:
+    /** Read proxy for one (policy, workload) cell: K doubles. */
+    class CellView
+    {
+      public:
+        CellView() = default;
+        CellView(const double *d, std::size_t k) : d_(d), k_(k) {}
+
+        std::size_t size() const { return k_; }
+        bool empty() const { return k_ == 0; }
+        double operator[](std::size_t i) const { return d_[i]; }
+        const double *begin() const { return d_; }
+        const double *end() const { return d_ + k_; }
+        const double *data() const { return d_; }
+
+        operator std::span<const double>() const
+        {
+            return {d_, k_};
+        }
+
+        friend bool
+        operator==(const CellView &a, const CellView &b)
+        {
+            return std::equal(a.begin(), a.end(), b.begin(),
+                              b.end());
+        }
+
+        friend bool
+        operator==(const CellView &a, const std::vector<double> &b)
+        {
+            return std::equal(a.begin(), a.end(), b.begin(),
+                              b.end());
+        }
+
+      private:
+        const double *d_ = nullptr;
+        std::size_t k_ = 0;
+    };
+
+    /** Read proxy for one policy: N cells of K doubles. */
+    class PolicyView
+    {
+      public:
+        PolicyView(const double *base, std::size_t n, std::size_t k)
+            : base_(base), n_(n), k_(k)
+        {
+        }
+
+        std::size_t size() const { return n_; }
+
+        CellView operator[](std::size_t w) const
+        {
+            return {base_ + w * k_, k_};
+        }
+
+        class iterator
+        {
+          public:
+            using value_type = CellView;
+            using difference_type = std::ptrdiff_t;
+
+            iterator(const PolicyView *v, std::size_t w)
+                : v_(v), w_(w)
+            {
+            }
+
+            CellView operator*() const { return (*v_)[w_]; }
+            iterator &operator++()
+            {
+                ++w_;
+                return *this;
+            }
+            bool operator==(const iterator &o) const
+            {
+                return w_ == o.w_;
+            }
+
+          private:
+            const PolicyView *v_;
+            std::size_t w_;
+        };
+
+        iterator begin() const { return {this, 0}; }
+        iterator end() const { return {this, n_}; }
+
+        friend bool
+        operator==(const PolicyView &a, const PolicyView &b)
+        {
+            return a.n_ == b.n_ && a.k_ == b.k_ &&
+                   std::equal(a.base_, a.base_ + a.n_ * a.k_,
+                              b.base_);
+        }
+
+      private:
+        const double *base_;
+        std::size_t n_, k_;
+    };
+
+    IpcMatrix() = default;
+
+    /** Allocate (zero-filled) for @p policies x @p workloads x
+     * @p cores. */
+    void
+    reshape(std::size_t policies, std::size_t workloads,
+            std::uint32_t cores)
+    {
+        np_ = policies;
+        nw_ = workloads;
+        k_ = cores;
+        data_.assign(np_ * nw_ * k_, 0.0);
+    }
+
+    std::size_t policies() const { return np_; }
+    std::size_t workloadCount() const { return nw_; }
+    std::uint32_t coresPerCell() const
+    {
+        return static_cast<std::uint32_t>(k_);
+    }
+
+    /** Number of policies (mirrors the old outer vector). */
+    std::size_t size() const { return np_; }
+    bool empty() const { return np_ == 0; }
+
+    PolicyView operator[](std::size_t p) const
+    {
+        return {data_.data() + p * nw_ * k_, nw_, k_};
+    }
+
+    std::span<const double>
+    cell(std::size_t p, std::size_t w) const
+    {
+        return {data_.data() + (p * nw_ + w) * k_, k_};
+    }
+
+    std::span<double>
+    cellMut(std::size_t p, std::size_t w)
+    {
+        return {data_.data() + (p * nw_ + w) * k_, k_};
+    }
+
+    void
+    setCell(std::size_t p, std::size_t w,
+            std::span<const double> v)
+    {
+        if (v.size() != k_)
+            WSEL_FATAL("ipc cell has " << v.size()
+                                       << " values, expected "
+                                       << k_);
+        std::copy(v.begin(), v.end(),
+                  data_.data() + (p * nw_ + w) * k_);
+    }
+
+    const std::vector<double> &data() const { return data_; }
+
+    class iterator
+    {
+      public:
+        using value_type = PolicyView;
+        using difference_type = std::ptrdiff_t;
+
+        iterator(const IpcMatrix *m, std::size_t p) : m_(m), p_(p)
+        {
+        }
+
+        PolicyView operator*() const { return (*m_)[p_]; }
+        iterator &operator++()
+        {
+            ++p_;
+            return *this;
+        }
+        bool operator==(const iterator &o) const
+        {
+            return p_ == o.p_;
+        }
+
+      private:
+        const IpcMatrix *m_;
+        std::size_t p_;
+    };
+
+    iterator begin() const { return {this, 0}; }
+    iterator end() const { return {this, np_}; }
+
+    bool
+    operator==(const IpcMatrix &o) const
+    {
+        return np_ == o.np_ && nw_ == o.nw_ && k_ == o.k_ &&
+               data_ == o.data_;
+    }
+
+  private:
+    std::size_t np_ = 0;
+    std::size_t nw_ = 0;
+    std::size_t k_ = 0;
+    std::vector<double> data_;
+};
+
 /** The full result of simulating workloads x policies. */
 struct Campaign
 {
@@ -71,10 +284,16 @@ struct Campaign
     std::vector<PolicyKind> policies;
     std::vector<std::string> benchmarks; ///< suite names
     std::vector<double> refIpc; ///< single-thread IPC per benchmark
-    std::vector<Workload> workloads;
 
-    /** ipc[policy][workload][core]. */
-    std::vector<std::vector<std::vector<double>>> ipc;
+    /**
+     * The workload list: an explicit list for sampled campaigns, a
+     * rank range over the population shape for (sub)population
+     * campaigns (O(1) memory regardless of N).
+     */
+    WorkloadSet workloads;
+
+    /** ipc[policy][workload][core], stored contiguously. */
+    IpcMatrix ipc;
 
     /** Host seconds spent simulating. */
     double simSeconds = 0.0;
@@ -84,12 +303,16 @@ struct Campaign
 
     /**
      * Configuration fingerprint (campaignFingerprint) persisted in
-     * the v2 header so caches detect config drift the filename key
-     * missed.  0 in campaigns loaded from v1 files.
+     * the v2/v3 headers so caches detect config drift the filename
+     * key missed.  0 in campaigns loaded from v1 files.
      */
     std::uint64_t fingerprint = 0;
 
-    /** Format version this campaign was loaded from (2 for new). */
+    /**
+     * Format version this campaign was loaded from (2 for new
+     * in-memory campaigns; 3 when loaded from a sharded binary
+     * campaign_v3 directory).
+     */
     int formatVersion = 2;
 
     /** Index of @p kind in policies; fatal when absent. */
@@ -102,17 +325,29 @@ struct Campaign
     std::vector<double> perWorkloadThroughputs(
         std::size_t policy_idx, ThroughputMetric m) const;
 
+    /**
+     * Caller-buffer variant: write t(w) into @p out (size
+     * workloads.size()) streaming the workload set, with no
+     * per-call triple indirection or allocation.
+     */
+    void perWorkloadThroughputsInto(std::size_t policy_idx,
+                                    ThroughputMetric m,
+                                    std::span<double> out) const;
+
     /** Simulation speed in MIPS. */
     double mips() const;
 
     /**
      * Persist in the campaign_v2 format (fingerprint header,
      * record-count + checksum footer) via an atomic replace.
+     * Population-scale campaigns should be written as campaign_v3
+     * shards by the population runner instead (sim/population.hh).
      */
     void save(const std::string &path) const;
 
     /**
-     * Load a persisted campaign (v2 or legacy v1).
+     * Load a persisted campaign: a campaign_v3 directory when
+     * @p path is one, else a v2 (or legacy v1) file.
      * @see LoadMode for failure semantics.
      */
     static Campaign load(const std::string &path,
@@ -187,9 +422,11 @@ struct CampaignOptions
 
 /**
  * Run a BADCO campaign: simulate every workload under every policy
- * with the behavioural simulator.
+ * with the behavioural simulator.  @p workloads accepts a
+ * std::vector<Workload> (implicitly) or any WorkloadSet, including
+ * a population rank range that is never materialized.
  */
-Campaign runBadcoCampaign(const std::vector<Workload> &workloads,
+Campaign runBadcoCampaign(const WorkloadSet &workloads,
                           const std::vector<PolicyKind> &policies,
                           std::uint32_t cores,
                           std::uint64_t target_uops,
@@ -201,7 +438,7 @@ Campaign runBadcoCampaign(const std::vector<Workload> &workloads,
  * Run a detailed campaign with the cycle-level simulator.
  */
 Campaign runDetailedCampaign(
-    const std::vector<Workload> &workloads,
+    const WorkloadSet &workloads,
     const std::vector<PolicyKind> &policies, std::uint32_t cores,
     std::uint64_t target_uops, const CoreConfig &core_cfg,
     const std::vector<BenchmarkProfile> &suite,

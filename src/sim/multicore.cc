@@ -176,8 +176,18 @@ BadcoMulticoreSim::run(
     const Workload &workload,
     const std::vector<const BadcoModel *> &models) const
 {
-    if (workload.size() != cores_)
-        WSEL_FATAL("workload has " << workload.size()
+    const auto &b = workload.benchmarks();
+    return run(std::span<const std::uint32_t>(b.data(), b.size()),
+               models);
+}
+
+SimResult
+BadcoMulticoreSim::run(
+    std::span<const std::uint32_t> benches,
+    const std::vector<const BadcoModel *> &models) const
+{
+    if (benches.size() != cores_)
+        WSEL_FATAL("workload has " << benches.size()
                                    << " threads for " << cores_
                                    << " cores");
     const auto t0 = std::chrono::steady_clock::now();
@@ -187,7 +197,7 @@ BadcoMulticoreSim::run(
     std::vector<std::unique_ptr<BadcoMachine>> machines;
     machines.reserve(cores_);
     for (std::uint32_t k = 0; k < cores_; ++k) {
-        const std::uint32_t bench = workload[k];
+        const std::uint32_t bench = benches[k];
         if (bench >= models.size() || models[bench] == nullptr)
             WSEL_FATAL("no BADCO model for benchmark " << bench);
         machines.push_back(std::make_unique<BadcoMachine>(

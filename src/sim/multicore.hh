@@ -14,6 +14,7 @@
 #define WSEL_SIM_MULTICORE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "badco/badco_model.hh"
@@ -122,6 +123,15 @@ class BadcoMulticoreSim
      * @param models One model pointer per suite benchmark.
      */
     SimResult run(const Workload &workload,
+                  const std::vector<const BadcoModel *> &models)
+        const;
+
+    /**
+     * Allocation-free variant for streamed population campaigns:
+     * @p benches is the sorted benchmark multiset (K entries), e.g.
+     * a WorkloadCursor span; no Workload is materialized.
+     */
+    SimResult run(std::span<const std::uint32_t> benches,
                   const std::vector<const BadcoModel *> &models)
         const;
 

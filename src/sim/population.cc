@@ -1,0 +1,315 @@
+#include "sim/population.hh"
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "exec/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/campaign.hh"
+#include "sim/multicore.hh"
+#include "stats/logging.hh"
+#include "stats/persist.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/**
+ * Per-shard statistics partial: one accumulator triple per pair,
+ * filled while the shard's payload is in cache and merged into the
+ * campaign totals in shard order afterwards, so the merged result
+ * is independent of which thread ran which shard.
+ */
+struct ShardPartial
+{
+    std::vector<PopulationPairSummary> pairs;
+    std::uint64_t cellsSimulated = 0;
+    std::uint64_t cellsResumed = 0;
+    bool written = false;
+    bool resumed = false;
+    double simWall = 0.0;
+};
+
+std::vector<PopulationPairSummary>
+makeAccumulators(const std::vector<PopulationPairSpec> &pairs,
+                 const PopulationOptions &opts)
+{
+    std::vector<PopulationPairSummary> acc;
+    acc.reserve(pairs.size());
+    for (const PopulationPairSpec &s : pairs)
+        acc.emplace_back(s, opts.histLo, opts.histHi, opts.histBins,
+                         opts.sketchCapacity);
+    return acc;
+}
+
+/**
+ * Stream one shard's payload through the pair accumulators.  The
+ * cursor walk re-derives each row's benchmark multiset so the
+ * reference IPCs for speedup metrics come from the row itself, not
+ * from any stored per-row state.
+ */
+void
+accumulateShard(const persist::V3Manifest &m,
+                const WorkloadPopulation &pop, std::uint64_t shard,
+                std::span<const double> payload,
+                const std::vector<double> &ref_ipc,
+                ShardPartial &part)
+{
+    const std::size_t np = m.policies.size();
+    const std::size_t k = m.cores;
+    const std::uint64_t rows = m.rowsInShard(shard);
+    std::vector<double> refs(k, 1.0);
+    std::vector<double> t(np, 0.0);
+    WorkloadCursor cur(pop, m.shardFirstRank(shard));
+    for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+        const std::span<const std::uint32_t> benches =
+            cur.benchmarks();
+        for (std::size_t c = 0; c < k; ++c)
+            refs[c] = ref_ipc[benches[c]];
+        const double *row = payload.data() + r * np * k;
+        for (PopulationPairSummary &a : part.pairs) {
+            const std::size_t px = a.spec.x;
+            const std::size_t py = a.spec.y;
+            const double tx = perWorkloadThroughput(
+                a.spec.metric, {row + px * k, k}, refs);
+            const double ty = perWorkloadThroughput(
+                a.spec.metric, {row + py * k, k}, refs);
+            const double d =
+                perWorkloadDifference(a.spec.metric, tx, ty);
+            a.d.add(d);
+            a.hist.add(d);
+            a.sketch.add(cur.rank(), d);
+        }
+    }
+}
+
+} // namespace
+
+PopulationResult
+runBadcoPopulationCampaign(
+    const WorkloadPopulation &pop,
+    const std::vector<PolicyKind> &policies,
+    std::uint64_t target_uops, BadcoModelStore &store,
+    const std::vector<BenchmarkProfile> &suite,
+    const std::vector<PopulationPairSpec> &pairs,
+    const std::string &out_dir, const PopulationOptions &opts)
+{
+    if (policies.empty())
+        WSEL_FATAL("population campaign needs policies");
+    if (pop.numBenchmarks() != suite.size())
+        WSEL_FATAL("population is over " << pop.numBenchmarks()
+                   << " benchmarks but the suite has "
+                   << suite.size());
+    const std::uint64_t last =
+        opts.lastRank == 0 ? pop.size() : opts.lastRank;
+    if (opts.firstRank >= last || last > pop.size())
+        WSEL_FATAL("population rank range [" << opts.firstRank
+                   << ", " << last << ") invalid for size "
+                   << pop.size());
+    for (const PopulationPairSpec &s : pairs) {
+        if (s.x >= policies.size() || s.y >= policies.size())
+            WSEL_FATAL("pair " << s.label
+                       << " references a policy index outside the "
+                          "campaign's " << policies.size()
+                       << " policies");
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("population.run");
+    const std::size_t jobs = exec::resolveJobs(opts.jobs);
+    const std::size_t np = policies.size();
+    const std::uint32_t k = pop.cores();
+
+    persist::V3Manifest m;
+    m.fingerprint = campaignFingerprint("badco", k, target_uops,
+                                        policies, suite);
+    m.simulator = "badco";
+    m.cores = k;
+    m.targetUops = target_uops;
+    for (PolicyKind p : policies)
+        m.policies.push_back(toString(p));
+    for (const BenchmarkProfile &p : suite)
+        m.benchmarks.push_back(p.name);
+    m.popBenchmarks = pop.numBenchmarks();
+    m.popCores = k;
+    m.firstRank = opts.firstRank;
+    m.lastRank = last;
+    m.shardRows = std::max<std::uint64_t>(
+        1, opts.shardCells / std::max<std::size_t>(1, np));
+
+    const std::vector<const BadcoModel *> models =
+        store.getSuite(suite, jobs);
+    {
+        UncoreConfig ref = UncoreConfig::forCores(k, PolicyKind::LRU);
+        BadcoMulticoreSim ref_sim(ref, 1, target_uops, opts.seed);
+        m.refIpc = ref_sim.referenceIpcs(models);
+    }
+
+    std::error_code ec;
+    fs::create_directories(out_dir, ec);
+    if (ec)
+        WSEL_FATAL("cannot create campaign directory " << out_dir
+                   << ": " << ec.message());
+    if (!opts.resume) {
+        // A fresh run must not inherit shards from an older (maybe
+        // differently-shaped) campaign in the same directory.
+        const std::uint64_t shards = m.shardCount();
+        for (std::uint64_t s = 0; s < shards; ++s)
+            fs::remove(persist::v3ShardPath(out_dir, s), ec);
+        fs::remove(persist::v3ManifestPath(out_dir), ec);
+    }
+
+    std::vector<UncoreConfig> ucfgs;
+    ucfgs.reserve(np);
+    for (PolicyKind p : policies)
+        ucfgs.push_back(UncoreConfig::forCores(k, p));
+
+    const std::uint64_t shards = m.shardCount();
+    std::vector<ShardPartial> parts(shards);
+
+    auto run_shard = [&](std::size_t s) {
+        ShardPartial &part = parts[s];
+        part.pairs = makeAccumulators(pairs, opts);
+        const std::uint64_t rows = m.rowsInShard(s);
+        const std::uint64_t cells = rows * np;
+        const std::string shard_path =
+            persist::v3ShardPath(out_dir, s);
+
+        if (opts.resume) {
+            try {
+                const std::vector<double> payload =
+                    persist::readV3Shard(out_dir, m, s);
+                accumulateShard(m, pop, s, payload, m.refIpc, part);
+                part.cellsResumed = cells;
+                part.resumed = true;
+                return;
+            } catch (const persist::CacheInvalid &e) {
+                if (fs::exists(shard_path)) {
+                    const std::string moved =
+                        persist::quarantineFile(shard_path);
+                    warn("corrupt campaign shard " + shard_path +
+                         " (" + e.what() + ")" +
+                         (moved.empty()
+                              ? ""
+                              : "; quarantined to " + moved) +
+                         "; re-simulating");
+                }
+            }
+        }
+
+        obs::Span sspan("population.shard",
+                        "shard=" + std::to_string(s));
+        const auto s0 = std::chrono::steady_clock::now();
+        std::vector<double> payload(rows * np * k, 0.0);
+        WorkloadCursor cur(pop, m.shardFirstRank(s));
+        for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+            const std::uint64_t rank = cur.rank();
+            double *row = payload.data() + r * np * k;
+            for (std::size_t p = 0; p < np; ++p) {
+                const BadcoMulticoreSim sim(
+                    ucfgs[p], k, target_uops,
+                    campaignCellSeed(m.fingerprint, opts.seed, p,
+                                     rank));
+                const SimResult res =
+                    sim.run(cur.benchmarks(), models);
+                for (std::uint32_t c = 0; c < k; ++c)
+                    row[p * k + c] = res.ipc[c];
+            }
+        }
+        {
+            std::uint64_t write_ns = 0;
+            {
+                const auto w0 = std::chrono::steady_clock::now();
+                persist::writeV3Shard(out_dir, m, s,
+                                      {payload.data(),
+                                       payload.size()});
+                write_ns = static_cast<std::uint64_t>(
+                    std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - w0)
+                        .count());
+            }
+            if (obs::metricsEnabled()) {
+                static obs::Counter &cellsC =
+                    obs::counter("population.cells");
+                static obs::Counter &shardsC =
+                    obs::counter("population.shards_written");
+                static obs::Counter &bytesC =
+                    obs::counter("population.bytes");
+                static obs::LatencyHistogram &writeNs =
+                    obs::histogram("population.shard_write_ns");
+                cellsC.inc(cells);
+                shardsC.inc();
+                bytesC.inc(payload.size() * sizeof(double));
+                writeNs.recordNs(write_ns);
+            }
+        }
+        accumulateShard(m, pop, s, {payload.data(), payload.size()},
+                        m.refIpc, part);
+        part.cellsSimulated = cells;
+        part.written = true;
+        part.simWall = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - s0)
+                           .count();
+        if (opts.verbose) {
+            std::ostringstream os;
+            os << "  [population] shard " << (s + 1) << "/"
+               << shards << " (" << cells << " cells)";
+            logLine(os.str());
+        }
+    };
+
+    if (jobs <= 1 || shards <= 1) {
+        for (std::uint64_t s = 0; s < shards; ++s)
+            run_shard(s);
+    } else {
+        exec::ThreadPool pool(std::min<std::size_t>(jobs, shards));
+        exec::parallel_for(pool, std::size_t{0}, shards, run_shard);
+    }
+
+    // Deterministic merge in shard (= rank) order; the Welford,
+    // histogram and sketch merges are all order-insensitive in
+    // value but merging in a fixed order keeps the floating-point
+    // result reproducible across job counts.
+    PopulationResult result;
+    result.dir = out_dir;
+    result.pairs = makeAccumulators(pairs, opts);
+    for (const ShardPartial &part : parts) {
+        for (std::size_t i = 0; i < result.pairs.size(); ++i) {
+            result.pairs[i].d.merge(part.pairs[i].d);
+            result.pairs[i].hist.merge(part.pairs[i].hist);
+            result.pairs[i].sketch.merge(part.pairs[i].sketch);
+        }
+        result.cellsSimulated += part.cellsSimulated;
+        result.cellsResumed += part.cellsResumed;
+        result.shardsWritten += part.written ? 1 : 0;
+        result.shardsResumed += part.resumed ? 1 : 0;
+        m.simSeconds += part.simWall;
+    }
+    // Instructions describe the whole artifact (resumed shards
+    // included); simSeconds is this run's simulation wall only.
+    m.instructions = m.rows() * np * k * target_uops;
+
+    // The manifest is the commit point: it only exists once every
+    // shard it describes does.
+    persist::writeV3Manifest(out_dir, m);
+    result.manifest = std::move(m);
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    if (obs::metricsEnabled() && result.wallSeconds > 0.0) {
+        obs::gauge("population.cells_per_sec")
+            .set(static_cast<double>(result.cellsSimulated) /
+                 result.wallSeconds);
+    }
+    return result;
+}
+
+} // namespace wsel

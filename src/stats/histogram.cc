@@ -33,6 +33,17 @@ Histogram::add(double x)
     ++total_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size())
+        WSEL_FATAL("merging histograms with different shapes");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 double
 Histogram::binCenter(std::size_t i) const
 {

@@ -30,6 +30,15 @@ class Histogram
     /** Add one observation; values outside [lo, hi] clamp. */
     void add(double x);
 
+    /**
+     * Merge another histogram (parallel reduction); fatal unless
+     * the bounds and bin count match exactly.
+     */
+    void merge(const Histogram &other);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
     /** Number of observations added. */
     std::size_t count() const { return total_; }
 

@@ -1,0 +1,359 @@
+#include "stats/persist_v3.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "stats/logging.hh"
+#include "stats/persist.hh"
+
+namespace wsel::persist
+{
+
+namespace
+{
+
+constexpr char kManifestMagic[8] = {'W', 'S', 'V', '3',
+                                    'M', 'A', 'N', 'I'};
+constexpr char kShardMagic[8] = {'W', 'S', 'V', '3',
+                                 'S', 'H', 'R', 'D'};
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendF64(std::string &out, double v)
+{
+    appendU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+appendString(std::string &out, const std::string &s)
+{
+    appendU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+void
+appendChecksum(std::string &out)
+{
+    const std::uint64_t sum = fnv1a(out);
+    appendU64(out, sum);
+}
+
+/** Bounds-checked little-endian reader over a loaded file. */
+class Reader
+{
+  public:
+    Reader(std::string_view data, const std::string &what)
+        : data_(data), what_(what)
+    {
+    }
+
+    void
+    expectMagic(const char (&magic)[8])
+    {
+        char got[8];
+        bytes(got, 8);
+        if (std::memcmp(got, magic, 8) != 0)
+            throw CacheInvalid(what_ + ": bad magic");
+    }
+
+    std::uint32_t
+    u32()
+    {
+        unsigned char b[4];
+        bytes(b, 4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        unsigned char b[8];
+        bytes(b, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (n > remaining())
+            throw CacheInvalid(what_ + ": truncated string");
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    std::size_t pos() const { return pos_; }
+
+    void
+    bytes(void *out, std::size_t n)
+    {
+        if (n > remaining())
+            throw CacheInvalid(what_ + ": truncated");
+        std::memcpy(out, data_.data() + pos_, n);
+        pos_ += n;
+    }
+
+  private:
+    std::string_view data_;
+    std::string what_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path, const std::string &what)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CacheInvalid(what + ": cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        throw CacheInvalid(what + ": read error on " + path);
+    return data;
+}
+
+/** Split off and verify the trailing checksum; returns the body. */
+std::string_view
+checkedBody(const std::string &data, const std::string &what)
+{
+    if (data.size() < 8)
+        throw CacheInvalid(what + ": too short for a checksum");
+    const std::string_view body(data.data(), data.size() - 8);
+    Reader tail(
+        std::string_view(data.data() + body.size(), 8), what);
+    const std::uint64_t want = tail.u64();
+    if (fnv1a(body) != want)
+        throw CacheInvalid(what + ": checksum mismatch");
+    return body;
+}
+
+} // namespace
+
+std::uint64_t
+V3Manifest::shardCount() const
+{
+    if (shardRows == 0)
+        WSEL_FATAL("v3 manifest with zero shard rows");
+    return (rows() + shardRows - 1) / shardRows;
+}
+
+std::uint64_t
+V3Manifest::rowsInShard(std::uint64_t shard) const
+{
+    const std::uint64_t begin = shard * shardRows;
+    if (begin >= rows())
+        WSEL_FATAL("shard " << shard << " outside campaign of "
+                            << rows() << " rows");
+    return std::min(shardRows, rows() - begin);
+}
+
+std::string
+v3ShardName(std::uint64_t shard)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "shard-%06llu.bin",
+                  static_cast<unsigned long long>(shard));
+    return buf;
+}
+
+std::string
+v3ManifestPath(const std::string &dir)
+{
+    return dir + "/manifest.bin";
+}
+
+std::string
+v3ShardPath(const std::string &dir, std::uint64_t shard)
+{
+    return dir + "/" + v3ShardName(shard);
+}
+
+bool
+isV3CampaignDir(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::is_directory(path, ec) &&
+           std::filesystem::is_regular_file(v3ManifestPath(path),
+                                            ec);
+}
+
+void
+writeV3Manifest(const std::string &dir, const V3Manifest &m)
+{
+    if (m.lastRank < m.firstRank)
+        WSEL_FATAL("v3 manifest rank range inverted");
+    if (m.shardRows == 0)
+        WSEL_FATAL("v3 manifest with zero shard rows");
+    if (m.refIpc.size() != m.benchmarks.size())
+        WSEL_FATAL("v3 manifest refIpc/benchmark size mismatch");
+    std::string out;
+    out.reserve(256 + 16 * (m.policies.size() +
+                            m.benchmarks.size()));
+    out.append(kManifestMagic, 8);
+    appendU32(out, kV3Version);
+    appendU64(out, m.fingerprint);
+    appendString(out, m.simulator);
+    appendU32(out, m.cores);
+    appendU64(out, m.targetUops);
+    appendF64(out, m.simSeconds);
+    appendU64(out, m.instructions);
+    appendU32(out, static_cast<std::uint32_t>(m.policies.size()));
+    for (const std::string &p : m.policies)
+        appendString(out, p);
+    appendU32(out, static_cast<std::uint32_t>(m.benchmarks.size()));
+    for (const std::string &b : m.benchmarks)
+        appendString(out, b);
+    for (double r : m.refIpc)
+        appendF64(out, r);
+    appendU32(out, m.popBenchmarks);
+    appendU32(out, m.popCores);
+    appendU64(out, m.firstRank);
+    appendU64(out, m.lastRank);
+    appendU64(out, m.shardRows);
+    appendChecksum(out);
+    atomicWriteFile(v3ManifestPath(dir), out);
+}
+
+V3Manifest
+readV3Manifest(const std::string &dir)
+{
+    const std::string what = "campaign_v3 manifest";
+    const std::string data = slurp(v3ManifestPath(dir), what);
+    const std::string_view body = checkedBody(data, what);
+    Reader r(body, what);
+    r.expectMagic(kManifestMagic);
+    const std::uint32_t version = r.u32();
+    if (version != kV3Version)
+        throw CacheInvalid(what + ": unsupported version " +
+                           std::to_string(version));
+    V3Manifest m;
+    m.fingerprint = r.u64();
+    m.simulator = r.str();
+    m.cores = r.u32();
+    m.targetUops = r.u64();
+    m.simSeconds = r.f64();
+    m.instructions = r.u64();
+    const std::uint32_t np = r.u32();
+    m.policies.reserve(np);
+    for (std::uint32_t i = 0; i < np; ++i)
+        m.policies.push_back(r.str());
+    const std::uint32_t nb = r.u32();
+    m.benchmarks.reserve(nb);
+    for (std::uint32_t i = 0; i < nb; ++i)
+        m.benchmarks.push_back(r.str());
+    m.refIpc.reserve(nb);
+    for (std::uint32_t i = 0; i < nb; ++i)
+        m.refIpc.push_back(r.f64());
+    m.popBenchmarks = r.u32();
+    m.popCores = r.u32();
+    m.firstRank = r.u64();
+    m.lastRank = r.u64();
+    m.shardRows = r.u64();
+    if (r.remaining() != 0)
+        throw CacheInvalid(what + ": trailing bytes");
+    if (m.lastRank < m.firstRank || m.shardRows == 0 ||
+        m.policies.empty() || m.cores == 0)
+        throw CacheInvalid(what + ": inconsistent geometry");
+    return m;
+}
+
+void
+writeV3Shard(const std::string &dir, const V3Manifest &m,
+             std::uint64_t shard, std::span<const double> payload)
+{
+    const std::uint64_t rows = m.rowsInShard(shard);
+    const std::size_t want = static_cast<std::size_t>(rows) *
+                             m.policies.size() * m.cores;
+    if (payload.size() != want)
+        WSEL_FATAL("shard " << shard << " payload has "
+                            << payload.size() << " cells, expected "
+                            << want);
+    std::string out;
+    out.reserve(44 + payload.size() * 8 + 8);
+    out.append(kShardMagic, 8);
+    appendU32(out, kV3Version);
+    appendU32(out, static_cast<std::uint32_t>(shard));
+    appendU64(out, m.fingerprint);
+    appendU32(out, m.cores);
+    appendU32(out, static_cast<std::uint32_t>(m.policies.size()));
+    appendU64(out, m.shardFirstRank(shard));
+    appendU32(out, static_cast<std::uint32_t>(rows));
+    if constexpr (std::endian::native == std::endian::little) {
+        const std::size_t off = out.size();
+        out.resize(off + payload.size() * 8);
+        std::memcpy(out.data() + off, payload.data(),
+                    payload.size() * 8);
+    } else {
+        for (double v : payload)
+            appendF64(out, v);
+    }
+    appendChecksum(out);
+    atomicWriteFile(v3ShardPath(dir, shard), out);
+}
+
+std::vector<double>
+readV3Shard(const std::string &dir, const V3Manifest &m,
+            std::uint64_t shard)
+{
+    const std::string what = "campaign_v3 " + v3ShardName(shard);
+    const std::string data = slurp(v3ShardPath(dir, shard), what);
+    const std::string_view body = checkedBody(data, what);
+    Reader r(body, what);
+    r.expectMagic(kShardMagic);
+    if (r.u32() != kV3Version)
+        throw CacheInvalid(what + ": unsupported version");
+    if (r.u32() != shard)
+        throw CacheInvalid(what + ": wrong shard index");
+    if (r.u64() != m.fingerprint)
+        throw CacheInvalid(what + ": fingerprint mismatch");
+    if (r.u32() != m.cores ||
+        r.u32() != static_cast<std::uint32_t>(m.policies.size()))
+        throw CacheInvalid(what + ": shape mismatch");
+    if (r.u64() != m.shardFirstRank(shard))
+        throw CacheInvalid(what + ": rank-range mismatch");
+    const std::uint64_t rows = r.u32();
+    if (rows != m.rowsInShard(shard))
+        throw CacheInvalid(what + ": row-count mismatch");
+    const std::size_t cells = static_cast<std::size_t>(rows) *
+                              m.policies.size() * m.cores;
+    if (r.remaining() != cells * 8)
+        throw CacheInvalid(what + ": payload size mismatch");
+    std::vector<double> payload(cells);
+    if constexpr (std::endian::native == std::endian::little) {
+        r.bytes(payload.data(), cells * 8);
+    } else {
+        for (std::size_t i = 0; i < cells; ++i)
+            payload[i] = r.f64();
+    }
+    return payload;
+}
+
+} // namespace wsel::persist

@@ -196,6 +196,90 @@ pearsonCorrelation(std::span<const double> xs,
     return cov / denom;
 }
 
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        WSEL_FATAL("quantile sketch needs capacity >= 1");
+    entries_.reserve(capacity_);
+}
+
+namespace
+{
+
+std::uint64_t
+mixKey(std::uint64_t key)
+{
+    // FNV-1a over the 8 little-endian key bytes.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (key >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+QuantileSketch::push(const Entry &e)
+{
+    if (entries_.size() < capacity_) {
+        entries_.push_back(e);
+        std::push_heap(entries_.begin(), entries_.end());
+        return;
+    }
+    if (!(e < entries_.front()))
+        return; // hashes at or above the current worst: drop.
+    std::pop_heap(entries_.begin(), entries_.end());
+    entries_.back() = e;
+    std::push_heap(entries_.begin(), entries_.end());
+}
+
+void
+QuantileSketch::add(std::uint64_t key, double value)
+{
+    ++population_;
+    push(Entry{mixKey(key), key, value});
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    if (capacity_ != other.capacity_)
+        WSEL_FATAL("merging sketches with capacities "
+                   << capacity_ << " and " << other.capacity_);
+    population_ += other.population_;
+    for (const Entry &e : other.entries_)
+        push(e);
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    std::vector<double> vals = sortedValues();
+    if (vals.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (q < 0.0 || q > 1.0)
+        WSEL_FATAL("quantile " << q << " outside [0, 1]");
+    const double pos = q * static_cast<double>(vals.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, vals.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return vals[lo] + frac * (vals[hi] - vals[lo]);
+}
+
+std::vector<double>
+QuantileSketch::sortedValues() const
+{
+    std::vector<double> vals;
+    vals.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        vals.push_back(e.value);
+    std::sort(vals.begin(), vals.end());
+    return vals;
+}
+
 double
 quantile(std::vector<double> xs, double q)
 {

@@ -9,6 +9,7 @@
 #define WSEL_STATS_SUMMARY_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -101,6 +102,62 @@ double quantile(std::vector<double> xs, double q);
  */
 double pearsonCorrelation(std::span<const double> xs,
                           std::span<const double> ys);
+
+/**
+ * Deterministic bottom-k quantile sketch: keeps the values whose
+ * keys hash smallest (FNV-1a), i.e. a uniform without-replacement
+ * sample of up to `capacity` observations that is independent of
+ * insertion order and therefore mergeable across parallel shards
+ * with a reproducible result. Keys must be unique (e.g. population
+ * ranks); quantiles are the empirical quantiles of the kept sample,
+ * exact whenever the population fits the capacity.
+ */
+class QuantileSketch
+{
+  public:
+    explicit QuantileSketch(std::size_t capacity);
+
+    /** Observe @p value under unique @p key. */
+    void add(std::uint64_t key, double value);
+
+    /** Merge another sketch (must have the same capacity). */
+    void merge(const QuantileSketch &other);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Number of observations currently kept (<= capacity). */
+    std::size_t sampleSize() const { return entries_.size(); }
+
+    /** Total observations ever offered. */
+    std::uint64_t population() const { return population_; }
+
+    /** Empirical quantile of the kept sample; NaN when empty. */
+    double quantile(double q) const;
+
+    /** The kept values, sorted ascending. */
+    std::vector<double> sortedValues() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hash;
+        std::uint64_t key;
+        double value;
+
+        bool operator<(const Entry &o) const
+        {
+            // Max-heap order on (hash, key): the heap top is the
+            // entry to evict first.
+            return hash != o.hash ? hash < o.hash : key < o.key;
+        }
+    };
+
+    void push(const Entry &e);
+
+    std::size_t capacity_;
+    std::uint64_t population_ = 0;
+    std::vector<Entry> entries_; // max-heap by (hash, key)
+};
 
 } // namespace wsel
 

@@ -14,7 +14,16 @@
 # docs/OBSERVABILITY.md) under build-release/obs-smoke/, and
 # table3_sim_speed records the trace-store hot-path throughput
 # (cells/sec at --jobs 1/8 plus the trace_store.* counter snapshot,
-# docs/PERFORMANCE.md) to build-release/BENCH_trace_store.json.
+# docs/PERFORMANCE.md) to build-release/BENCH_trace_store.json;
+# fig5_inverse_cv_population records the population-engine numbers
+# (old-vs-streamed cells/sec and the 8-core streamed run, docs/
+# PERFORMANCE.md "Population campaigns") to
+# build-release/BENCH_population.json.
+#
+# Every sanitizer preset also runs a capped `wsel_cli population`
+# smoke, exercising the streamed campaign_v3 writer, the parallel
+# shard runner, and the one-pass statistics under asan/ubsan and
+# tsan.
 #
 # Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
 #        tsan)
@@ -32,6 +41,26 @@ for preset in $presets; do
     cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
     echo "==> test: $preset"
     ctest --preset "$preset"
+
+    case "$preset" in
+      release)   bindir="build-release" ;;
+      asan-ubsan) bindir="build-asan" ;;
+      tsan)      bindir="build-tsan" ;;
+      *)         bindir="build-$preset" ;;
+    esac
+
+    if [ "$preset" = "asan-ubsan" ] || [ "$preset" = "tsan" ]; then
+        echo "==> population smoke: $preset"
+        popdir="$bindir/population-smoke"
+        rm -rf "$popdir"
+        WSEL_CACHE_DIR="$popdir/cache" \
+            "./$bindir/tools/wsel_cli" population \
+            --out "$popdir/pop.v3" \
+            --insns 5000 --limit 64 --shard-size 80 --jobs 4
+        test -s "$popdir/pop.v3/manifest.bin"
+        rm -rf "$popdir"
+        echo "==> population smoke passed under $preset"
+    fi
 
     if [ "$preset" = "release" ]; then
         echo "==> obs smoke artifacts: $preset"
@@ -60,6 +89,18 @@ for preset in $presets; do
         test -s "build-release/BENCH_trace_store.json"
         rm -rf "$smoke/cache"
         echo "==> bench archived in build-release/BENCH_trace_store.json"
+
+        echo "==> population bench: $preset"
+        WSEL_CACHE_DIR="$smoke/cache" \
+        WSEL_INSNS=20000 \
+        WSEL_POP_LIMIT=400 \
+        WSEL_POP_BENCH_ROWS=400 \
+        WSEL_POP8_ROWS=300 \
+        WSEL_BENCH_JSON="build-release/BENCH_population.json" \
+            ./build-release/bench/fig5_inverse_cv_population
+        test -s "build-release/BENCH_population.json"
+        rm -rf "$smoke/cache"
+        echo "==> bench archived in build-release/BENCH_population.json"
     fi
 done
 

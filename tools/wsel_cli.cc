@@ -23,6 +23,17 @@
  *       --trace-mem caps the shared trace store's resident chunk
  *       memory in MiB (default 512; $WSEL_TRACE_MEM sets the same
  *       budget, see docs/PERFORMANCE.md)
+ *   wsel_cli population --out DIR [--cores K] [--insns N]
+ *       [--policies LRU,DIP,...] [--shard-size CELLS] [--jobs N]
+ *       [--first R] [--last R|--limit N] [--resume 0|1]
+ *       [--metric IPCT|WSU|HSU|GSU] [--verbose 1]
+ *       run a full-population (or rank-range) BADCO campaign,
+ *       streaming cells into a sharded binary campaign_v3
+ *       directory (docs/PERFORMANCE.md, "Population campaigns")
+ *       with O(shard) memory, and print the streamed per-pair
+ *       d(w) statistics (mean, sigma, cv, 1/cv, eq. 8 sample
+ *       size, approximate stratum count); an interrupted run
+ *       resumes at shard granularity (--resume 0 restarts)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -63,6 +74,7 @@
 #include "sim/characterize.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
+#include "sim/population.hh"
 #include "trace/trace_store.hh"
 
 namespace
@@ -210,15 +222,20 @@ cmdCampaign(const Args &args)
     const auto &suite = spec2006Suite();
     const WorkloadPopulation pop(
         static_cast<std::uint32_t>(suite.size()), cores);
-    std::vector<Workload> workloads;
+    WorkloadSet workloads;
     if (limit == 0 || limit >= pop.size()) {
-        workloads = pop.enumerateAll();
+        // Rank-based set: the full population without an O(N)
+        // vector of Workloads.
+        workloads = WorkloadSet::fullPopulation(pop);
     } else {
         Rng rng(2013);
+        std::vector<std::uint64_t> ranks;
+        ranks.reserve(limit);
         for (std::size_t i :
              rng.sampleWithoutReplacement(
                  static_cast<std::size_t>(pop.size()), limit))
-            workloads.push_back(pop.unrank(i));
+            ranks.push_back(i);
+        workloads = WorkloadSet::fromRanks(pop, std::move(ranks));
     }
 
     const UncoreConfig ucfg =
@@ -249,6 +266,95 @@ cmdCampaign(const Args &args)
                 "(%.1f MIPS)\n",
                 c.workloads.size(), c.policies.size(), out.c_str(),
                 c.mips());
+    return 0;
+}
+
+int
+cmdPopulation(const Args &args)
+{
+    setupObs(args);
+    if (!args.has("out"))
+        WSEL_FATAL("population requires --out DIR");
+    const std::string out = args.get("out", "");
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const auto policies = parsePolicyList(
+        args.get("policies", "LRU,RND,FIFO,DIP,DRRIP"));
+    const ThroughputMetric metric =
+        parseMetric(args.get("metric", "IPCT"));
+
+    const auto &suite = spec2006Suite();
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+
+    PopulationOptions opts;
+    opts.seed = args.getU64("seed", 1);
+    opts.jobs = static_cast<std::size_t>(args.getU64("jobs", 0));
+    opts.shardCells = static_cast<std::size_t>(
+        args.getU64("shard-size", 64 * 1024));
+    opts.firstRank = args.getU64("first", 0);
+    opts.lastRank = args.getU64("last", 0);
+    if (args.has("limit") && !args.has("last"))
+        opts.lastRank = std::min<std::uint64_t>(
+            pop.size(),
+            opts.firstRank + args.getU64("limit", 0));
+    opts.resume = args.getU64("resume", 1) != 0;
+    opts.verbose = args.getU64("verbose", 0) != 0;
+
+    // Every ordered policy pair i<j, oriented "i outperforms j".
+    std::vector<PopulationPairSpec> pairs;
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        for (std::size_t j = i + 1; j < policies.size(); ++j) {
+            PopulationPairSpec s;
+            s.y = i;
+            s.x = j;
+            s.metric = metric;
+            s.label = toString(policies[i]) + ">" +
+                      toString(policies[j]);
+            pairs.push_back(std::move(s));
+        }
+    }
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, insns, ucfg.llcHitLatency,
+                          defaultCacheDir());
+
+    const std::uint64_t last =
+        opts.lastRank == 0 ? pop.size() : opts.lastRank;
+    std::printf("population campaign: %llu of %llu workloads x "
+                "%zu policies (%u cores) -> %s\n",
+                static_cast<unsigned long long>(last -
+                                                opts.firstRank),
+                static_cast<unsigned long long>(pop.size()),
+                policies.size(), cores, out.c_str());
+
+    const PopulationResult r = runBadcoPopulationCampaign(
+        pop, policies, insns, store, suite, pairs, out, opts);
+
+    std::printf("\n%-12s %10s %10s %8s %8s %8s %7s\n", "pair",
+                "mean d", "sigma", "cv", "1/cv", "eq8-W", "strata");
+    for (const PopulationPairSummary &p : r.pairs) {
+        const StreamedWorkloadStrata strata(
+            p.sketch, p.d.count(), WorkloadStrataConfig{});
+        std::printf("%-12s %+10.6f %10.6f %8.3f %8.3f %8zu %7zu\n",
+                    p.spec.label.c_str(), p.d.mean(),
+                    p.d.stddevPopulation(), p.cv(), p.inverseCv(),
+                    requiredSampleSize(p.cv()),
+                    strata.strataCount());
+    }
+    std::printf("\n%llu cells simulated (%llu resumed), "
+                "%llu shards written (%llu reused), "
+                "%.0f cells/sec, %.1f MiB\n",
+                static_cast<unsigned long long>(r.cellsSimulated),
+                static_cast<unsigned long long>(r.cellsResumed),
+                static_cast<unsigned long long>(r.shardsWritten),
+                static_cast<unsigned long long>(r.shardsResumed),
+                r.cellsPerSec(),
+                static_cast<double>(r.manifest.rows() *
+                                    policies.size() * cores * 8) /
+                    (1024.0 * 1024.0));
     return 0;
 }
 
@@ -576,8 +682,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wsel_cli <characterize|campaign|analyze|select|"
-        "confidence|simulate|report|cache> [--options]\n"
+        "usage: wsel_cli <characterize|campaign|population|analyze|"
+        "select|confidence|simulate|report|cache> [--options]\n"
         "see the file header of tools/wsel_cli.cc for details\n");
     return 2;
 }
@@ -593,6 +699,8 @@ dispatch(int argc, char **argv)
         return cmdCharacterize(args);
     if (cmd == "campaign")
         return cmdCampaign(args);
+    if (cmd == "population")
+        return cmdPopulation(args);
     if (cmd == "analyze")
         return cmdAnalyze(args);
     if (cmd == "select")
