@@ -145,6 +145,16 @@ constexpr CatalogEntry kCatalog[] = {
     {"population.bytes", 'c'},
     {"population.cells_per_sec", 'g'},
     {"population.shard_write_ns", 'h'},
+    {"serve.campaigns_submitted", 'c'},
+    {"serve.campaigns_rejected", 'c'},
+    {"serve.leases_granted", 'c'},
+    {"serve.leases_expired", 'c'},
+    {"serve.leases_requeued", 'c'},
+    {"serve.shards_quarantined", 'c'},
+    {"serve.dedup_hits", 'c'},
+    {"serve.duplicate_completions", 'c'},
+    {"serve.workers_active", 'g'},
+    {"serve.lease_ns", 'h'},
     {"log.warns", 'c'},
     {"trace.dropped", 'c'},
 };

@@ -1,0 +1,178 @@
+#include "serve/lease.hh"
+
+#include "stats/logging.hh"
+
+namespace wsel::serve
+{
+
+LeaseTable::LeaseTable(std::uint64_t shards,
+                       const LeaseOptions &opts)
+    : opts_(opts), shards_(shards)
+{
+    if (opts_.quarantineAfter == 0)
+        WSEL_FATAL("quarantineAfter must be >= 1");
+}
+
+std::optional<LeaseGrant>
+LeaseTable::acquire(LeaseClock::time_point now,
+                    std::int64_t workerPid)
+{
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard &s = shards_[i];
+        if (s.state != ShardState::Pending || now < s.notBefore)
+            continue;
+        const std::uint64_t id = nextLeaseId_++;
+        s.state = ShardState::Leased;
+        s.leaseId = id;
+        leases_[id] = Lease{i, workerPid, now + opts_.ttl};
+        return LeaseGrant{id, i, now + opts_.ttl};
+    }
+    return std::nullopt;
+}
+
+bool
+LeaseTable::heartbeat(std::uint64_t leaseId,
+                      LeaseClock::time_point now)
+{
+    auto it = leases_.find(leaseId);
+    if (it == leases_.end())
+        return false;
+    it->second.deadline = now + opts_.ttl;
+    return true;
+}
+
+CompleteResult
+LeaseTable::complete(std::uint64_t leaseId, std::uint64_t shard)
+{
+    if (shard >= shards_.size())
+        return CompleteResult::Stale;
+    auto it = leases_.find(leaseId);
+    if (it == leases_.end())
+        return shards_[shard].state == ShardState::Done
+                   ? CompleteResult::Duplicate
+                   : CompleteResult::Stale;
+    const std::uint64_t held = it->second.shard;
+    leases_.erase(it);
+    if (held != shard) {
+        // A confused worker reporting the wrong shard: release the
+        // one it actually held so it gets re-run.
+        requeue(held, LeaseClock::time_point{});
+        return CompleteResult::Stale;
+    }
+    Shard &s = shards_[shard];
+    if (s.state == ShardState::Done)
+        return CompleteResult::Duplicate;
+    s.state = ShardState::Done;
+    s.leaseId = 0;
+    ++done_;
+    return CompleteResult::Committed;
+}
+
+bool
+LeaseTable::markDone(std::uint64_t shard)
+{
+    if (shard >= shards_.size())
+        return false;
+    Shard &s = shards_[shard];
+    if (s.state == ShardState::Done)
+        return false;
+    if (s.state == ShardState::Leased) {
+        leases_.erase(s.leaseId);
+        s.leaseId = 0;
+    }
+    if (s.state == ShardState::Quarantined)
+        --quarantined_;
+    s.state = ShardState::Done;
+    ++done_;
+    return true;
+}
+
+void
+LeaseTable::requeue(std::uint64_t shard_idx,
+                    LeaseClock::time_point now)
+{
+    Shard &s = shards_[shard_idx];
+    if (s.state != ShardState::Leased)
+        return;
+    s.leaseId = 0;
+    ++s.deaths;
+    if (s.deaths >= opts_.quarantineAfter) {
+        s.state = ShardState::Quarantined;
+        ++quarantined_;
+        return;
+    }
+    // Exponential backoff: base * 2^(deaths-1), capped.  Shifting
+    // by the death count directly would overflow for a shard that
+    // somehow died 64 times; clamp the exponent instead.
+    const std::uint32_t exp =
+        s.deaths > 16 ? 16 : s.deaths - 1;
+    auto backoff = opts_.backoffBase * (1u << exp);
+    if (backoff > opts_.backoffCap)
+        backoff = opts_.backoffCap;
+    s.state = ShardState::Pending;
+    s.notBefore = now + backoff;
+}
+
+void
+LeaseTable::fail(std::uint64_t leaseId, LeaseClock::time_point now)
+{
+    auto it = leases_.find(leaseId);
+    if (it == leases_.end())
+        return;
+    const std::uint64_t shard_idx = it->second.shard;
+    leases_.erase(it);
+    requeue(shard_idx, now);
+}
+
+std::vector<std::uint64_t>
+LeaseTable::expire(LeaseClock::time_point now)
+{
+    std::vector<std::uint64_t> expired;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second.deadline <= now) {
+            expired.push_back(it->first);
+            const std::uint64_t shard_idx = it->second.shard;
+            it = leases_.erase(it);
+            requeue(shard_idx, now);
+        } else {
+            ++it;
+        }
+    }
+    return expired;
+}
+
+void
+LeaseTable::extendAll(LeaseClock::duration stall)
+{
+    for (auto &[id, l] : leases_)
+        l.deadline += stall;
+    for (Shard &s : shards_)
+        if (s.state == ShardState::Pending)
+            s.notBefore += stall;
+}
+
+std::optional<LeaseClock::time_point>
+LeaseTable::nextEvent() const
+{
+    std::optional<LeaseClock::time_point> next;
+    for (const auto &[id, l] : leases_)
+        if (!next || l.deadline < *next)
+            next = l.deadline;
+    for (const Shard &s : shards_)
+        if (s.state == ShardState::Pending &&
+            s.notBefore != LeaseClock::time_point{} &&
+            (!next || s.notBefore < *next))
+            next = s.notBefore;
+    return next;
+}
+
+ShardState
+LeaseTable::shardState(std::uint64_t shard) const
+{
+    if (shard >= shards_.size())
+        WSEL_FATAL("shard " << shard << " out of range (table has "
+                   << shards_.size() << ")");
+    return shards_[shard].state;
+}
+
+} // namespace wsel::serve

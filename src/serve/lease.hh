@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Shard lease table of the distributed campaign coordinator: the
+ * state machine that decides which shard a worker simulates next
+ * and what happens when that worker stalls, crashes, or reports
+ * twice.
+ *
+ * Per-shard states:
+ *
+ *     Pending ──acquire──▶ Leased ──complete──▶ Done
+ *        ▲                   │
+ *        └──expiry/death─────┘   (requeue with exponential
+ *                                 backoff; after quarantineAfter
+ *                                 deaths on the SAME shard the
+ *                                 shard is Quarantined instead —
+ *                                 a poison shard that keeps
+ *                                 killing workers must not take
+ *                                 the whole fleet down with it)
+ *
+ * Leases carry a deadline; Heartbeat renews it, and expire()
+ * reclaims overdue leases, counting each expiry as a death
+ * against the shard (the worker may be alive but wedged — either
+ * way the shard must move).  Completion is idempotent: a zombie
+ * worker finishing a shard that was already re-run elsewhere gets
+ * Duplicate, not an error, because the content-addressed result
+ * store (store.hh) — not the lease table — is the source of truth
+ * for shard bytes.
+ *
+ * The table is single-owner (the coordinator's poll loop) and
+ * takes every `now` as a parameter instead of reading a clock, so
+ * the lifecycle edge cases (expiry during a final write, restart
+ * resume, backoff scheduling) are unit-testable without sleeps
+ * (tests/test_serve.cc, LeaseTable suite).
+ */
+
+#ifndef WSEL_SERVE_LEASE_HH
+#define WSEL_SERVE_LEASE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace wsel::serve
+{
+
+using LeaseClock = std::chrono::steady_clock;
+
+struct LeaseOptions
+{
+    /** Lease lifetime; a heartbeat resets the remaining TTL. */
+    std::chrono::milliseconds ttl{2000};
+
+    /** Backoff after the n-th death: base * 2^(n-1), capped. */
+    std::chrono::milliseconds backoffBase{50};
+    std::chrono::milliseconds backoffCap{2000};
+
+    /** Deaths on one shard before it is quarantined as poison. */
+    std::uint32_t quarantineAfter = 2;
+};
+
+/** One granted lease (what goes into a LeaseMsg). */
+struct LeaseGrant
+{
+    std::uint64_t leaseId = 0;
+    std::uint64_t shard = 0;
+    LeaseClock::time_point deadline{};
+};
+
+enum class ShardState : std::uint8_t
+{
+    Pending = 0,
+    Leased,
+    Done,
+    Quarantined,
+};
+
+/** Outcome of a completion report. */
+enum class CompleteResult : std::uint8_t
+{
+    Committed, ///< this lease finished its shard
+    Duplicate, ///< shard already Done (zombie / dedup re-report)
+    Stale,     ///< unknown or expired lease, shard not Done
+};
+
+class LeaseTable
+{
+  public:
+    LeaseTable(std::uint64_t shards, const LeaseOptions &opts = {});
+
+    /**
+     * Grant the lowest eligible Pending shard (deterministic
+     * order) to @p workerPid, or nullopt when nothing is grantable
+     * right now (all shards done/leased/quarantined or backing
+     * off).
+     */
+    std::optional<LeaseGrant> acquire(LeaseClock::time_point now,
+                                      std::int64_t workerPid = 0);
+
+    /**
+     * Renew @p leaseId's deadline to now + ttl.  False when the
+     * lease is unknown (already expired and reclaimed): the worker
+     * should abandon the shard.
+     */
+    bool heartbeat(std::uint64_t leaseId,
+                   LeaseClock::time_point now);
+
+    /**
+     * Report shard completion through @p leaseId.  Committed when
+     * this lease closed its shard; Duplicate when the shard was
+     * already Done (idempotent — the store holds one copy either
+     * way); Stale when the lease is unknown and the shard is still
+     * open (the caller should NOT trust the report: the lease
+     * expired and the shard may be mid-re-run elsewhere, but a
+     * Stale report whose shard file is already committed in the
+     * store is harmless by construction).
+     */
+    CompleteResult complete(std::uint64_t leaseId,
+                            std::uint64_t shard);
+
+    /**
+     * Mark @p shard Done without a lease — a dedup hit against the
+     * result store, or coordinator-restart resume of shards whose
+     * files already exist.  False when it was already Done.
+     */
+    bool markDone(std::uint64_t shard);
+
+    /**
+     * Report that @p leaseId's worker failed (Failed message or
+     * connection death).  The shard goes back to Pending with
+     * backoff, or Quarantined after quarantineAfter deaths.
+     */
+    void fail(std::uint64_t leaseId, LeaseClock::time_point now);
+
+    /**
+     * Reclaim every lease whose deadline has passed (counts as a
+     * death, same path as fail()).  Returns the reclaimed lease
+     * ids.
+     */
+    std::vector<std::uint64_t> expire(LeaseClock::time_point now);
+
+    /**
+     * Push every active deadline and backoff out by @p stall: the
+     * coordinator ran a long synchronous step (model building,
+     * admission) and must not punish workers for its own pause.
+     */
+    void extendAll(LeaseClock::duration stall);
+
+    /**
+     * Earliest instant at which expire()/acquire() could change
+     * state (a lease deadline or a backoff expiry); nullopt when
+     * nothing is time-driven.  Drives the poll() timeout.
+     */
+    std::optional<LeaseClock::time_point> nextEvent() const;
+
+    ShardState shardState(std::uint64_t shard) const;
+    std::uint64_t shards() const { return shards_.size(); }
+    std::uint64_t doneCount() const { return done_; }
+    std::uint64_t quarantinedCount() const { return quarantined_; }
+    std::uint64_t activeLeases() const { return leases_.size(); }
+    bool finished() const
+    {
+        return done_ + quarantined_ == shards_.size();
+    }
+    /** True when every shard completed (none poisoned). */
+    bool succeeded() const
+    {
+        return done_ == shards_.size();
+    }
+
+  private:
+    struct Shard
+    {
+        ShardState state = ShardState::Pending;
+        std::uint32_t deaths = 0;
+        LeaseClock::time_point notBefore{}; ///< backoff gate
+        std::uint64_t leaseId = 0;          ///< valid when Leased
+    };
+
+    struct Lease
+    {
+        std::uint64_t shard = 0;
+        std::int64_t workerPid = 0;
+        LeaseClock::time_point deadline{};
+    };
+
+    void requeue(std::uint64_t shard_idx,
+                 LeaseClock::time_point now);
+
+    LeaseOptions opts_;
+    std::vector<Shard> shards_;
+    std::unordered_map<std::uint64_t, Lease> leases_;
+    std::uint64_t nextLeaseId_ = 1;
+    std::uint64_t done_ = 0;
+    std::uint64_t quarantined_ = 0;
+};
+
+} // namespace wsel::serve
+
+#endif // WSEL_SERVE_LEASE_HH

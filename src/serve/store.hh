@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Content-addressed campaign result store: the disk layout that
+ * makes distributed shard completion idempotent and overlapping
+ * campaigns free.
+ *
+ * Every campaign lands in
+ *
+ *     <root>/c-<fingerprint hex>-<geometry hex>/
+ *
+ * where the fingerprint is campaignFingerprint() (simulator, cores,
+ * slice length, policies, suite — everything that shapes a cell's
+ * value except the seed) and the geometry hash covers what the
+ * fingerprint does not: base seed, rank range, and shard rows.  Two
+ * submissions with identical physics and geometry therefore map to
+ * the SAME directory, and a shard file present there satisfies both
+ * without recomputation (`serve.dedup_hits`).  The V3Manifest
+ * deliberately omits the base seed, which is why the seed must be
+ * folded in here — without it two campaigns differing only in seed
+ * would collide on bitwise-different cell values.
+ *
+ * Commit protocol per shard: simulate into memory, then
+ * persist::writeV3Shard (atomic rename, trailing FNV-1a).  The
+ * rename IS the commit point — a worker SIGKILLed before it leaves
+ * nothing (or a quarantinable temp file), a worker killed after it
+ * leaves a complete shard that any later lease holder detects via
+ * hasShard() and reports as a dedup.  Duplicate commits are
+ * harmless: both writers produce bitwise-identical bytes (the
+ * determinism contract of campaignCellSeed), so whichever rename
+ * lands last changes nothing.
+ *
+ * The campaign directory is created with
+ * persist::ensureDirTree, so two workers (or two daemons) racing to
+ * create it both succeed.
+ */
+
+#ifndef WSEL_SERVE_STORE_HH
+#define WSEL_SERVE_STORE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "stats/persist_v3.hh"
+
+namespace wsel::serve
+{
+
+/**
+ * The seed + geometry complement of campaignFingerprint (see file
+ * comment).
+ */
+std::uint64_t campaignGeometryHash(std::uint64_t seed,
+                                   std::uint64_t firstRank,
+                                   std::uint64_t lastRank,
+                                   std::uint64_t shardRows);
+
+class ResultStore
+{
+  public:
+    /** @p root is created (race-tolerantly) on first use. */
+    explicit ResultStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** The campaign directory for this identity (not created). */
+    std::string campaignDir(std::uint64_t fingerprint,
+                            std::uint64_t geometryHash) const;
+
+    /** Create @p dir (EEXIST-tolerant); FATAL on failure. */
+    void ensureCampaignDir(const std::string &dir) const;
+
+    // The shard-level operations are addressed by the campaign
+    // directory alone (a worker gets that directory in its lease
+    // and never sees the root), hence static.
+
+    /**
+     * True when shard @p shard of @p dir exists and validates
+     * against @p m (geometry + checksum).  A present-but-corrupt
+     * shard is quarantined to `*.corrupt` and reported absent, so
+     * the caller re-simulates it.
+     */
+    static bool hasShard(const std::string &dir,
+                         const persist::V3Manifest &m,
+                         std::uint64_t shard);
+
+    /**
+     * Commit shard @p shard.  No-op (returns false) when a valid
+     * copy already exists — the idempotent-completion path for
+     * zombie workers and overlapping campaigns; true when this
+     * call wrote the shard.
+     */
+    static bool commitShard(const std::string &dir,
+                            const persist::V3Manifest &m,
+                            std::uint64_t shard,
+                            std::span<const double> payload);
+
+    /**
+     * Write the manifest — the campaign-level commit point; only
+     * call once every shard is present.  Idempotent (a valid
+     * identical manifest is left alone).
+     */
+    static void commitManifest(const std::string &dir,
+                               const persist::V3Manifest &m);
+
+    /** True when @p dir holds a complete, committed campaign. */
+    static bool isComplete(const std::string &dir);
+
+  private:
+    std::string root_;
+};
+
+} // namespace wsel::serve
+
+#endif // WSEL_SERVE_STORE_HH

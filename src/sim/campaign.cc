@@ -376,11 +376,29 @@ loadV3Impl(const std::string &path)
     if (m.lastRank > pop.size() || m.firstRank > m.lastRank)
         throw persist::CacheInvalid(
             "campaign_v3 manifest: rank range outside population");
-    c.workloads =
-        WorkloadSet::populationRange(pop, m.firstRank, m.lastRank);
     const std::size_t nw =
         static_cast<std::size_t>(m.rows());
     const std::size_t np = c.policies.size();
+    // The manifest's counts drive the workload-list and matrix
+    // allocations below; bound them (overflow-safely: divide,
+    // don't multiply) BEFORE materializing anything so a
+    // checksum-valid but hostile or corrupted manifest cannot ask
+    // for an absurd materialization.  2^31 cells = 16 GiB is far
+    // beyond any real campaign (the full 8-core population is
+    // ~173M cells) but still refuses the 2^60-cell lies a flipped
+    // size field can produce.
+    constexpr std::uint64_t kMaxLoadCells = 1ULL << 31;
+    const std::uint64_t cells_per_row =
+        static_cast<std::uint64_t>(np) * c.cores;
+    if (cells_per_row == 0 ||
+        m.rows() > kMaxLoadCells / cells_per_row)
+        throw persist::CacheInvalid(
+            "campaign_v3 manifest: declared campaign too large to "
+            "materialize (" + std::to_string(m.rows()) + " rows x " +
+            std::to_string(np) + " policies x " +
+            std::to_string(c.cores) + " cores)");
+    c.workloads =
+        WorkloadSet::populationRange(pop, m.firstRank, m.lastRank);
     c.ipc.reshape(np, nw, c.cores);
     for (std::uint64_t s = 0; s < m.shardCount(); ++s) {
         const std::vector<double> payload =

@@ -171,13 +171,10 @@ defaultCacheDir()
         env ? std::string(env) : std::string(".wsel_cache");
     if (dir.empty())
         return dir;
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    if (ec)
-        WSEL_FATAL("cannot create cache directory '"
-                   << dir << "': " << ec.message()
-                   << " (set WSEL_CACHE_DIR to a writable location,"
-                      " or to \"\" to disable persistence)");
+    // EEXIST-race-tolerant: several processes (workers sharing a
+    // model cache) may create the tree at once and all must
+    // succeed.
+    persist::ensureDirTree(dir);
     return dir;
 }
 

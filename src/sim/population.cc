@@ -93,6 +93,41 @@ accumulateShard(const persist::V3Manifest &m,
 
 } // namespace
 
+void
+simulatePopulationShard(const persist::V3Manifest &m,
+                        const WorkloadPopulation &pop,
+                        const std::vector<UncoreConfig> &ucfgs,
+                        const std::vector<const BadcoModel *> &models,
+                        std::uint64_t base_seed, std::uint64_t shard,
+                        std::vector<double> &payload,
+                        const std::function<void()> &tick)
+{
+    const std::size_t np = m.policies.size();
+    if (ucfgs.size() != np)
+        WSEL_FATAL("shard simulation got " << ucfgs.size()
+                   << " uncore configs for " << np << " policies");
+    const std::uint32_t k = m.cores;
+    const std::uint64_t rows = m.rowsInShard(shard);
+    payload.assign(static_cast<std::size_t>(rows) * np * k, 0.0);
+    WorkloadCursor cur(pop, m.shardFirstRank(shard));
+    for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+        if (tick)
+            tick();
+        const std::uint64_t rank = cur.rank();
+        double *row = payload.data() + r * np * k;
+        for (std::size_t p = 0; p < np; ++p) {
+            persist::faultPoint("population.cell");
+            const BadcoMulticoreSim sim(
+                ucfgs[p], k, m.targetUops,
+                campaignCellSeed(m.fingerprint, base_seed, p,
+                                 rank));
+            const SimResult res = sim.run(cur.benchmarks(), models);
+            for (std::uint32_t c = 0; c < k; ++c)
+                row[p * k + c] = res.ipc[c];
+        }
+    }
+}
+
 PopulationResult
 runBadcoPopulationCampaign(
     const WorkloadPopulation &pop,
@@ -208,22 +243,9 @@ runBadcoPopulationCampaign(
         obs::Span sspan("population.shard",
                         "shard=" + std::to_string(s));
         const auto s0 = std::chrono::steady_clock::now();
-        std::vector<double> payload(rows * np * k, 0.0);
-        WorkloadCursor cur(pop, m.shardFirstRank(s));
-        for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
-            const std::uint64_t rank = cur.rank();
-            double *row = payload.data() + r * np * k;
-            for (std::size_t p = 0; p < np; ++p) {
-                const BadcoMulticoreSim sim(
-                    ucfgs[p], k, target_uops,
-                    campaignCellSeed(m.fingerprint, opts.seed, p,
-                                     rank));
-                const SimResult res =
-                    sim.run(cur.benchmarks(), models);
-                for (std::uint32_t c = 0; c < k; ++c)
-                    row[p * k + c] = res.ipc[c];
-            }
-        }
+        std::vector<double> payload;
+        simulatePopulationShard(m, pop, ucfgs, models, opts.seed, s,
+                                payload);
         {
             std::uint64_t write_ns = 0;
             {

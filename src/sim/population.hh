@@ -28,12 +28,14 @@
 #define WSEL_SIM_POPULATION_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cache/replacement.hh"
 #include "core/metrics/throughput.hh"
 #include "core/workload/workload.hh"
+#include "mem/uncore_config.hh"
 #include "sim/model_store.hh"
 #include "stats/histogram.hh"
 #include "stats/persist_v3.hh"
@@ -142,6 +144,32 @@ struct PopulationResult
                    : 0.0;
     }
 };
+
+/**
+ * Simulate one campaign_v3 shard's cells into @p payload (resized
+ * to rowsInShard(shard) x policies x cores, row-major: workload,
+ * policy, core).  This is the unit of work shared by the
+ * in-process population runner and the `wsel_worker` processes of
+ * the distributed campaign service (src/serve/): per-cell seeds
+ * come from campaignCellSeed(m.fingerprint, base_seed, policy,
+ * absolute rank), so any process producing a given shard produces
+ * bitwise-identical bytes.
+ *
+ * @p ucfgs must hold one UncoreConfig per manifest policy (in
+ * order) and @p models one BADCO model per suite benchmark.
+ * @p tick, when set, is invoked once per workload row — the
+ * distributed worker sends lease heartbeats from it.  The
+ * "population.cell" fault point fires once per simulated cell
+ * (tests/fault_injection.hh; the worker binary can arm it to
+ * SIGKILL itself mid-shard).
+ */
+void simulatePopulationShard(
+    const persist::V3Manifest &m, const WorkloadPopulation &pop,
+    const std::vector<UncoreConfig> &ucfgs,
+    const std::vector<const BadcoModel *> &models,
+    std::uint64_t base_seed, std::uint64_t shard,
+    std::vector<double> &payload,
+    const std::function<void()> &tick = {});
 
 /**
  * Run (or resume) a BADCO population campaign over ranks

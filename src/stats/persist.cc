@@ -166,6 +166,44 @@ quarantineFile(const std::string &path)
     return ec ? std::string() : target;
 }
 
+void
+ensureDirTree(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+#ifdef WSEL_HAVE_POSIX_IO
+    // Component-by-component mkdir, treating EEXIST as success:
+    // std::filesystem::create_directories can report an error when
+    // another process creates a component between its existence
+    // probe and its mkdir, which matters for the shared result
+    // store and cache roots (several workers start at once).
+    std::size_t pos = 0;
+    while (pos < dir.size()) {
+        std::size_t next = dir.find('/', pos);
+        if (next == std::string::npos)
+            next = dir.size();
+        if (next > pos) { // skip "//" and the leading "/"
+            // EEXIST (lost a creation race) is success; any other
+            // failure surfaces through the final stat below, which
+            // carries the full path in its diagnostic.
+            (void)::mkdir(dir.substr(0, next).c_str(), 0777);
+        }
+        pos = next + 1;
+    }
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        return;
+    WSEL_FATAL("cannot create directory tree '"
+               << dir << "': " << std::strerror(errno));
+#else
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec && !std::filesystem::is_directory(dir))
+        WSEL_FATAL("cannot create directory tree '"
+                   << dir << "': " << ec.message());
+#endif
+}
+
 FileLock::FileLock(const std::string &path)
 {
 #ifdef WSEL_HAVE_POSIX_IO

@@ -113,6 +113,19 @@ void atomicWriteFile(const std::string &path,
 std::string quarantineFile(const std::string &path);
 
 /**
+ * Create @p dir and every missing parent, tolerating concurrent
+ * creation: when several processes race to create the same tree
+ * (e.g. the shared result-store root, or .wsel_cache on first
+ * use), every one of them succeeds.  Unlike
+ * std::filesystem::create_directories, an EEXIST from a component
+ * that appeared between our existence check and our mkdir is
+ * treated as success, not an error.  WSEL_FATAL when the tree
+ * cannot be created (permission, ENOSPC, or a non-directory in the
+ * way).
+ */
+void ensureDirTree(const std::string &dir);
+
+/**
  * RAII advisory file lock (POSIX flock) so concurrent processes
  * sharing a cache directory cannot interleave produce/save cycles.
  * The lock file itself is left in place (removing it would race

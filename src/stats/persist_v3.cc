@@ -254,21 +254,45 @@ readV3Manifest(const std::string &dir)
     if (version != kV3Version)
         throw CacheInvalid(what + ": unsupported version " +
                            std::to_string(version));
+    // Every size below is bounds-checked *before* it drives an
+    // allocation or a multiplication: a manifest is untrusted disk
+    // input (truncation, bit rot, a hostile write), so a damaged
+    // count must surface as CacheInvalid — quarantine and
+    // regenerate — never as a giant reserve() or an overflowed
+    // payload-size computation.
+    const auto checkCount = [&](std::uint64_t v, std::uint64_t max,
+                                const char *field) {
+        if (v > max)
+            throw CacheInvalid(
+                what + ": implausible " + field + " " +
+                std::to_string(v) + " (max " + std::to_string(max) +
+                ")");
+    };
     V3Manifest m;
     m.fingerprint = r.u64();
     m.simulator = r.str();
+    checkCount(m.simulator.size(), 64, "simulator-name length");
     m.cores = r.u32();
+    checkCount(m.cores, 1024, "core count");
     m.targetUops = r.u64();
     m.simSeconds = r.f64();
     m.instructions = r.u64();
     const std::uint32_t np = r.u32();
+    checkCount(np, 4096, "policy count");
     m.policies.reserve(np);
-    for (std::uint32_t i = 0; i < np; ++i)
+    for (std::uint32_t i = 0; i < np; ++i) {
         m.policies.push_back(r.str());
+        checkCount(m.policies.back().size(), 256,
+                   "policy-name length");
+    }
     const std::uint32_t nb = r.u32();
+    checkCount(nb, 1u << 20, "benchmark count");
     m.benchmarks.reserve(nb);
-    for (std::uint32_t i = 0; i < nb; ++i)
+    for (std::uint32_t i = 0; i < nb; ++i) {
         m.benchmarks.push_back(r.str());
+        checkCount(m.benchmarks.back().size(), 256,
+                   "benchmark-name length");
+    }
     m.refIpc.reserve(nb);
     for (std::uint32_t i = 0; i < nb; ++i)
         m.refIpc.push_back(r.f64());
@@ -282,6 +306,23 @@ readV3Manifest(const std::string &dir)
     if (m.lastRank < m.firstRank || m.shardRows == 0 ||
         m.policies.empty() || m.cores == 0)
         throw CacheInvalid(what + ": inconsistent geometry");
+    checkCount(m.popBenchmarks, 1u << 20, "population benchmarks");
+    checkCount(m.popCores, 1024, "population cores");
+    // Rank range and shard geometry: cap so rows() and every
+    // rows-per-shard x policies x cores product fits comfortably
+    // in 64 bits (and a single shard's payload in size_t).
+    constexpr std::uint64_t kMaxRows = 1ULL << 48;
+    checkCount(m.rows(), kMaxRows, "row count");
+    checkCount(m.shardRows, kMaxRows, "shard rows");
+    const std::uint64_t cells_per_row =
+        static_cast<std::uint64_t>(np) * m.cores;
+    if (m.shardRows > (1ULL << 32) / std::max<std::uint64_t>(
+                                         1, cells_per_row))
+        throw CacheInvalid(what +
+                           ": shard payload would overflow (" +
+                           std::to_string(m.shardRows) + " rows x " +
+                           std::to_string(np) + " policies x " +
+                           std::to_string(m.cores) + " cores)");
     return m;
 }
 

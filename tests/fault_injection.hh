@@ -19,7 +19,19 @@
  *    nothing);
  *  - "atomic.begin" / "atomic.before-rename" /
  *    "atomic.after-rename": around atomicWriteFile's
- *    write-tmp-then-rename sequence.
+ *    write-tmp-then-rename sequence;
+ *  - "population.cell": one (row, policy) cell of a population
+ *    shard simulated (src/sim/population.cc);
+ *  - "serve.shard-start" / "serve.shard-committed": a worker
+ *    process accepted a shard lease / durably committed the shard
+ *    to the result store (src/serve/worker.cc).
+ *
+ * The serve tests escalate from exceptions to real SIGKILL:
+ * wsel_worker arms these same points from WSEL_KILL_POINT=
+ * "point:nth" (optionally gated to one shard by WSEL_KILL_SHARD)
+ * and raises SIGKILL at the hit, so whole-process crash recovery
+ * is exercised with genuine process death (docs/ROBUSTNESS.md,
+ * "Distributed campaigns").
  */
 
 #ifndef WSEL_TESTS_FAULT_INJECTION_HH

@@ -1,0 +1,955 @@
+/**
+ * @file
+ * Tests for the distributed campaign service (src/serve/): lease
+ * lifecycle edges on the clock-injected LeaseTable, wire-protocol
+ * robustness against truncated/oversized frames, content-addressed
+ * store idempotence and corruption quarantine, the two-process
+ * directory-creation race, and end-to-end coordinator/worker runs
+ * with real SIGKILLed worker processes — the recovered campaign
+ * must be bitwise identical to an uninterrupted serial run.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "serve/context.hh"
+#include "serve/coordinator.hh"
+#include "serve/lease.hh"
+#include "serve/protocol.hh"
+#include "serve/spawn.hh"
+#include "serve/store.hh"
+#include "sim/population.hh"
+#include "stats/persist.hh"
+#include "stats/persist_v3.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using serve::CompleteResult;
+using serve::LeaseClock;
+using serve::LeaseOptions;
+using serve::LeaseTable;
+using serve::ShardState;
+
+// -------------------------------------------------------------------
+// LeaseTable: lifecycle edge cases, unit-tested with an injected
+// clock (no sleeps).
+// -------------------------------------------------------------------
+
+LeaseOptions
+fastOpts()
+{
+    LeaseOptions o;
+    o.ttl = 100ms;
+    o.backoffBase = 10ms;
+    o.backoffCap = 80ms;
+    o.quarantineAfter = 2;
+    return o;
+}
+
+TEST(LeaseTableTest, GrantsLowestPendingInOrder)
+{
+    LeaseTable t(3, fastOpts());
+    const auto now = LeaseClock::now();
+    const auto a = t.acquire(now);
+    const auto b = t.acquire(now);
+    const auto c = t.acquire(now);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->shard, 0u);
+    EXPECT_EQ(b->shard, 1u);
+    EXPECT_EQ(c->shard, 2u);
+    EXPECT_FALSE(t.acquire(now)); // everything leased
+    EXPECT_EQ(t.activeLeases(), 3u);
+}
+
+TEST(LeaseTableTest, HeartbeatRenewsDeadline)
+{
+    LeaseTable t(1, fastOpts());
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    // Renew just before expiry; the old deadline must not fire.
+    EXPECT_TRUE(t.heartbeat(g->leaseId, t0 + 90ms));
+    EXPECT_TRUE(t.expire(t0 + 150ms).empty());
+    // ... but the renewed one does.
+    const auto reclaimed = t.expire(t0 + 191ms);
+    ASSERT_EQ(reclaimed.size(), 1u);
+    EXPECT_EQ(reclaimed[0], g->leaseId);
+    EXPECT_FALSE(t.heartbeat(g->leaseId, t0 + 200ms));
+}
+
+TEST(LeaseTableTest, ExpiryDuringFinalWriteIsStaleThenDuplicate)
+{
+    // The "heartbeat expiry during the final shard write" edge: the
+    // lease expires while the worker is inside commitShard.  Its
+    // late completion report must come back Stale (the shard may
+    // already be re-leased), and once the re-run finishes, a second
+    // zombie report must be Duplicate — never a double count.
+    LeaseTable t(1, fastOpts());
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    ASSERT_EQ(t.expire(t0 + 101ms).size(), 1u);
+    EXPECT_EQ(t.complete(g->leaseId, g->shard),
+              CompleteResult::Stale);
+    EXPECT_EQ(t.doneCount(), 0u);
+
+    // Re-lease after the backoff and complete for real.
+    const auto g2 = t.acquire(t0 + 200ms);
+    ASSERT_TRUE(g2);
+    EXPECT_EQ(t.complete(g2->leaseId, g2->shard),
+              CompleteResult::Committed);
+    EXPECT_EQ(t.complete(g->leaseId, g->shard),
+              CompleteResult::Duplicate);
+    EXPECT_EQ(t.doneCount(), 1u);
+    EXPECT_TRUE(t.succeeded());
+}
+
+TEST(LeaseTableTest, DuplicateCompletionIsIdempotent)
+{
+    LeaseTable t(1, fastOpts());
+    const auto g = t.acquire(LeaseClock::now());
+    ASSERT_TRUE(g);
+    EXPECT_EQ(t.complete(g->leaseId, g->shard),
+              CompleteResult::Committed);
+    EXPECT_EQ(t.complete(g->leaseId, g->shard),
+              CompleteResult::Duplicate);
+    EXPECT_EQ(t.doneCount(), 1u);
+}
+
+TEST(LeaseTableTest, WrongShardReportRequeuesHeldShard)
+{
+    LeaseTable t(2, fastOpts());
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    EXPECT_EQ(t.complete(g->leaseId, 1), CompleteResult::Stale);
+    EXPECT_EQ(t.shardState(0), ShardState::Pending);
+    EXPECT_EQ(t.doneCount(), 0u);
+}
+
+TEST(LeaseTableTest, BackoffIsExponentialAndCapped)
+{
+    LeaseOptions o = fastOpts();
+    o.quarantineAfter = 10; // keep requeuing
+    LeaseTable t(1, o);
+    const auto t0 = LeaseClock::now();
+
+    // Death 1: backoff = base = 10ms.
+    auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    t.fail(g->leaseId, t0);
+    EXPECT_FALSE(t.acquire(t0 + 9ms));
+    g = t.acquire(t0 + 10ms);
+    ASSERT_TRUE(g);
+
+    // Death 2: backoff doubles to 20ms.
+    t.fail(g->leaseId, t0 + 10ms);
+    EXPECT_FALSE(t.acquire(t0 + 29ms));
+    g = t.acquire(t0 + 30ms);
+    ASSERT_TRUE(g);
+
+    // Deaths 3..5: 40ms, then capped at 80ms.
+    t.fail(g->leaseId, t0);
+    g = t.acquire(t0 + 40ms);
+    ASSERT_TRUE(g);
+    t.fail(g->leaseId, t0);
+    EXPECT_FALSE(t.acquire(t0 + 79ms)); // 2^3*10 = 80ms (cap)
+    g = t.acquire(t0 + 80ms);
+    ASSERT_TRUE(g);
+    t.fail(g->leaseId, t0);
+    EXPECT_FALSE(t.acquire(t0 + 79ms)); // still the cap
+    EXPECT_TRUE(t.acquire(t0 + 80ms));
+}
+
+TEST(LeaseTableTest, PoisonShardQuarantinedAfterTwoDeaths)
+{
+    LeaseTable t(2, fastOpts());
+    const auto t0 = LeaseClock::now();
+    auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    t.fail(g->leaseId, t0);
+    EXPECT_EQ(t.shardState(0), ShardState::Pending);
+    g = t.acquire(t0 + 50ms);
+    ASSERT_TRUE(g);
+    ASSERT_EQ(g->shard, 0u);
+    t.fail(g->leaseId, t0 + 50ms);
+    EXPECT_EQ(t.shardState(0), ShardState::Quarantined);
+    EXPECT_EQ(t.quarantinedCount(), 1u);
+
+    // The table still finishes (Failed overall, not wedged).
+    g = t.acquire(t0 + 50ms);
+    ASSERT_TRUE(g);
+    ASSERT_EQ(g->shard, 1u);
+    EXPECT_EQ(t.complete(g->leaseId, 1),
+              CompleteResult::Committed);
+    EXPECT_TRUE(t.finished());
+    EXPECT_FALSE(t.succeeded());
+}
+
+TEST(LeaseTableTest, MarkDoneCoversDedupAndRestartResume)
+{
+    LeaseTable t(3, fastOpts());
+    EXPECT_TRUE(t.markDone(1));  // store already has it
+    EXPECT_FALSE(t.markDone(1)); // idempotent
+    EXPECT_EQ(t.doneCount(), 1u);
+
+    // A quarantined shard whose file later shows up in the store
+    // (another campaign computed it) is un-poisoned.
+    const auto t0 = LeaseClock::now();
+    for (int i = 0; i < 2; ++i) {
+        const auto g = t.acquire(t0 + i * 100ms);
+        ASSERT_TRUE(g);
+        ASSERT_EQ(g->shard, 0u);
+        t.fail(g->leaseId, t0);
+    }
+    ASSERT_EQ(t.shardState(0), ShardState::Quarantined);
+    EXPECT_TRUE(t.markDone(0));
+    EXPECT_EQ(t.quarantinedCount(), 0u);
+    EXPECT_EQ(t.shardState(0), ShardState::Done);
+}
+
+TEST(LeaseTableTest, ExtendAllCompensatesCoordinatorStall)
+{
+    LeaseTable t(1, fastOpts());
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    // A 1s coordinator stall (e.g. model build) must not expire the
+    // worker's 100ms lease once compensated.
+    t.extendAll(1000ms);
+    EXPECT_TRUE(t.expire(t0 + 1050ms).empty());
+    ASSERT_EQ(t.expire(t0 + 1101ms).size(), 1u);
+}
+
+TEST(LeaseTableTest, NextEventTracksDeadlinesAndBackoffs)
+{
+    LeaseTable t(2, fastOpts());
+    EXPECT_FALSE(t.nextEvent()); // nothing time-driven yet
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    ASSERT_TRUE(t.nextEvent());
+    EXPECT_EQ(*t.nextEvent(), t0 + 100ms);
+    t.fail(g->leaseId, t0); // backoff gate at t0 + 10ms
+    ASSERT_TRUE(t.nextEvent());
+    EXPECT_EQ(*t.nextEvent(), t0 + 10ms);
+}
+
+// -------------------------------------------------------------------
+// Wire protocol: round-trips and hostile input.
+// -------------------------------------------------------------------
+
+serve::CampaignSpec
+sampleSpec()
+{
+    serve::CampaignSpec s;
+    s.cores = 2;
+    s.targetUops = 20000;
+    s.seed = 42;
+    s.firstRank = 3;
+    s.lastRank = 17;
+    s.shardRows = 4;
+    s.policies = {"LRU", "RND"};
+    s.benchmarks = {"povray", "gromacs", "mcf"};
+    return s;
+}
+
+TEST(ServeProtocolTest, SpecRoundTrips)
+{
+    serve::WireWriter w;
+    serve::encodeSpec(w, sampleSpec());
+    serve::WireReader r(w.bytes());
+    const serve::CampaignSpec back = serve::decodeSpec(r);
+    r.expectEnd();
+    EXPECT_EQ(back, sampleSpec());
+}
+
+TEST(ServeProtocolTest, LeaseRoundTrips)
+{
+    serve::LeaseMsg m;
+    m.leaseId = 7;
+    m.campaignId = 3;
+    m.shard = 12;
+    m.ttlMs = 2500;
+    m.fingerprint = 0xdeadbeefcafef00dULL;
+    m.dir = "/tmp/store/c-abc-def";
+    m.spec = sampleSpec();
+    const serve::LeaseMsg back = serve::decodeLease(serve::encodeLease(m));
+    EXPECT_EQ(back.leaseId, m.leaseId);
+    EXPECT_EQ(back.campaignId, m.campaignId);
+    EXPECT_EQ(back.shard, m.shard);
+    EXPECT_EQ(back.ttlMs, m.ttlMs);
+    EXPECT_EQ(back.fingerprint, m.fingerprint);
+    EXPECT_EQ(back.dir, m.dir);
+    EXPECT_EQ(back.spec, m.spec);
+}
+
+TEST(ServeProtocolTest, StatusRoundTrips)
+{
+    serve::StatusMsg m;
+    m.state = serve::CampaignState::Failed;
+    m.shardsTotal = 5;
+    m.shardsDone = 4;
+    m.shardsDeduped = 2;
+    m.shardsQuarantined = 1;
+    m.leasesActive = 3;
+    m.dir = "/store/c-1-2";
+    m.message = "1 shard(s) quarantined as poison";
+    const serve::StatusMsg back =
+        serve::decodeStatus(serve::encodeStatus(m));
+    EXPECT_EQ(back.state, m.state);
+    EXPECT_EQ(back.shardsTotal, m.shardsTotal);
+    EXPECT_EQ(back.shardsDone, m.shardsDone);
+    EXPECT_EQ(back.shardsDeduped, m.shardsDeduped);
+    EXPECT_EQ(back.shardsQuarantined, m.shardsQuarantined);
+    EXPECT_EQ(back.leasesActive, m.leasesActive);
+    EXPECT_EQ(back.dir, m.dir);
+    EXPECT_EQ(back.message, m.message);
+}
+
+TEST(ServeProtocolTest, FrameBufferReassemblesByteByByte)
+{
+    serve::WireWriter w;
+    serve::encodeSpec(w, sampleSpec());
+    const std::string frame =
+        serve::encodeFrame(serve::MsgType::Submit, w.bytes());
+
+    serve::FrameBuffer fb;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        fb.feed(frame.data() + i, 1);
+        EXPECT_FALSE(fb.next()) << "frame popped early at byte " << i;
+    }
+    fb.feed(frame.data() + frame.size() - 1, 1);
+    const auto f = fb.next();
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->type, serve::MsgType::Submit);
+    serve::WireReader r(f->body);
+    EXPECT_EQ(serve::decodeSpec(r), sampleSpec());
+}
+
+TEST(ServeProtocolTest, FrameBufferPopsBackToBackFrames)
+{
+    const std::string two =
+        serve::encodeFrame(serve::MsgType::RequestLease, "") +
+        serve::encodeFrame(serve::MsgType::Shutdown, "");
+    serve::FrameBuffer fb;
+    fb.feed(two.data(), two.size());
+    auto a = fb.next();
+    auto b = fb.next();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->type, serve::MsgType::RequestLease);
+    EXPECT_EQ(b->type, serve::MsgType::Shutdown);
+    EXPECT_FALSE(fb.next());
+}
+
+TEST(ServeProtocolTest, OversizedLengthPrefixThrows)
+{
+    // A desynchronized or hostile peer announcing a 64 MiB frame.
+    const std::uint32_t huge = 64u << 20;
+    char hdr[4];
+    std::memcpy(hdr, &huge, 4);
+    serve::FrameBuffer fb;
+    fb.feed(hdr, 4);
+    EXPECT_THROW(fb.next(), serve::ProtocolError);
+}
+
+TEST(ServeProtocolTest, TruncatedBodiesThrowEverywhere)
+{
+    serve::WireWriter w;
+    serve::encodeSpec(w, sampleSpec());
+    const std::string full = w.bytes();
+    // Every proper prefix must fail loudly, never read past the
+    // end: a peer can be SIGKILLed at any byte of a send.
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        serve::WireReader r(std::string_view(full).substr(0, len));
+        EXPECT_THROW(
+            {
+                serve::decodeSpec(r);
+                r.expectEnd();
+            },
+            serve::ProtocolError)
+            << "prefix length " << len;
+    }
+    const std::string lease_full =
+        serve::encodeLease([] {
+            serve::LeaseMsg m;
+            m.spec = sampleSpec();
+            m.dir = "/d";
+            return m;
+        }());
+    for (std::size_t len = 0; len < lease_full.size(); ++len)
+        EXPECT_THROW(serve::decodeLease(
+                         std::string_view(lease_full).substr(0, len)),
+                     serve::ProtocolError)
+            << "prefix length " << len;
+}
+
+TEST(ServeProtocolTest, TrailingGarbageRejected)
+{
+    serve::StatusMsg m;
+    m.dir = "/d";
+    std::string body = serve::encodeStatus(m);
+    body.push_back('\0');
+    EXPECT_THROW(serve::decodeStatus(body), serve::ProtocolError);
+}
+
+// -------------------------------------------------------------------
+// Result store: addressing, idempotent commits, corruption
+// quarantine, and the two-process directory race.
+// -------------------------------------------------------------------
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+persist::V3Manifest
+tinyManifest()
+{
+    persist::V3Manifest m;
+    m.fingerprint = 0x5eed;
+    m.simulator = "badco";
+    m.cores = 2;
+    m.targetUops = 1000;
+    m.instructions = 0;
+    m.policies = {"LRU", "RND"};
+    m.benchmarks = {"a", "b"};
+    m.refIpc = {1.0, 1.0};
+    m.popBenchmarks = 2;
+    m.popCores = 2;
+    m.firstRank = 0;
+    m.lastRank = 3;
+    m.shardRows = 2; // shard 0: 2 rows, shard 1: 1 row
+    return m;
+}
+
+std::vector<double>
+shardPayload(const persist::V3Manifest &m, std::uint64_t shard)
+{
+    std::vector<double> p(m.rowsInShard(shard) * m.policies.size() *
+                          m.cores);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = static_cast<double>(shard * 100 + i) * 0.25;
+    return p;
+}
+
+class ServeStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = (fs::temp_directory_path() /
+                 (std::string("wsel_serve_store_") + info->name()))
+                    .string();
+        fs::remove_all(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    std::string root_;
+};
+
+TEST_F(ServeStoreTest, GeometryHashCoversSeedAndGeometry)
+{
+    const auto h = serve::campaignGeometryHash(1, 0, 100, 16);
+    EXPECT_EQ(h, serve::campaignGeometryHash(1, 0, 100, 16));
+    // The V3Manifest omits the base seed, so the geometry hash MUST
+    // separate campaigns that differ only in seed.
+    EXPECT_NE(h, serve::campaignGeometryHash(2, 0, 100, 16));
+    EXPECT_NE(h, serve::campaignGeometryHash(1, 1, 100, 16));
+    EXPECT_NE(h, serve::campaignGeometryHash(1, 0, 101, 16));
+    EXPECT_NE(h, serve::campaignGeometryHash(1, 0, 100, 8));
+}
+
+TEST_F(ServeStoreTest, CampaignDirIsContentAddressed)
+{
+    serve::ResultStore store(root_);
+    const std::string d1 = store.campaignDir(0xabc, 0x123);
+    EXPECT_EQ(d1, store.campaignDir(0xabc, 0x123));
+    EXPECT_NE(d1, store.campaignDir(0xabd, 0x123));
+    EXPECT_NE(d1, store.campaignDir(0xabc, 0x124));
+    EXPECT_EQ(d1.find(root_), 0u);
+}
+
+TEST_F(ServeStoreTest, CommitShardIsIdempotent)
+{
+    serve::ResultStore store(root_);
+    const auto m = tinyManifest();
+    const std::string dir = store.campaignDir(m.fingerprint, 1);
+    store.ensureCampaignDir(dir);
+    const auto payload = shardPayload(m, 0);
+
+    EXPECT_FALSE(serve::ResultStore::hasShard(dir, m, 0));
+    EXPECT_TRUE(serve::ResultStore::commitShard(
+        dir, m, 0, {payload.data(), payload.size()}));
+    EXPECT_TRUE(serve::ResultStore::hasShard(dir, m, 0));
+    const std::string first =
+        readFileBytes(persist::v3ShardPath(dir, 0));
+
+    // The second commit (zombie worker, overlapping campaign) is a
+    // no-op and leaves the bytes untouched.
+    EXPECT_FALSE(serve::ResultStore::commitShard(
+        dir, m, 0, {payload.data(), payload.size()}));
+    EXPECT_EQ(readFileBytes(persist::v3ShardPath(dir, 0)), first);
+}
+
+TEST_F(ServeStoreTest, CorruptShardQuarantinedAndRecomputable)
+{
+    serve::ResultStore store(root_);
+    const auto m = tinyManifest();
+    const std::string dir = store.campaignDir(m.fingerprint, 1);
+    store.ensureCampaignDir(dir);
+    const auto payload = shardPayload(m, 0);
+    ASSERT_TRUE(serve::ResultStore::commitShard(
+        dir, m, 0, {payload.data(), payload.size()}));
+
+    // Flip one payload byte; hasShard must reject AND move the file
+    // aside so a re-commit can land.
+    const std::string path = persist::v3ShardPath(dir, 0);
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(40);
+        char c = 0;
+        f.seekg(40);
+        f.get(c);
+        c ^= 0x10;
+        f.seekp(40);
+        f.put(c);
+    }
+    EXPECT_FALSE(serve::ResultStore::hasShard(dir, m, 0));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    EXPECT_TRUE(serve::ResultStore::commitShard(
+        dir, m, 0, {payload.data(), payload.size()}));
+    EXPECT_TRUE(serve::ResultStore::hasShard(dir, m, 0));
+}
+
+TEST_F(ServeStoreTest, ManifestCommitCompletesCampaign)
+{
+    serve::ResultStore store(root_);
+    const auto m = tinyManifest();
+    const std::string dir =
+        store.campaignDir(m.fingerprint, 0x77);
+    store.ensureCampaignDir(dir);
+    EXPECT_FALSE(serve::ResultStore::isComplete(dir));
+    for (std::uint64_t s = 0; s < m.shardCount(); ++s) {
+        const auto p = shardPayload(m, s);
+        serve::ResultStore::commitShard(dir, m, s,
+                                        {p.data(), p.size()});
+    }
+    EXPECT_FALSE(serve::ResultStore::isComplete(dir));
+    serve::ResultStore::commitManifest(dir, m);
+    EXPECT_TRUE(serve::ResultStore::isComplete(dir));
+    // Idempotent re-commit (a second overlapping campaign
+    // finishing later).
+    serve::ResultStore::commitManifest(dir, m);
+    EXPECT_TRUE(serve::ResultStore::isComplete(dir));
+}
+
+TEST_F(ServeStoreTest, TwoProcessDirectoryCreationRace)
+{
+    // Two real processes race persist::ensureDirTree on the same
+    // deep tree; EEXIST at any component must not fail either one.
+    const std::string deep = root_ + "/a/b/c/d/e";
+    const std::string worker = serve::findWorkerBinary();
+    std::vector<pid_t> pids;
+    for (int i = 0; i < 2; ++i)
+        pids.push_back(serve::spawnProcess(
+            {worker, "--mkdir-race", deep}));
+    for (const pid_t pid : pids) {
+        const int status = serve::waitProcess(pid);
+        EXPECT_TRUE(serve::exitedCleanly(status))
+            << serve::describeExit(status);
+    }
+    EXPECT_TRUE(fs::is_directory(deep));
+}
+
+// -------------------------------------------------------------------
+// End-to-end: coordinator + real worker processes, with SIGKILL
+// fault injection.  The model cache is shared across the suite so
+// the BADCO models are built once.
+// -------------------------------------------------------------------
+
+/** In-process coordinator on a background thread. */
+class Service
+{
+  public:
+    explicit Service(const serve::CoordinatorOptions &opts)
+        : coordinator_(opts), thread_([this] {
+              try {
+                  rc_ = coordinator_.run();
+              } catch (const std::exception &e) {
+                  ADD_FAILURE() << "coordinator died: " << e.what();
+              }
+          })
+    {}
+
+    ~Service() { stop(); }
+
+    void
+    stop()
+    {
+        if (thread_.joinable()) {
+            coordinator_.requestStop();
+            thread_.join();
+        }
+    }
+
+    int exitCode() const { return rc_; }
+
+  private:
+    serve::Coordinator coordinator_;
+    int rc_ = -1;
+    std::thread thread_;
+};
+
+class ServeDistributedTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        obs::enableMetrics();
+        cacheDir_ = (fs::temp_directory_path() /
+                     "wsel_serve_test_model_cache")
+                        .string();
+        fs::create_directories(cacheDir_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        obs::enableMetrics(false);
+        fs::remove_all(cacheDir_);
+    }
+
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::temp_directory_path() /
+                (std::string("wsel_serve_e2e_") + info->name()))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        socket_ = dir_ + "/serve.sock";
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    /**
+     * 4 benchmarks x 2 cores -> 10 workloads; 2 rows/shard -> 5
+     * shards of 2x2x2 = 8 cells each (4 "population.cell" fault
+     * hits per shard, one per workload x policy).
+     */
+    static serve::CampaignSpec
+    tinySpec()
+    {
+        serve::CampaignSpec s;
+        s.cores = 2;
+        s.targetUops = 20000;
+        s.seed = 1;
+        s.firstRank = 0;
+        s.lastRank = 0; // full population
+        s.shardRows = 2;
+        s.policies = {"LRU", "RND"};
+        s.benchmarks = {"povray", "gromacs", "gcc", "mcf"};
+        return s;
+    }
+
+    serve::CoordinatorOptions
+    coordinatorOptions()
+    {
+        serve::CoordinatorOptions o;
+        o.socketPath = socket_;
+        o.storeRoot = dir_ + "/store";
+        o.cacheDir = cacheDir_;
+        o.lease.backoffBase = std::chrono::milliseconds(10);
+        return o;
+    }
+
+    pid_t
+    spawnWorker(const std::vector<std::string> &extra_env = {})
+    {
+        return serve::spawnProcess(
+            {serve::findWorkerBinary(), "--socket", socket_,
+             "--cache-dir", cacheDir_},
+            extra_env);
+    }
+
+    static void
+    expectKilled(pid_t pid)
+    {
+        const int status = serve::waitProcess(pid);
+        EXPECT_TRUE(WIFSIGNALED(status) &&
+                    WTERMSIG(status) == SIGKILL)
+            << serve::describeExit(status);
+    }
+
+    static void
+    expectClean(pid_t pid)
+    {
+        const int status = serve::waitProcess(pid);
+        EXPECT_TRUE(serve::exitedCleanly(status))
+            << serve::describeExit(status);
+    }
+
+    /**
+     * The uninterrupted serial reference: simulate every shard
+     * in this process and commit it to @p dir.
+     */
+    persist::V3Manifest
+    writeReference(const serve::CampaignSpec &spec,
+                   const std::string &dir)
+    {
+        serve::CampaignContext ctx(spec, cacheDir_);
+        const persist::V3Manifest &m = ctx.manifest();
+        persist::ensureDirTree(dir);
+        std::vector<double> payload;
+        for (std::uint64_t s = 0; s < m.shardCount(); ++s) {
+            simulatePopulationShard(m, ctx.population(),
+                                    ctx.uncores(), ctx.models(),
+                                    ctx.seed(), s, payload);
+            serve::ResultStore::commitShard(
+                dir, m, s, {payload.data(), payload.size()});
+        }
+        serve::ResultStore::commitManifest(dir, m);
+        return m;
+    }
+
+    /** Counter value out of the metrics JSON (-1 when absent). */
+    static double
+    counterValue(const std::string &json, const std::string &name)
+    {
+        const std::string key = "\"name\": \"" + name + "\"";
+        const std::size_t at = json.find(key);
+        if (at == std::string::npos)
+            return -1.0;
+        const std::string vkey = "\"value\": ";
+        const std::size_t v = json.find(vkey, at);
+        if (v == std::string::npos)
+            return -1.0;
+        return std::strtod(json.c_str() + v + vkey.size(), nullptr);
+    }
+
+    static std::string cacheDir_;
+    std::string dir_;
+    std::string socket_;
+};
+
+std::string ServeDistributedTest::cacheDir_;
+
+TEST_F(ServeDistributedTest, KilledWorkersRecoverBitwiseIdentical)
+{
+    const serve::CampaignSpec spec = tinySpec();
+
+    // Serial reference first (also warms the shared model cache).
+    const persist::V3Manifest m =
+        writeReference(spec, dir_ + "/reference");
+
+    Service service(coordinatorOptions());
+    serve::Client client(socket_);
+    const std::uint64_t id = client.submit(spec);
+
+    // One worker SIGKILLed mid-shard at a randomized cell, one
+    // SIGKILLed at the shard boundary: after commitShard but
+    // before its Done report (the zombie-commit window).
+    std::mt19937_64 rng(static_cast<std::uint64_t>(
+        ::testing::UnitTest::GetInstance()->random_seed()));
+    const std::uint64_t nth =
+        std::uniform_int_distribution<std::uint64_t>(1, 4)(rng);
+    const pid_t mid_shard_victim = spawnWorker(
+        {"WSEL_KILL_POINT=population.cell:" + std::to_string(nth)});
+    const pid_t boundary_victim =
+        spawnWorker({"WSEL_KILL_POINT=serve.shard-committed:1"});
+    expectKilled(mid_shard_victim);
+    expectKilled(boundary_victim);
+
+    // Two healthy workers finish the campaign.
+    const pid_t w1 = spawnWorker();
+    const pid_t w2 = spawnWorker();
+    const serve::StatusMsg st = client.waitFinished(id);
+    EXPECT_EQ(st.state, serve::CampaignState::Done) << st.message;
+    EXPECT_EQ(st.shardsTotal, m.shardCount());
+    EXPECT_EQ(st.shardsDone, m.shardCount());
+    EXPECT_EQ(st.shardsQuarantined, 0u);
+    // The boundary victim committed its shard before dying, so the
+    // re-lease found the file already present: a dedup.
+    EXPECT_GE(st.shardsDeduped, 1u);
+
+    service.stop(); // drain: healthy workers get Shutdown
+    expectClean(w1);
+    expectClean(w2);
+    EXPECT_EQ(service.exitCode(), 0);
+
+    // The recovered campaign must be indistinguishable from the
+    // uninterrupted serial run, byte for byte.
+    ASSERT_TRUE(serve::ResultStore::isComplete(st.dir));
+    for (std::uint64_t s = 0; s < m.shardCount(); ++s) {
+        EXPECT_EQ(
+            readFileBytes(persist::v3ShardPath(st.dir, s)),
+            readFileBytes(
+                persist::v3ShardPath(dir_ + "/reference", s)))
+            << "shard " << s << " differs (kill nth=" << nth << ")";
+    }
+}
+
+TEST_F(ServeDistributedTest, OverlappingCampaignDedupsAllShards)
+{
+    const serve::CampaignSpec spec = tinySpec();
+    Service service(coordinatorOptions());
+
+    serve::Client client(socket_);
+    const pid_t w = spawnWorker();
+    const std::uint64_t first = client.submit(spec);
+    const serve::StatusMsg st1 = client.waitFinished(first);
+    ASSERT_EQ(st1.state, serve::CampaignState::Done) << st1.message;
+    EXPECT_EQ(st1.shardsDeduped, 0u);
+
+    const double dedup_before =
+        counterValue(client.metricsJson(), "serve.dedup_hits");
+
+    // Same physics, same geometry: the second campaign maps to the
+    // same store directory and must recompute nothing.
+    const std::uint64_t second = client.submit(spec);
+    const serve::StatusMsg st2 = client.waitFinished(second);
+    EXPECT_EQ(st2.state, serve::CampaignState::Done) << st2.message;
+    EXPECT_EQ(st2.dir, st1.dir);
+    EXPECT_EQ(st2.shardsDone, st2.shardsTotal);
+    EXPECT_EQ(st2.shardsDeduped, st2.shardsTotal);
+
+    const double dedup_after =
+        counterValue(client.metricsJson(), "serve.dedup_hits");
+    EXPECT_GE(dedup_after,
+              dedup_before + static_cast<double>(st2.shardsTotal));
+
+    // A different seed is a DIFFERENT campaign (the manifest omits
+    // the seed; the geometry hash must not).
+    serve::CampaignSpec reseeded = spec;
+    reseeded.seed = 2;
+    const std::uint64_t third = client.submit(reseeded);
+    const serve::StatusMsg st3 = client.waitFinished(third);
+    EXPECT_EQ(st3.state, serve::CampaignState::Done) << st3.message;
+    EXPECT_NE(st3.dir, st1.dir);
+    EXPECT_EQ(st3.shardsDeduped, 0u);
+
+    service.stop();
+    expectClean(w);
+}
+
+TEST_F(ServeDistributedTest, PoisonShardQuarantinedCampaignFails)
+{
+    const serve::CampaignSpec spec = tinySpec();
+    Service service(coordinatorOptions());
+    serve::Client client(socket_);
+    const std::uint64_t id = client.submit(spec);
+
+    // Two workers in a row die the moment they start shard 2; the
+    // second death quarantines it instead of killing workers
+    // forever.
+    for (int i = 0; i < 2; ++i)
+        expectKilled(
+            spawnWorker({"WSEL_KILL_POINT=serve.shard-start:1",
+                         "WSEL_KILL_SHARD=2"}));
+
+    // A healthy worker finishes everything else; the campaign
+    // completes as Failed, not wedged.
+    const pid_t w = spawnWorker();
+    const serve::StatusMsg st = client.waitFinished(id);
+    EXPECT_EQ(st.state, serve::CampaignState::Failed);
+    EXPECT_NE(st.message.find("quarantined"), std::string::npos)
+        << st.message;
+    EXPECT_EQ(st.shardsTotal, 5u);
+    EXPECT_EQ(st.shardsDone, 4u);
+    EXPECT_EQ(st.shardsQuarantined, 1u);
+
+    // The store holds every good shard, no manifest (incomplete),
+    // and no file for the poisoned shard.
+    EXPECT_FALSE(serve::ResultStore::isComplete(st.dir));
+    for (const std::uint64_t s : {0u, 1u, 3u, 4u})
+        EXPECT_TRUE(fs::exists(persist::v3ShardPath(st.dir, s)))
+            << "shard " << s;
+    EXPECT_FALSE(fs::exists(persist::v3ShardPath(st.dir, 2)));
+
+    service.stop();
+    expectClean(w);
+}
+
+TEST_F(ServeDistributedTest, RestartedCoordinatorResumesFromStore)
+{
+    const serve::CampaignSpec spec = tinySpec();
+    std::string campaign_dir;
+
+    // First coordinator runs the campaign to completion ...
+    {
+        Service service(coordinatorOptions());
+        serve::Client client(socket_);
+        const pid_t w = spawnWorker();
+        const serve::StatusMsg st =
+            client.waitFinished(client.submit(spec));
+        ASSERT_EQ(st.state, serve::CampaignState::Done)
+            << st.message;
+        campaign_dir = st.dir;
+        service.stop();
+        expectClean(w);
+    }
+
+    // ... then "crashes": simulate interrupted work by removing one
+    // shard and the manifest (the manifest is only written once all
+    // shards exist, so this is exactly a mid-campaign kill state).
+    const std::string lost = persist::v3ShardPath(campaign_dir, 3);
+    const std::string lost_bytes = readFileBytes(lost);
+    fs::remove(lost);
+    fs::remove(persist::v3ManifestPath(campaign_dir));
+    ASSERT_FALSE(serve::ResultStore::isComplete(campaign_dir));
+
+    // A fresh coordinator's admission scan must mark the surviving
+    // shards done and lease only the missing one.
+    Service service(coordinatorOptions());
+    serve::Client client(socket_);
+    const pid_t w = spawnWorker();
+    const serve::StatusMsg st =
+        client.waitFinished(client.submit(spec));
+    EXPECT_EQ(st.state, serve::CampaignState::Done) << st.message;
+    EXPECT_EQ(st.dir, campaign_dir);
+    EXPECT_EQ(st.shardsDeduped, st.shardsTotal - 1);
+    EXPECT_TRUE(serve::ResultStore::isComplete(campaign_dir));
+    EXPECT_EQ(readFileBytes(lost), lost_bytes)
+        << "recomputed shard differs from the original";
+
+    service.stop();
+    expectClean(w);
+}
+
+} // namespace
+
+} // namespace wsel

@@ -60,6 +60,45 @@ for preset in $presets; do
         test -s "$popdir/pop.v3/manifest.bin"
         rm -rf "$popdir"
         echo "==> population smoke passed under $preset"
+
+        # Distributed campaign smoke (docs/ROBUSTNESS.md): a
+        # wsel_serve daemon, four workers — one of which SIGKILLs
+        # itself mid-shard — and a client submission that must
+        # still complete with a committed manifest.
+        echo "==> distributed campaign smoke: $preset"
+        servedir="$bindir/serve-smoke"
+        rm -rf "$servedir"
+        mkdir -p "$servedir"
+        "./$bindir/tools/wsel_serve" \
+            --socket "$servedir/serve.sock" \
+            --store "$servedir/store" \
+            --cache-dir "$servedir/cache" &
+        serve_pid=$!
+        worker_pids=""
+        for i in 1 2 3; do
+            "./$bindir/tools/wsel_worker" \
+                --socket "$servedir/serve.sock" \
+                --cache-dir "$servedir/cache" &
+            worker_pids="$worker_pids $!"
+        done
+        WSEL_KILL_POINT=population.cell:3 \
+            "./$bindir/tools/wsel_worker" \
+            --socket "$servedir/serve.sock" \
+            --cache-dir "$servedir/cache" &
+        victim_pid=$!
+        "./$bindir/tools/wsel_cli" serve submit \
+            --socket "$servedir/serve.sock" \
+            --insns 5000 --cores 2 --limit 40 --shard-size 16 \
+            --wait 1
+        kill -TERM "$serve_pid"
+        wait "$serve_pid"
+        for pid in $worker_pids; do
+            wait "$pid" || true
+        done
+        wait "$victim_pid" && exit 1 || true # must have died
+        test -s "$servedir"/store/c-*/manifest.bin
+        rm -rf "$servedir"
+        echo "==> distributed smoke passed under $preset"
     fi
 
     if [ "$preset" = "release" ]; then
@@ -101,6 +140,16 @@ for preset in $presets; do
         test -s "build-release/BENCH_population.json"
         rm -rf "$smoke/cache"
         echo "==> bench archived in build-release/BENCH_population.json"
+
+        echo "==> serve scaling bench: $preset"
+        WSEL_CACHE_DIR="$smoke/cache" \
+        WSEL_INSNS=20000 \
+        WSEL_SERVE_ROWS=96 \
+        WSEL_BENCH_JSON="build-release/BENCH_serve.json" \
+            ./build-release/bench/serve_scaling
+        test -s "build-release/BENCH_serve.json"
+        rm -rf "$smoke/cache"
+        echo "==> bench archived in build-release/BENCH_serve.json"
     fi
 done
 

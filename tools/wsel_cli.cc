@@ -33,7 +33,18 @@
  *       with O(shard) memory, and print the streamed per-pair
  *       d(w) statistics (mean, sigma, cv, 1/cv, eq. 8 sample
  *       size, approximate stratum count); an interrupted run
- *       resumes at shard granularity (--resume 0 restarts)
+ *       resumes at shard granularity (--resume 0 restarts);
+ *       with --distributed N the campaign instead runs through
+ *       the crash-resilient campaign service: an in-process
+ *       coordinator leases shards to N spawned wsel_worker
+ *       processes and --out is the content-addressed result-store
+ *       root (docs/ROBUSTNESS.md, "Distributed campaigns")
+ *   wsel_cli serve submit --socket PATH [--wait 0|1]
+ *       [campaign options as for population]
+ *       submit a campaign to a running wsel_serve daemon and (by
+ *       default) wait for it; serve status --socket PATH --id N
+ *       polls one campaign, serve metrics --socket PATH dumps the
+ *       daemon's metrics snapshot as JSON
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -60,7 +71,10 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "badco/badco_model.hh"
 #include "core/classify/classify.hh"
@@ -68,6 +82,9 @@
 #include "core/report/report.hh"
 #include "core/confidence/confidence.hh"
 #include "core/sampling/sampling.hh"
+#include "serve/coordinator.hh"
+#include "serve/protocol.hh"
+#include "serve/spawn.hh"
 #include "sim/campaign.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
@@ -269,9 +286,186 @@ cmdCampaign(const Args &args)
     return 0;
 }
 
+/**
+ * CampaignSpec from the shared population/campaign options: the
+ * wire-level description a coordinator and its workers rebuild the
+ * campaign context from.
+ */
+serve::CampaignSpec
+campaignSpecFromArgs(const Args &args)
+{
+    serve::CampaignSpec spec;
+    spec.cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    spec.targetUops = args.getU64("insns", 100000);
+    spec.seed = args.getU64("seed", 1);
+    const auto policies = parsePolicyList(
+        args.get("policies", "LRU,RND,FIFO,DIP,DRRIP"));
+    for (PolicyKind p : policies)
+        spec.policies.push_back(toString(p));
+    const auto &suite = spec2006Suite();
+    for (const BenchmarkProfile &p : suite)
+        spec.benchmarks.push_back(p.name);
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), spec.cores);
+    spec.firstRank = args.getU64("first", 0);
+    spec.lastRank = args.getU64("last", 0);
+    if (args.has("limit") && !args.has("last"))
+        spec.lastRank = std::min<std::uint64_t>(
+            pop.size(), spec.firstRank + args.getU64("limit", 0));
+    const std::uint64_t shard_cells =
+        args.getU64("shard-size", 64 * 1024);
+    spec.shardRows = std::max<std::uint64_t>(
+        1, shard_cells / std::max<std::size_t>(1, policies.size()));
+    return spec;
+}
+
+void
+printServeStatus(std::uint64_t id, const serve::StatusMsg &st)
+{
+    std::printf("campaign %llu: %s  (%llu/%llu shards, "
+                "%llu deduped, %llu quarantined, %llu leases "
+                "active)\n",
+                static_cast<unsigned long long>(id),
+                serve::toString(st.state),
+                static_cast<unsigned long long>(st.shardsDone),
+                static_cast<unsigned long long>(st.shardsTotal),
+                static_cast<unsigned long long>(st.shardsDeduped),
+                static_cast<unsigned long long>(
+                    st.shardsQuarantined),
+                static_cast<unsigned long long>(st.leasesActive));
+    if (!st.dir.empty())
+        std::printf("  dir: %s\n", st.dir.c_str());
+    if (!st.message.empty())
+        std::printf("  %s\n", st.message.c_str());
+}
+
+/**
+ * `population --distributed N`: run the campaign through the
+ * coordinator/worker service instead of in-process threads — an
+ * in-process coordinator loop plus N spawned wsel_worker
+ * processes.  --out is the result-store ROOT; the campaign lands
+ * in a content-addressed directory under it (printed on
+ * completion), so resubmitting the same campaign — or an
+ * overlapping one — reuses every shard already present.
+ */
+int
+cmdPopulationDistributed(const Args &args)
+{
+    setupObs(args);
+    if (!args.has("out"))
+        WSEL_FATAL("population requires --out DIR (the result-"
+                   "store root in --distributed mode)");
+    const std::size_t nworkers =
+        static_cast<std::size_t>(args.getU64("distributed", 4));
+    if (nworkers == 0)
+        WSEL_FATAL("--distributed needs at least 1 worker");
+
+    const serve::CampaignSpec spec = campaignSpecFromArgs(args);
+    serve::CoordinatorOptions copts;
+    copts.socketPath =
+        args.get("socket", "/tmp/wsel-serve-" +
+                               std::to_string(::getpid()) +
+                               ".sock");
+    copts.storeRoot = args.get("out", "");
+    copts.cacheDir = defaultCacheDir();
+    copts.jobs = std::max<std::size_t>(
+        1, static_cast<std::size_t>(args.getU64("jobs", 1)));
+    copts.lease.ttl =
+        std::chrono::milliseconds(args.getU64("ttl-ms", 2000));
+    copts.exitWhenIdle = true;
+
+    // Resolve the worker binary before starting anything that
+    // needs cleanup; a missing binary is a plain fatal error.
+    const std::string worker_bin = serve::findWorkerBinary();
+
+    serve::Coordinator coordinator(copts);
+    std::thread loop([&coordinator] {
+        try {
+            coordinator.run();
+        } catch (const std::exception &e) {
+            warn(std::string("coordinator died: ") + e.what());
+        }
+    });
+
+    int rc = 1;
+    std::vector<pid_t> workers;
+    try {
+        for (std::size_t i = 0; i < nworkers; ++i)
+            workers.push_back(serve::spawnProcess(
+                {worker_bin, "--socket", copts.socketPath,
+                 "--cache-dir", copts.cacheDir}));
+        serve::Client client(copts.socketPath);
+        const std::uint64_t id = client.submit(spec);
+        std::printf("campaign %llu submitted to %zu workers\n",
+                    static_cast<unsigned long long>(id),
+                    nworkers);
+        const serve::StatusMsg st = client.waitFinished(id);
+        printServeStatus(id, st);
+        rc = st.state == serve::CampaignState::Done ? 0 : 1;
+        // Client goes out of scope here; the idle coordinator
+        // exits and shuts the workers down.
+    } catch (...) {
+        coordinator.requestStop();
+        for (pid_t pid : workers)
+            (void)serve::waitProcess(pid);
+        loop.join();
+        throw;
+    }
+    for (pid_t pid : workers)
+        (void)serve::waitProcess(pid);
+    loop.join();
+    return rc;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: wsel_cli serve <submit|status|"
+                     "metrics> --socket PATH ...\n");
+        return 2;
+    }
+    const std::string sub = argv[2];
+    const Args args(argc, argv, 3);
+    const std::string socket = args.get("socket", "");
+    if (socket.empty())
+        WSEL_FATAL("serve " << sub << " requires --socket PATH");
+    serve::Client client(socket);
+    if (sub == "submit") {
+        const std::uint64_t id =
+            client.submit(campaignSpecFromArgs(args));
+        std::printf("campaign %llu accepted\n",
+                    static_cast<unsigned long long>(id));
+        if (args.getU64("wait", 1) != 0) {
+            const serve::StatusMsg st = client.waitFinished(id);
+            printServeStatus(id, st);
+            return st.state == serve::CampaignState::Done ? 0 : 1;
+        }
+        return 0;
+    }
+    if (sub == "status") {
+        if (!args.has("id"))
+            WSEL_FATAL("serve status requires --id N");
+        const std::uint64_t id = args.getU64("id", 0);
+        printServeStatus(id, client.status(id));
+        return 0;
+    }
+    if (sub == "metrics") {
+        std::printf("%s\n", client.metricsJson().c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "unknown serve subcommand '%s'\n",
+                 sub.c_str());
+    return 2;
+}
+
 int
 cmdPopulation(const Args &args)
 {
+    if (args.has("distributed"))
+        return cmdPopulationDistributed(args);
     setupObs(args);
     if (!args.has("out"))
         WSEL_FATAL("population requires --out DIR");
@@ -683,7 +877,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: wsel_cli <characterize|campaign|population|analyze|"
-        "select|confidence|simulate|report|cache> [--options]\n"
+        "select|confidence|simulate|report|cache|serve> "
+        "[--options]\n"
         "see the file header of tools/wsel_cli.cc for details\n");
     return 2;
 }
@@ -694,6 +889,8 @@ dispatch(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "cache")
         return cmdCache(argc, argv);
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
     const Args args(argc, argv);
     if (cmd == "characterize")
         return cmdCharacterize(args);

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * wsel_serve: the campaign-service daemon (docs/ROBUSTNESS.md,
+ * "Distributed campaigns").
+ *
+ *   wsel_serve --socket PATH --store DIR [--cache-dir DIR]
+ *       [--max-queued N] [--ttl-ms MS] [--jobs N]
+ *
+ * Listens on a Unix-domain socket for worker processes
+ * (wsel_worker) and clients (wsel_cli serve ...), leases campaign
+ * shards, and commits finished campaigns to the content-addressed
+ * result store under --store.  Admission control is a bounded
+ * queue (--max-queued); SIGTERM or SIGINT starts a graceful drain:
+ * no new leases, outstanding ones finish, workers are told to shut
+ * down, then the daemon exits 0.
+ *
+ * Metrics are always collected; the `serve.*` instrument family
+ * (docs/OBSERVABILITY.md) is reachable from any client via the
+ * metrics endpoint (`wsel_cli serve metrics --socket PATH`).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <signal.h>
+
+#include "obs/metrics.hh"
+#include "serve/coordinator.hh"
+#include "stats/logging.hh"
+
+namespace
+{
+
+wsel::serve::Coordinator *g_coordinator = nullptr;
+
+void
+onTerminate(int)
+{
+    if (g_coordinator)
+        g_coordinator->requestStop(); // async-signal-safe
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsel;
+
+    serve::CoordinatorOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (key == "--socket" && val) {
+            opts.socketPath = val;
+            ++i;
+        } else if (key == "--store" && val) {
+            opts.storeRoot = val;
+            ++i;
+        } else if (key == "--cache-dir" && val) {
+            opts.cacheDir = val;
+            ++i;
+        } else if (key == "--max-queued" && val) {
+            opts.maxQueued = static_cast<std::size_t>(
+                std::strtoull(val, nullptr, 10));
+            ++i;
+        } else if (key == "--ttl-ms" && val) {
+            opts.lease.ttl = std::chrono::milliseconds(
+                std::strtoull(val, nullptr, 10));
+            ++i;
+        } else if (key == "--jobs" && val) {
+            opts.jobs = static_cast<std::size_t>(
+                std::strtoull(val, nullptr, 10));
+            ++i;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: wsel_serve --socket PATH --store DIR "
+                "[--cache-dir DIR] [--max-queued N] "
+                "[--ttl-ms MS] [--jobs N]\n");
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty() || opts.storeRoot.empty()) {
+        std::fprintf(stderr, "wsel_serve: --socket and --store "
+                             "are required\n");
+        return 2;
+    }
+
+    try {
+        obs::enableMetrics();
+        serve::Coordinator coordinator(opts);
+        g_coordinator = &coordinator;
+        struct sigaction sa = {};
+        sa.sa_handler = onTerminate;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+        std::fprintf(stderr, "wsel_serve: listening on %s, store "
+                             "%s\n",
+                     opts.socketPath.c_str(),
+                     opts.storeRoot.c_str());
+        const int rc = coordinator.run();
+        g_coordinator = nullptr;
+        return rc;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "wsel_serve: %s\n", e.what());
+        return 2;
+    }
+}
