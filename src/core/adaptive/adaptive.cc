@@ -1,0 +1,146 @@
+#include "core/adaptive/adaptive.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/logging.hh"
+#include "stats/summary.hh"
+
+namespace wsel
+{
+
+ApproxRanker::ApproxRanker(ThroughputMetric m,
+                           std::vector<double> ipc_x,
+                           std::vector<double> ipc_y,
+                           std::vector<double> ref_ipc)
+    : metric_(m), ipcX_(std::move(ipc_x)), ipcY_(std::move(ipc_y)),
+      refIpc_(std::move(ref_ipc))
+{
+    if (ipcX_.empty() || ipcX_.size() != ipcY_.size() ||
+        ipcX_.size() != refIpc_.size())
+        WSEL_FATAL("approx ranker needs equal-length per-benchmark "
+                   "IPC vectors (got " << ipcX_.size() << "/"
+                   << ipcY_.size() << "/" << refIpc_.size() << ")");
+}
+
+double
+ApproxRanker::score(std::span<const std::uint32_t> benches) const
+{
+    sx_.clear();
+    sy_.clear();
+    sr_.clear();
+    for (std::uint32_t b : benches) {
+        WSEL_ASSERT(b < ipcX_.size(),
+                    "benchmark index beyond the pre-pass table");
+        sx_.push_back(ipcX_[b]);
+        sy_.push_back(ipcY_[b]);
+        sr_.push_back(refIpc_[b]);
+    }
+    const double tx = perWorkloadThroughput(metric_, sx_, sr_);
+    const double ty = perWorkloadThroughput(metric_, sy_, sr_);
+    return perWorkloadDifference(metric_, tx, ty);
+}
+
+namespace
+{
+
+class RankedSetSampler : public Sampler
+{
+  public:
+    RankedSetSampler(std::span<const double> d,
+                     const RankedSetConfig &cfg)
+        : d_(d.begin(), d.end()), setSize_(cfg.setSize)
+    {
+        if (d_.empty())
+            WSEL_FATAL("ranked-set sampling needs d(w) values");
+        if (setSize_ < 2)
+            WSEL_FATAL("ranked-set size must be at least 2");
+    }
+
+    Sample
+    draw(std::size_t size, Rng &rng) const override
+    {
+        Sample s;
+        drawInto(s, size, rng);
+        return s;
+    }
+
+    void
+    drawInto(Sample &out, std::size_t size, Rng &rng) const override
+    {
+        if (size == 0)
+            WSEL_FATAL("cannot draw an empty sample");
+        out.strata.resize(1);
+        out.strata[0].weight = 1.0;
+        auto &idx = out.strata[0].indices;
+        idx.clear();
+        idx.reserve(size);
+        std::vector<std::size_t> set(setSize_);
+        for (std::size_t i = 0; i < size; ++i) {
+            // One set of m uniform candidates, ranked by the cheap
+            // d(w); draw i keeps the (i mod m)-th order statistic,
+            // so a full cycle visits every rank once.
+            for (std::size_t j = 0; j < setSize_; ++j)
+                set[j] = rng.nextInt(d_.size());
+            // Ties broken by population index so the order is
+            // total and the draw deterministic under one seed.
+            std::sort(set.begin(), set.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return d_[a] != d_[b] ? d_[a] < d_[b]
+                                                : a < b;
+                      });
+            idx.push_back(set[i % setSize_]);
+        }
+    }
+
+    std::string name() const override { return "ranked-set"; }
+
+  private:
+    std::vector<double> d_;
+    std::size_t setSize_;
+};
+
+} // namespace
+
+std::unique_ptr<Sampler>
+makeRankedSetSampler(std::span<const double> d,
+                     const RankedSetConfig &cfg)
+{
+    return std::make_unique<RankedSetSampler>(d, cfg);
+}
+
+SubsampleEstimate
+repeatedSubsample(std::span<const double> d, std::size_t subsample,
+                  std::size_t redraws, Rng &rng)
+{
+    if (d.empty())
+        WSEL_FATAL("repeated subsampling needs simulated d(w)");
+    if (redraws == 0)
+        WSEL_FATAL("need at least one redraw");
+    const std::size_t n = d.size();
+    const std::size_t w = std::min(std::max<std::size_t>(
+                                       subsample, 1),
+                                   n);
+    SubsampleEstimate est;
+    est.subsampleSize = w;
+    est.redraws = redraws;
+    RunningStats means;
+    std::size_t wins = 0;
+    for (std::size_t r = 0; r < redraws; ++r) {
+        const auto picks = rng.sampleWithoutReplacement(n, w);
+        double sum = 0.0;
+        for (std::size_t p : picks)
+            sum += d[p];
+        const double mean = sum / static_cast<double>(w);
+        means.add(mean);
+        if (mean > 0.0)
+            ++wins;
+    }
+    est.confidence =
+        static_cast<double>(wins) / static_cast<double>(redraws);
+    est.meanD = means.mean();
+    est.stddevOfMeans = means.stddevPopulation();
+    return est;
+}
+
+} // namespace wsel

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ranked-set sampling and repeated subsampling (docs/SAMPLING.md),
+ * the Ekman-style adaptive methods the ROADMAP names: rank
+ * candidate workloads with a *cheap* approximate model, spend the
+ * detailed-simulation budget on rank-selected workloads, and
+ * re-draw subsamples from cells already simulated to tighten the
+ * confidence estimate without new simulation.
+ *
+ * The ranked-set draw of one workload inspects m random candidates
+ * (the "set"), orders them by the approximate d(w), and keeps one
+ * order statistic; consecutive draws cycle through the m order
+ * statistics, so a full cycle covers every rank stratum once.  The
+ * sample mean stays unbiased for the population mean while its
+ * variance drops by the between-order-statistic spread — the same
+ * reason workload stratification beats random sampling in fig. 6,
+ * but requiring only *relative* cheap-model accuracy, never strata
+ * materialization.
+ */
+
+#ifndef WSEL_CORE_ADAPTIVE_ADAPTIVE_HH
+#define WSEL_CORE_ADAPTIVE_ADAPTIVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/metrics/throughput.hh"
+#include "core/sampling/sampling.hh"
+
+namespace wsel
+{
+
+/**
+ * Cheap per-workload d(w) proxy from per-benchmark IPCs: the
+ * approximate model of the ranked-set pre-pass.  Instead of
+ * simulating the B-over-K workload cross-product, the pre-pass
+ * simulates each benchmark once per policy (homogeneous K-copy
+ * runs, B x 2 cells) and scores any workload by composing those
+ * per-benchmark IPCs through the metric — O(K) per score, no
+ * workload materialization (the caller walks a WorkloadCursor and
+ * passes its benchmark span).
+ */
+class ApproxRanker
+{
+  public:
+    /**
+     * @param m Metric the campaign compares under.
+     * @param ipc_x Per-benchmark IPC under policy X.
+     * @param ipc_y Per-benchmark IPC under policy Y.
+     * @param ref_ipc Per-benchmark single-thread reference IPC
+     *        (speedup metrics; pass 1.0s for IPCT).
+     */
+    ApproxRanker(ThroughputMetric m, std::vector<double> ipc_x,
+                 std::vector<double> ipc_y,
+                 std::vector<double> ref_ipc);
+
+    /**
+     * Approximate d(w) of the workload whose sorted benchmark
+     * multiset is @p benches.  Not thread-safe (scratch reuse).
+     */
+    double score(std::span<const std::uint32_t> benches) const;
+
+    std::size_t numBenchmarks() const { return ipcX_.size(); }
+
+  private:
+    ThroughputMetric metric_;
+    std::vector<double> ipcX_;
+    std::vector<double> ipcY_;
+    std::vector<double> refIpc_;
+    mutable std::vector<double> sx_, sy_, sr_; ///< score scratch
+};
+
+/** Tunables of the ranked-set draw. */
+struct RankedSetConfig
+{
+    /**
+     * Candidates ranked per draw (the paper literature's m).
+     * Larger sets stratify harder but lean more on the cheap
+     * model's ordering; 4-6 is the classical sweet spot.
+     */
+    std::size_t setSize = 5;
+};
+
+/**
+ * Ranked-set sampler over a population list: Sampler-compatible so
+ * fig. 6 compares it head-to-head with the paper's four methods.
+ *
+ * @param d Approximate per-workload difference (the cheap-model
+ *        ranking key), aligned with the population list.
+ */
+std::unique_ptr<Sampler> makeRankedSetSampler(
+    std::span<const double> d,
+    const RankedSetConfig &cfg = RankedSetConfig{});
+
+/**
+ * Repeated-subsampling estimate over already-simulated cells: how
+ * the controller squeezes extra certainty out of cells it has
+ * already paid for.
+ */
+struct SubsampleEstimate
+{
+    /** Fraction of redraws on which the subsample mean d > 0. */
+    double confidence = 0.5;
+
+    /** Mean over redraws of the subsample mean difference. */
+    double meanD = 0.0;
+
+    /** Stddev over redraws of the subsample mean difference. */
+    double stddevOfMeans = 0.0;
+
+    std::size_t subsampleSize = 0;
+    std::size_t redraws = 0;
+};
+
+/**
+ * Re-draw @p redraws subsamples of @p subsample workloads (without
+ * replacement per redraw) from the simulated d(w) values and
+ * measure how often Y leads and how spread the subsample means
+ * are.  No new simulation: the estimate prices what a *smaller*
+ * detailed campaign would have concluded, and its dispersion
+ * cross-checks the analytic eq. 5 stop (docs/SAMPLING.md).
+ */
+SubsampleEstimate repeatedSubsample(std::span<const double> d,
+                                    std::size_t subsample,
+                                    std::size_t redraws, Rng &rng);
+
+} // namespace wsel
+
+#endif // WSEL_CORE_ADAPTIVE_ADAPTIVE_HH

@@ -1,0 +1,136 @@
+#include "core/adaptive/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/confidence/confidence.hh"
+#include "stats/logging.hh"
+#include "stats/persist.hh"
+
+namespace wsel
+{
+
+const char *
+toString(StopReason r)
+{
+    switch (r) {
+    case StopReason::None:
+        return "none";
+    case StopReason::TargetReached:
+        return "target-reached";
+    case StopReason::BudgetExhausted:
+        return "budget-exhausted";
+    case StopReason::PopulationExhausted:
+        return "population-exhausted";
+    case StopReason::WallClock:
+        return "wall-clock";
+    }
+    return "unknown";
+}
+
+SequentialController::SequentialController(
+    const SequentialConfig &cfg, std::uint64_t population_size)
+    : cfg_(cfg), populationSize_(population_size)
+{
+    if (population_size == 0)
+        WSEL_FATAL("sequential controller needs a population");
+    if (cfg_.targetConfidence <= 0.5 || cfg_.targetConfidence >= 1.0)
+        WSEL_FATAL("target confidence " << cfg_.targetConfidence
+                   << " must lie in (0.5, 1)");
+    if (cfg_.minWorkloads < 2)
+        WSEL_FATAL("sequential stopping needs minWorkloads >= 2 "
+                   "(a variance estimate)");
+}
+
+std::uint64_t
+SequentialController::budgetWorkloads() const
+{
+    return cfg_.maxWorkloads == 0
+               ? populationSize_
+               : std::min(cfg_.maxWorkloads, populationSize_);
+}
+
+void
+SequentialController::evaluate()
+{
+    const std::uint64_t n = observed_.count();
+    decision_.workloads = n;
+    decision_.cv = observed_.coefficientOfVariation();
+    // Signed eq. 5: Pr(D >= 0).  > 0.5 means Y leads, < 0.5 means
+    // X leads; the confidence in the *leader* is the larger tail.
+    const double pr_y =
+        modelConfidence(decision_.cv, static_cast<std::size_t>(n));
+    decision_.yWins = pr_y >= 0.5;
+    decision_.confidence = std::max(pr_y, 1.0 - pr_y);
+
+    if (n >= cfg_.minWorkloads &&
+        decision_.confidence >= cfg_.targetConfidence) {
+        decision_.reason = StopReason::TargetReached;
+        return;
+    }
+    if (n >= budgetWorkloads()) {
+        decision_.reason = cfg_.maxWorkloads != 0 &&
+                                   n >= cfg_.maxWorkloads
+                               ? StopReason::BudgetExhausted
+                               : StopReason::PopulationExhausted;
+    }
+}
+
+const SequentialDecision &
+SequentialController::observeBatch(const RunningStats &batch)
+{
+    ++batches_;
+    observed_.merge(batch);
+    if (!decision_.stop())
+        evaluate();
+    return decision_;
+}
+
+const SequentialDecision &
+SequentialController::observeWallClockExpired()
+{
+    if (!decision_.stop()) {
+        decision_.reason = StopReason::WallClock;
+        decision_.workloads = observed_.count();
+    }
+    return decision_;
+}
+
+namespace
+{
+
+std::uint64_t
+scheduleHash(std::uint64_t fingerprint, std::uint64_t seed,
+             std::uint64_t position, std::uint64_t slot)
+{
+    persist::Fnv1a h;
+    h.update("wsel.adaptive.schedule");
+    h.updateU64(fingerprint);
+    h.updateU64(seed);
+    h.updateU64(position);
+    h.updateU64(slot);
+    return h.digest();
+}
+
+} // namespace
+
+std::uint64_t
+adaptiveScheduleRank(std::uint64_t fingerprint, std::uint64_t seed,
+                     std::uint64_t position,
+                     std::uint64_t population)
+{
+    WSEL_ASSERT(population > 0, "empty population in schedule");
+    return scheduleHash(fingerprint, seed, position, 0) % population;
+}
+
+std::uint64_t
+adaptiveCandidateRank(std::uint64_t fingerprint, std::uint64_t seed,
+                      std::uint64_t position, std::uint64_t slot,
+                      std::uint64_t population)
+{
+    WSEL_ASSERT(population > 0, "empty population in schedule");
+    return scheduleHash(fingerprint, seed, position, slot + 1) %
+           population;
+}
+
+} // namespace wsel

@@ -1,6 +1,7 @@
 #include "core/sampling/sampling.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -96,10 +97,19 @@ weightedAllocation(const std::vector<std::size_t> &sizes,
     const std::size_t population =
         std::accumulate(sizes.begin(), sizes.end(),
                         static_cast<std::size_t>(0));
-    if (total > population)
-        WSEL_FATAL("sample of " << total
-                                << " exceeds stratified population of "
-                                << population);
+    if (total > population) {
+        // Without-replacement draws cannot exceed the population;
+        // clamping (instead of fatalling or silently repeating
+        // indices) keeps sweeps that overshoot small populations
+        // meaningful.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("stratified sample of " + std::to_string(total) +
+                 " exceeds the population of " +
+                 std::to_string(population) +
+                 "; clamping (warned once)");
+        total = population;
+    }
     double weight_sum = 0.0;
     for (double w : alloc_weight)
         weight_sum += w;
@@ -600,6 +610,19 @@ empiricalConfidence(const Sampler &sampler, std::size_t size,
         WSEL_FATAL("need at least one draw");
     if (t_x.size() != t_y.size())
         WSEL_FATAL("X and Y throughput vectors differ in length");
+    if (size > t_x.size()) {
+        // A without-replacement sampler cannot honour more draws
+        // than the population holds; clamp (once, loudly) so size
+        // sweeps that overshoot a small population degrade to the
+        // full-population answer instead of dying or repeating.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("empirical confidence asked for samples of " +
+                 std::to_string(size) + " from a population of " +
+                 std::to_string(t_x.size()) +
+                 "; clamping (warned once)");
+        size = t_x.size();
+    }
     // One Sample and one scratch for the whole experiment: at the
     // paper's 10^4 draws the per-draw allocations of draw() +
     // sampleThroughput() dominate the loop (bench/

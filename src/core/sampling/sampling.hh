@@ -257,7 +257,9 @@ class StreamedWorkloadStrata
  * Experimental degree of confidence (paper §V-A/§VI): the fraction
  * of @p draws samples of size @p size on which Y's sample
  * throughput exceeds X's. X and Y are evaluated on the same drawn
- * workloads (paired simulation, as in the paper).
+ * workloads (paired simulation, as in the paper).  A @p size larger
+ * than the population is clamped to it (warned once), as are
+ * stratified draws whose total exceeds the strata.
  */
 double empiricalConfidence(const Sampler &sampler, std::size_t size,
                            std::size_t draws, ThroughputMetric m,

@@ -153,8 +153,14 @@ constexpr CatalogEntry kCatalog[] = {
     {"serve.shards_quarantined", 'c'},
     {"serve.dedup_hits", 'c'},
     {"serve.duplicate_completions", 'c'},
+    {"serve.campaigns_stopped", 'c'},
     {"serve.workers_active", 'g'},
     {"serve.lease_ns", 'h'},
+    {"adaptive.batches", 'c'},
+    {"adaptive.cells", 'c'},
+    {"adaptive.cells_resumed", 'c'},
+    {"adaptive.cells_saved", 'c'},
+    {"adaptive.confidence", 'g'},
     {"log.warns", 'c'},
     {"trace.dropped", 'c'},
 };

@@ -117,6 +117,13 @@ Coordinator::finalize(std::uint64_t id, Campaign &c)
     if (c.table->succeeded()) {
         ResultStore::commitManifest(c.dir, c.ctx->manifest());
         c.state = CampaignState::Done;
+    } else if (c.table->halted()) {
+        // A client Stop: no manifest (the campaign is partial),
+        // but every completed shard stays in the store for dedup.
+        c.state = CampaignState::Stopped;
+        c.message = "stopped by client after " +
+                    std::to_string(c.table->doneCount()) + "/" +
+                    std::to_string(c.table->shards()) + " shard(s)";
     } else {
         c.state = CampaignState::Failed;
         c.message = std::to_string(c.table->quarantinedCount()) +
@@ -334,6 +341,44 @@ Coordinator::handleFrame(Conn &conn, const Frame &f)
         WireWriter w;
         w.str(obs::metricsSnapshot().toJson());
         return sendFrame(conn.fd.get(), MsgType::MetricsReply,
+                         w.bytes());
+    }
+    case MsgType::StopReq: {
+        WireReader r(f.body);
+        const std::uint64_t cid = r.u64();
+        r.expectEnd();
+        WireWriter w;
+        auto it = campaigns_.find(cid);
+        if (it == campaigns_.end()) {
+            w.u8(0);
+            w.str("unknown campaign " + std::to_string(cid));
+        } else if (it->second.state == CampaignState::Queued) {
+            Campaign &c = it->second;
+            std::erase(queue_, cid);
+            c.state = CampaignState::Stopped;
+            c.message = "stopped before activation";
+            obs::counter("serve.campaigns_stopped").inc();
+            w.u8(1);
+            w.str(c.message);
+        } else if (it->second.state == CampaignState::Running) {
+            Campaign &c = it->second;
+            // Stop granting leases; in-flight shards finish and
+            // their results stay in the store, so a later
+            // re-submission dedups everything already paid for.
+            c.table->halt();
+            obs::counter("serve.campaigns_stopped").inc();
+            w.u8(1);
+            w.str("halting; " +
+                  std::to_string(c.table->activeLeases()) +
+                  " lease(s) in flight will finish");
+            if (c.table->finished())
+                finalize(cid, c);
+        } else {
+            w.u8(0);
+            w.str("campaign already " +
+                  std::string(toString(it->second.state)));
+        }
+        return sendFrame(conn.fd.get(), MsgType::StopReply,
                          w.bytes());
     }
     default:

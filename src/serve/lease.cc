@@ -17,6 +17,8 @@ std::optional<LeaseGrant>
 LeaseTable::acquire(LeaseClock::time_point now,
                     std::int64_t workerPid)
 {
+    if (halted_)
+        return std::nullopt;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         Shard &s = shards_[i];
         if (s.state != ShardState::Pending || now < s.notBefore)
@@ -149,6 +151,12 @@ LeaseTable::extendAll(LeaseClock::duration stall)
     for (Shard &s : shards_)
         if (s.state == ShardState::Pending)
             s.notBefore += stall;
+}
+
+void
+LeaseTable::halt()
+{
+    halted_ = true;
 }
 
 std::optional<LeaseClock::time_point>

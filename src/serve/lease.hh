@@ -148,6 +148,16 @@ class LeaseTable
     void extendAll(LeaseClock::duration stall);
 
     /**
+     * Halt the campaign: stop granting new leases and let the
+     * in-flight ones finish (their completions still commit, so
+     * nothing already paid for is thrown away).  Idempotent.
+     * finished() becomes true once the last active lease resolves.
+     */
+    void halt();
+
+    bool halted() const { return halted_; }
+
+    /**
      * Earliest instant at which expire()/acquire() could change
      * state (a lease deadline or a backoff expiry); nullopt when
      * nothing is time-driven.  Drives the poll() timeout.
@@ -161,7 +171,8 @@ class LeaseTable
     std::uint64_t activeLeases() const { return leases_.size(); }
     bool finished() const
     {
-        return done_ + quarantined_ == shards_.size();
+        return done_ + quarantined_ == shards_.size() ||
+               (halted_ && leases_.empty());
     }
     /** True when every shard completed (none poisoned). */
     bool succeeded() const
@@ -194,6 +205,7 @@ class LeaseTable
     std::uint64_t nextLeaseId_ = 1;
     std::uint64_t done_ = 0;
     std::uint64_t quarantined_ = 0;
+    bool halted_ = false;
 };
 
 } // namespace wsel::serve

@@ -49,6 +49,8 @@ toString(CampaignState s)
         return "done";
     case CampaignState::Failed:
         return "failed";
+    case CampaignState::Stopped:
+        return "stopped";
     case CampaignState::Unknown:
         break;
     }
@@ -497,6 +499,23 @@ Client::metricsJson()
     return json;
 }
 
+std::string
+Client::stop(std::uint64_t id)
+{
+    WireWriter w;
+    w.u64(id);
+    const Frame f = roundTrip(MsgType::StopReq, w.bytes(),
+                              MsgType::StopReply);
+    WireReader r(f.body);
+    const bool ok = r.u8() != 0;
+    std::string message = r.str();
+    r.expectEnd();
+    if (!ok)
+        WSEL_FATAL("cannot stop campaign " << id << ": "
+                   << message);
+    return message;
+}
+
 StatusMsg
 Client::waitFinished(std::uint64_t id, int poll_ms, int timeout_ms)
 {
@@ -505,7 +524,8 @@ Client::waitFinished(std::uint64_t id, int poll_ms, int timeout_ms)
     for (;;) {
         const StatusMsg s = status(id);
         if (s.state == CampaignState::Done ||
-            s.state == CampaignState::Failed)
+            s.state == CampaignState::Failed ||
+            s.state == CampaignState::Stopped)
             return s;
         if (s.state == CampaignState::Unknown)
             WSEL_FATAL("campaign " << id

@@ -75,6 +75,8 @@ enum class MsgType : std::uint8_t
     StatusReply,      ///< StatusMsg
     MetricsReq,       ///< {}
     MetricsReply,     ///< {str json}
+    StopReq,          ///< {u64 campaignId}: halt, keep done shards
+    StopReply,        ///< {u8 ok, str message}
 };
 
 /**
@@ -114,6 +116,7 @@ enum class CampaignState : std::uint8_t
     Running,
     Done,
     Failed,
+    Stopped, ///< halted by a client Stop; done shards are kept
     Unknown,
 };
 
@@ -309,8 +312,17 @@ class Client
     std::string metricsJson();
 
     /**
-     * Poll status until Done or Failed (or @p timeout_ms elapses:
-     * FatalError).  Returns the final status.
+     * Ask the daemon to halt campaign @p id: a queued campaign is
+     * dropped immediately, a running one stops granting leases and
+     * lets in-flight shards finish (their results are kept in the
+     * store).  Returns the daemon's acknowledgement message;
+     * throws FatalError when the id is unknown or already final.
+     */
+    std::string stop(std::uint64_t id);
+
+    /**
+     * Poll status until Done, Failed or Stopped (or @p timeout_ms
+     * elapses: FatalError).  Returns the final status.
      */
     StatusMsg waitFinished(std::uint64_t id, int poll_ms = 50,
                            int timeout_ms = 600000);

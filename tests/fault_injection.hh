@@ -22,6 +22,8 @@
  *    write-tmp-then-rename sequence;
  *  - "population.cell": one (row, policy) cell of a population
  *    shard simulated (src/sim/population.cc);
+ *  - "adaptive.cell": one (workload, policy) cell of a sequential
+ *    adaptive batch simulated (src/sim/adaptive.cc);
  *  - "serve.shard-start" / "serve.shard-committed": a worker
  *    process accepted a shard lease / durably committed the shard
  *    to the result store (src/serve/worker.cc).

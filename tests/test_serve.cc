@@ -136,6 +136,38 @@ TEST(LeaseTableTest, DuplicateCompletionIsIdempotent)
     EXPECT_EQ(t.doneCount(), 1u);
 }
 
+TEST(LeaseTableTest, HaltStopsNewLeasesButDrainsInFlight)
+{
+    LeaseTable t(3, fastOpts());
+    const auto t0 = LeaseClock::now();
+    const auto g = t.acquire(t0);
+    ASSERT_TRUE(g);
+    t.halt();
+    EXPECT_TRUE(t.halted());
+    // No new work after a halt, even with shards still pending.
+    EXPECT_FALSE(t.acquire(t0));
+    // The in-flight lease keeps its deadline and still commits.
+    EXPECT_FALSE(t.finished());
+    EXPECT_TRUE(t.heartbeat(g->leaseId, t0 + 50ms));
+    EXPECT_EQ(t.complete(g->leaseId, g->shard),
+              CompleteResult::Committed);
+    EXPECT_EQ(t.doneCount(), 1u);
+    // Finished once the last lease drains, without the other two
+    // shards ever running; the partial result is not a success.
+    EXPECT_TRUE(t.finished());
+    EXPECT_FALSE(t.succeeded());
+}
+
+TEST(LeaseTableTest, HaltWithNoLeasesFinishesImmediately)
+{
+    LeaseTable t(2, fastOpts());
+    EXPECT_FALSE(t.finished());
+    t.halt();
+    EXPECT_TRUE(t.finished());
+    EXPECT_FALSE(t.succeeded());
+    EXPECT_EQ(t.doneCount(), 0u);
+}
+
 TEST(LeaseTableTest, WrongShardReportRequeuesHeldShard)
 {
     LeaseTable t(2, fastOpts());
@@ -899,6 +931,64 @@ TEST_F(ServeDistributedTest, PoisonShardQuarantinedCampaignFails)
         EXPECT_TRUE(fs::exists(persist::v3ShardPath(st.dir, s)))
             << "shard " << s;
     EXPECT_FALSE(fs::exists(persist::v3ShardPath(st.dir, 2)));
+
+    service.stop();
+    expectClean(w);
+}
+
+TEST_F(ServeDistributedTest, StopHaltsCampaignAndKeepsPaidShards)
+{
+    const serve::CampaignSpec spec = tinySpec();
+    Service service(coordinatorOptions());
+    serve::Client client(socket_);
+
+    // Stopping an unknown campaign is rejected.
+    EXPECT_THROW(client.stop(999), FatalError);
+
+    // First campaign activates; an identical second one queues
+    // behind it.  Stopping the queued one drops it before any
+    // worker ever sees it.
+    const std::uint64_t a = client.submit(spec);
+    const std::uint64_t b = client.submit(spec);
+    EXPECT_NE(client.stop(b).find("before activation"),
+              std::string::npos);
+    EXPECT_EQ(client.status(b).state,
+              serve::CampaignState::Stopped);
+
+    // A worker that dies right after committing its first shard
+    // leaves one paid-for shard file in the store while the
+    // campaign keeps running.
+    expectKilled(
+        spawnWorker({"WSEL_KILL_POINT=serve.shard-committed:1"}));
+
+    // Stop the running campaign: no leases are in flight (the
+    // victim's died with it), so it finalizes as Stopped, keeping
+    // the committed shard.
+    client.stop(a);
+    const serve::StatusMsg sta = client.waitFinished(a);
+    EXPECT_EQ(sta.state, serve::CampaignState::Stopped)
+        << sta.message;
+    EXPECT_NE(sta.message.find("stopped by client"),
+              std::string::npos)
+        << sta.message;
+    EXPECT_FALSE(serve::ResultStore::isComplete(sta.dir));
+    EXPECT_TRUE(fs::exists(persist::v3ShardPath(sta.dir, 0)));
+
+    // A final campaign cannot be stopped again.
+    EXPECT_THROW(client.stop(a), FatalError);
+
+    // Resubmitting dedups the shard the stopped run already paid
+    // for and completes the campaign.
+    const pid_t w = spawnWorker();
+    const serve::StatusMsg st =
+        client.waitFinished(client.submit(spec));
+    EXPECT_EQ(st.state, serve::CampaignState::Done) << st.message;
+    EXPECT_EQ(st.dir, sta.dir);
+    EXPECT_GE(st.shardsDeduped, 1u);
+
+    EXPECT_GE(counterValue(client.metricsJson(),
+                           "serve.campaigns_stopped"),
+              2.0);
 
     service.stop();
     expectClean(w);

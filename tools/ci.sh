@@ -23,7 +23,10 @@
 # Every sanitizer preset also runs a capped `wsel_cli population`
 # smoke, exercising the streamed campaign_v3 writer, the parallel
 # shard runner, and the one-pass statistics under asan/ubsan and
-# tsan.
+# tsan, plus a `wsel_cli adaptive` smoke (sequential stopping rule
+# with a resume pass, docs/SAMPLING.md); the release leg archives
+# the adaptive-vs-fixed cell counts to
+# build-release/BENCH_adaptive.json.
 #
 # Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
 #        tsan)
@@ -60,6 +63,25 @@ for preset in $presets; do
         test -s "$popdir/pop.v3/manifest.bin"
         rm -rf "$popdir"
         echo "==> population smoke passed under $preset"
+
+        # Adaptive sequential campaign smoke (docs/SAMPLING.md):
+        # live stopping rule, batch artifacts and a resume of the
+        # finished run, all under the sanitizer.
+        echo "==> adaptive smoke: $preset"
+        adadir="$bindir/adaptive-smoke"
+        rm -rf "$adadir"
+        WSEL_CACHE_DIR="$adadir/cache" \
+            "./$bindir/tools/wsel_cli" adaptive \
+            --out "$adadir/run" \
+            --insns 5000 --cores 2 --batch 16 --budget 64 --jobs 4
+        test -s "$adadir/run/adaptive.bin"
+        WSEL_CACHE_DIR="$adadir/cache" \
+            "./$bindir/tools/wsel_cli" adaptive \
+            --out "$adadir/run" \
+            --insns 5000 --cores 2 --batch 16 --budget 64 --jobs 4 \
+            --resume 1
+        rm -rf "$adadir"
+        echo "==> adaptive smoke passed under $preset"
 
         # Distributed campaign smoke (docs/ROBUSTNESS.md): a
         # wsel_serve daemon, four workers — one of which SIGKILLs
@@ -140,6 +162,15 @@ for preset in $presets; do
         test -s "build-release/BENCH_population.json"
         rm -rf "$smoke/cache"
         echo "==> bench archived in build-release/BENCH_population.json"
+
+        echo "==> adaptive stopping bench: $preset"
+        WSEL_CACHE_DIR="$smoke/cache" \
+        WSEL_INSNS=20000 \
+        WSEL_BENCH_JSON="build-release/BENCH_adaptive.json" \
+            ./build-release/bench/adaptive_stopping
+        test -s "build-release/BENCH_adaptive.json"
+        rm -rf "$smoke/cache"
+        echo "==> bench archived in build-release/BENCH_adaptive.json"
 
         echo "==> serve scaling bench: $preset"
         WSEL_CACHE_DIR="$smoke/cache" \

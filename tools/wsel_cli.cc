@@ -38,13 +38,30 @@
  *       the crash-resilient campaign service: an in-process
  *       coordinator leases shards to N spawned wsel_worker
  *       processes and --out is the content-addressed result-store
- *       root (docs/ROBUSTNESS.md, "Distributed campaigns")
+ *       root (docs/ROBUSTNESS.md, "Distributed campaigns");
+ *       with --sequential 1 (and --policies Y,X) the campaign is
+ *       driven by the adaptive stopping rule instead of the full
+ *       population (equivalent to the adaptive command below)
+ *   wsel_cli adaptive --out DIR [--x POL --y POL] [--metric M]
+ *       [--cores K] [--insns N] [--target C] [--budget W]
+ *       [--min W] [--batch W] [--jobs N]
+ *       [--method random|ranked-set] [--set-size M] [--redraws N]
+ *       [--wall-clock SECS] [--resume 0|1] [--seed S]
+ *       sequential campaign: simulate deterministic batches of W
+ *       workloads and stop when the eq. 5 confidence in the
+ *       leading policy crosses the target (default 0.977) or the
+ *       budget runs out (docs/SAMPLING.md); --method ranked-set
+ *       spends a cheap 2B-cell pre-pass to rank candidates; an
+ *       interrupted run resumes bitwise identically (--resume 0
+ *       restarts)
  *   wsel_cli serve submit --socket PATH [--wait 0|1]
  *       [campaign options as for population]
  *       submit a campaign to a running wsel_serve daemon and (by
  *       default) wait for it; serve status --socket PATH --id N
  *       polls one campaign, serve metrics --socket PATH dumps the
- *       daemon's metrics snapshot as JSON
+ *       daemon's metrics snapshot as JSON, and serve stop
+ *       --socket PATH --id N halts a queued or running campaign
+ *       (in-flight shards finish and stay in the store for dedup)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -85,6 +102,7 @@
 #include "serve/coordinator.hh"
 #include "serve/protocol.hh"
 #include "serve/spawn.hh"
+#include "sim/adaptive.hh"
 #include "sim/campaign.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
@@ -141,6 +159,14 @@ class Args
   private:
     std::map<std::string, std::string> kv_;
 };
+
+double
+argF64(const Args &args, const std::string &key, double def)
+{
+    return args.has(key)
+               ? std::strtod(args.get(key, "").c_str(), nullptr)
+               : def;
+}
 
 std::vector<PolicyKind>
 parsePolicyList(const std::string &s)
@@ -424,7 +450,7 @@ cmdServe(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(stderr,
                      "usage: wsel_cli serve <submit|status|"
-                     "metrics> --socket PATH ...\n");
+                     "metrics|stop> --socket PATH ...\n");
         return 2;
     }
     const std::string sub = argv[2];
@@ -456,14 +482,132 @@ cmdServe(int argc, char **argv)
         std::printf("%s\n", client.metricsJson().c_str());
         return 0;
     }
+    if (sub == "stop") {
+        if (!args.has("id"))
+            WSEL_FATAL("serve stop requires --id N");
+        const std::uint64_t id = args.getU64("id", 0);
+        const std::string msg = client.stop(id);
+        std::printf("campaign %llu: %s\n",
+                    static_cast<unsigned long long>(id),
+                    msg.c_str());
+        if (args.getU64("wait", 0) != 0)
+            printServeStatus(id, client.waitFinished(id));
+        return 0;
+    }
     std::fprintf(stderr, "unknown serve subcommand '%s'\n",
                  sub.c_str());
     return 2;
 }
 
+/**
+ * `adaptive` (and `population --sequential 1`): drive the campaign
+ * by the live stopping rule instead of a fixed cell count
+ * (docs/SAMPLING.md).
+ */
+int
+cmdAdaptive(const Args &args)
+{
+    setupObs(args);
+    if (!args.has("out"))
+        WSEL_FATAL("adaptive requires --out DIR");
+    const std::string out = args.get("out", "");
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const ThroughputMetric metric =
+        parseMetric(args.get("metric", "IPCT"));
+
+    // Either --x/--y, or the population command's --policies Y,X
+    // (oriented as its pair labels: "first outperforms second").
+    PolicyKind x = PolicyKind::FIFO;
+    PolicyKind y = PolicyKind::LRU;
+    if (args.has("policies")) {
+        const auto pol =
+            parsePolicyList(args.get("policies", ""));
+        if (pol.size() != 2)
+            WSEL_FATAL("a sequential campaign compares exactly two "
+                       "policies (--policies Y,X; got "
+                       << pol.size() << ")");
+        y = pol[0];
+        x = pol[1];
+    } else {
+        x = parsePolicyKind(args.get("x", "FIFO"));
+        y = parsePolicyKind(args.get("y", "LRU"));
+    }
+
+    const auto &suite = spec2006Suite();
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+
+    AdaptiveOptions opts;
+    opts.seed = args.getU64("seed", 1);
+    opts.jobs = static_cast<std::size_t>(args.getU64("jobs", 0));
+    opts.batchWorkloads = args.getU64("batch", 64);
+    opts.stop.targetConfidence = argF64(args, "target", 0.977);
+    opts.stop.minWorkloads = args.getU64("min", 32);
+    opts.stop.maxWorkloads = args.getU64("budget", 0);
+    opts.wallClockBudget = argF64(args, "wall-clock", 0.0);
+    opts.method =
+        parseAdaptiveMethod(args.get("method", "random"));
+    opts.setSize =
+        static_cast<std::size_t>(args.getU64("set-size", 5));
+    opts.subsampleRedraws =
+        static_cast<std::size_t>(args.getU64("redraws", 256));
+    opts.resume = args.getU64("resume", 1) != 0;
+    opts.verbose = args.getU64("verbose", 0) != 0;
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, insns, ucfg.llcHitLatency,
+                          defaultCacheDir());
+
+    std::printf("adaptive campaign: %s vs %s (%s, %u cores, "
+                "population %llu, method %s, target %.3f) -> %s\n",
+                toString(y).c_str(), toString(x).c_str(),
+                toString(metric).c_str(), cores,
+                static_cast<unsigned long long>(pop.size()),
+                toString(opts.method), opts.stop.targetConfidence,
+                out.c_str());
+
+    const AdaptiveResult r = runAdaptiveCampaign(
+        pop, x, y, metric, insns, store, suite, out, opts);
+
+    const std::string winner =
+        r.verdict.yWins ? toString(y) : toString(x);
+    std::printf("\nstopped: %s after %llu workloads "
+                "(%llu batches)\n",
+                toString(r.verdict.reason),
+                static_cast<unsigned long long>(
+                    r.verdict.workloads),
+                static_cast<unsigned long long>(
+                    r.decision.batches));
+    std::printf("verdict: %s leads with confidence %.4f "
+                "(cv %.3f, mean d %+.6f)\n",
+                winner.c_str(), r.verdict.confidence, r.verdict.cv,
+                r.d.mean());
+    if (r.subsample.redraws > 0)
+        std::printf("subsample cross-check: %zu redraws of %zu -> "
+                    "win rate %.4f, sigma of means %.6f\n",
+                    r.subsample.redraws, r.subsample.subsampleSize,
+                    r.subsample.confidence,
+                    r.subsample.stddevOfMeans);
+    std::printf("cells: %llu simulated (%llu resumed, %llu "
+                "pre-pass), %llu of the %llu-workload budget "
+                "saved\n",
+                static_cast<unsigned long long>(r.cellsSimulated),
+                static_cast<unsigned long long>(r.cellsResumed),
+                static_cast<unsigned long long>(r.prepassCells),
+                static_cast<unsigned long long>(r.cellsSaved()),
+                static_cast<unsigned long long>(
+                    r.budgetWorkloads));
+    return 0;
+}
+
 int
 cmdPopulation(const Args &args)
 {
+    if (args.getU64("sequential", 0) != 0)
+        return cmdAdaptive(args);
     if (args.has("distributed"))
         return cmdPopulationDistributed(args);
     setupObs(args);
@@ -876,9 +1020,55 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: wsel_cli <characterize|campaign|population|analyze|"
-        "select|confidence|simulate|report|cache|serve> "
-        "[--options]\n"
+        "usage: wsel_cli <command> [--options]\n"
+        "\n"
+        "commands:\n"
+        "  characterize [--cores K] [--insns N] [--jobs N]\n"
+        "      per-benchmark features and Table-IV classes\n"
+        "  campaign --out FILE [--cores K] [--insns N]\n"
+        "      [--policies LRU,DIP,...] [--limit N] [--resume 0|1]\n"
+        "      [--jobs N]\n"
+        "      BADCO campaign saved as CSV, checkpointed to\n"
+        "      FILE.partial\n"
+        "  population --out DIR [--cores K] [--insns N]\n"
+        "      [--policies LRU,...] [--shard-size CELLS]\n"
+        "      [--jobs N] [--first R] [--last R|--limit N]\n"
+        "      [--resume 0|1] [--metric IPCT|WSU|HSU|GSU]\n"
+        "      [--distributed N] [--sequential 1] [--verbose 1]\n"
+        "      full-population campaign into a sharded campaign_v3\n"
+        "      dir; --distributed N leases shards to N spawned\n"
+        "      wsel_worker processes with --out as the result-store\n"
+        "      root (docs/ROBUSTNESS.md); --sequential 1 runs the\n"
+        "      adaptive stopping rule instead (--policies Y,X;\n"
+        "      docs/SAMPLING.md)\n"
+        "  adaptive --out DIR [--x POL --y POL] [--metric M]\n"
+        "      [--cores K] [--insns N] [--target C] [--budget W]\n"
+        "      [--min W] [--batch W] [--jobs N]\n"
+        "      [--method random|ranked-set] [--set-size M]\n"
+        "      [--redraws N] [--wall-clock SECS] [--resume 0|1]\n"
+        "      sequential campaign that stops at target confidence\n"
+        "      (docs/SAMPLING.md); resumable bitwise-identically\n"
+        "  serve <submit|status|metrics|stop> --socket PATH\n"
+        "      [--id N] [--wait 0|1] [campaign options]\n"
+        "      talk to a wsel_serve daemon; stop halts a campaign,\n"
+        "      keeping finished shards in the store\n"
+        "  analyze --campaign FILE --x POL --y POL [--metric M]\n"
+        "      cv, 1/cv, eq. 8 sample size, regime, CI estimates\n"
+        "  select --campaign FILE --x POL --y POL --size W\n"
+        "      [--method random|balanced|bench|workload]\n"
+        "      emit a workload sample for a detailed simulator\n"
+        "  confidence --campaign FILE --x POL --y POL --size W\n"
+        "      [--draws D]\n"
+        "      model vs empirical confidence at one sample size\n"
+        "  simulate --workload b1+b2+... [--policy LRU] [--insns N]\n"
+        "  report --campaign FILE --out FILE.md\n"
+        "  cache verify [--dir DIR] [--quarantine 0|1]\n"
+        "\n"
+        "common options: --jobs N (0 = $WSEL_JOBS, else hardware),\n"
+        "  --metrics-out FILE, --trace-out FILE, --trace-mem MIB\n"
+        "environment: WSEL_JOBS, WSEL_METRICS, WSEL_TRACE,\n"
+        "  WSEL_TRACE_MEM, WSEL_CACHE_DIR; bench binaries write a\n"
+        "  machine-readable summary to $WSEL_BENCH_JSON\n"
         "see the file header of tools/wsel_cli.cc for details\n");
     return 2;
 }
@@ -887,6 +1077,10 @@ int
 dispatch(int argc, char **argv)
 {
     const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
     if (cmd == "cache")
         return cmdCache(argc, argv);
     if (cmd == "serve")
@@ -898,6 +1092,8 @@ dispatch(int argc, char **argv)
         return cmdCampaign(args);
     if (cmd == "population")
         return cmdPopulation(args);
+    if (cmd == "adaptive")
+        return cmdAdaptive(args);
     if (cmd == "analyze")
         return cmdAnalyze(args);
     if (cmd == "select")
