@@ -6,15 +6,20 @@
  * statistics: average/max CPI error per core count and the average
  * speedup error across replacement policies (the paper: CPI error
  * 4.6/4.0/4.1 %, speedup error 0.66/0.61/1.43 %, max error < 22%).
+ *
+ * The comparison math lives in fidelity/calibrate.hh
+ * (fidelity::compareCampaigns) and is shared with the mixed-
+ * fidelity layer, which seeds its ErrorProfile from exactly this
+ * detailed-vs-BADCO harness (docs/FIDELITY.md).
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hh"
+#include "fidelity/calibrate.hh"
 #include "sim/model_store.hh"
 #include "sim/multicore.hh"
-#include "stats/summary.hh"
 
 int
 main()
@@ -31,87 +36,51 @@ main()
         const Campaign det = detailedSampleCampaign(cores);
 
         // Re-simulate the same workloads with BADCO.
-        const std::uint64_t t0 = target;
         const UncoreConfig u0 =
             UncoreConfig::forCores(cores, PolicyKind::LRU);
-        BadcoModelStore store(CoreConfig{}, t0, u0.llcHitLatency,
+        BadcoModelStore store(CoreConfig{}, target, u0.llcHitLatency,
                               defaultCacheDir());
         CampaignOptions opts;
         const std::string key =
             "badco_on_detailed_sample_k" + std::to_string(cores) +
             "_n" + std::to_string(det.workloads.size()) + "_u" +
-            std::to_string(t0);
+            std::to_string(target);
         const std::uint64_t fp = campaignFingerprint(
-            "badco", cores, t0, det.policies, suite);
+            "badco", cores, target, det.policies, suite);
         const Campaign bad = cachedCampaign(
             key, fp, [&](const std::string &journal) {
                 opts.journalPath = journal;
                 return runBadcoCampaign(det.workloads, det.policies,
-                                        cores, t0, store, suite,
+                                        cores, target, store, suite,
                                         opts);
             });
 
-        // CPI scatter for the LRU baseline (the paper plots one
-        // point per benchmark per combination).
-        RunningStats err;
-        double max_err = 0.0;
-        const std::size_t p_lru = det.policyIndex(PolicyKind::LRU);
-        for (std::size_t w = 0; w < det.workloads.size(); ++w) {
-            for (std::size_t k = 0; k < cores; ++k) {
-                const double cpi_d = 1.0 / det.ipc[p_lru][w][k];
-                const double cpi_b = 1.0 / bad.ipc[p_lru][w][k];
-                const double e = (cpi_b - cpi_d) / cpi_d;
-                err.add(std::abs(e));
-                max_err = std::max(max_err, std::abs(e));
-            }
-        }
-
-        // Speedup error: per policy pair vs LRU, compare the two
-        // simulators' mean speedups.
-        RunningStats sp_err;
-        for (PolicyKind pol :
-             {PolicyKind::Random, PolicyKind::FIFO, PolicyKind::DIP,
-              PolicyKind::DRRIP}) {
-            const std::size_t p = det.policyIndex(pol);
-            RunningStats sd, sb;
-            for (std::size_t w = 0; w < det.workloads.size(); ++w) {
-                for (std::size_t k = 0; k < cores; ++k) {
-                    sd.add(det.ipc[p][w][k] /
-                           det.ipc[p_lru][w][k]);
-                    sb.add(bad.ipc[p][w][k] /
-                           bad.ipc[p_lru][w][k]);
-                }
-            }
-            sp_err.add(std::abs(sb.mean() - sd.mean()) / sd.mean());
-        }
+        // The paper's CPI-error and speedup-error summary, shared
+        // with the error-model calibration pass.
+        const fidelity::CalibrationStats st =
+            fidelity::compareCampaigns(det, bad);
 
         std::printf("%u cores (%zu workloads): avg |CPI error| = "
                     "%.2f%%  max = %.1f%%  avg speedup error = "
                     "%.2f%%\n",
-                    cores, det.workloads.size(), 100.0 * err.mean(),
-                    100.0 * max_err, 100.0 * sp_err.mean());
+                    cores, det.workloads.size(),
+                    100.0 * st.cpiErr.mean(), 100.0 * st.maxCpiErr,
+                    100.0 * st.speedupErr.mean());
 
         // Compact scatter: CPI_detailed vs CPI_badco percentiles.
-        std::vector<double> cpi_d_all, ratio;
-        for (std::size_t w = 0; w < det.workloads.size(); ++w) {
-            for (std::size_t k = 0; k < cores; ++k) {
-                const double cd = 1.0 / det.ipc[p_lru][w][k];
-                const double cb = 1.0 / bad.ipc[p_lru][w][k];
-                cpi_d_all.push_back(cd);
-                ratio.push_back(cb / cd);
-            }
-        }
-        std::vector<double> cpi_b_all;
-        for (std::size_t i = 0; i < cpi_d_all.size(); ++i)
-            cpi_b_all.push_back(cpi_d_all[i] * ratio[i]);
+        std::vector<double> ratio;
+        ratio.reserve(st.cpiDetailed.size());
+        for (std::size_t i = 0; i < st.cpiDetailed.size(); ++i)
+            ratio.push_back(st.cpiBadco[i] / st.cpiDetailed[i]);
         std::printf("  CPI (detailed) p10/p50/p90: %.2f / %.2f / "
                     "%.2f   badco/detailed ratio p10/p50/p90: "
                     "%.2f / %.2f / %.2f   corr(CPI) = %.3f\n",
-                    quantile(cpi_d_all, 0.1),
-                    quantile(cpi_d_all, 0.5),
-                    quantile(cpi_d_all, 0.9), quantile(ratio, 0.1),
-                    quantile(ratio, 0.5), quantile(ratio, 0.9),
-                    pearsonCorrelation(cpi_d_all, cpi_b_all));
+                    quantile(st.cpiDetailed, 0.1),
+                    quantile(st.cpiDetailed, 0.5),
+                    quantile(st.cpiDetailed, 0.9),
+                    quantile(ratio, 0.1), quantile(ratio, 0.5),
+                    quantile(ratio, 0.9),
+                    pearsonCorrelation(st.cpiDetailed, st.cpiBadco));
     }
     std::printf("\npaper: avg CPI error 4.59/3.98/4.09%% for 2/4/8 "
                 "cores, max < 22%%;\nspeedup error 0.66/0.61/1.43%%."

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * BADCO-vs-detailed calibration (docs/FIDELITY.md).
+ *
+ * One implementation of the fig2 accuracy comparison, shared by
+ * bench/fig2_cpi_accuracy.cc (the paper figure) and the mixed-
+ * fidelity layer (seeding an ErrorProfile before the first hybrid
+ * campaign): compareCampaigns computes the paper's CPI-error and
+ * speedup-error summary over two same-shape campaigns, and
+ * calibrateProfile streams every cell's per-benchmark relative IPC
+ * error into an ErrorProfile.
+ */
+
+#ifndef WSEL_FIDELITY_CALIBRATE_HH
+#define WSEL_FIDELITY_CALIBRATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fidelity/error_profile.hh"
+#include "sim/campaign.hh"
+#include "stats/summary.hh"
+
+namespace wsel::fidelity
+{
+
+/** Fig. 2 summary of a detailed-vs-BADCO campaign pair. */
+struct CalibrationStats
+{
+    RunningStats cpiErr; ///< |relative CPI error|, LRU baseline
+    double maxCpiErr = 0.0;
+    RunningStats speedupErr; ///< per-policy mean-speedup error
+    std::vector<double> cpiDetailed; ///< LRU scatter, detailed
+    std::vector<double> cpiBadco;    ///< LRU scatter, BADCO
+};
+
+/**
+ * Fig. 2 comparison of two campaigns over the same workloads and
+ * policies; fatal when the shapes disagree.  @p det must be the
+ * detailed (ground-truth) campaign.
+ */
+CalibrationStats compareCampaigns(const Campaign &det,
+                                  const Campaign &bad);
+
+/**
+ * Stream every cell of the campaign pair into @p profile: for each
+ * policy, workload and core, record the (badco, detailed) IPC pair
+ * under the benchmark running on that core.
+ */
+void calibrateProfile(ErrorProfile &profile, const Campaign &det,
+                      const Campaign &bad);
+
+/** A matched detailed/BADCO campaign pair for calibration. */
+struct CalibrationCampaigns
+{
+    Campaign detailed;
+    Campaign badco;
+};
+
+/**
+ * Build (or load from the campaign cache) a matched campaign pair
+ * over @p workloads uniformly sampled rows of the @p cores -core
+ * population — the fig2 harness as a library call.  Results are
+ * cached under @p cache_dir via cachedCampaign, so repeated
+ * calibrations are free.
+ */
+CalibrationCampaigns runCalibrationCampaigns(
+    std::uint32_t cores, std::uint64_t target_uops,
+    std::size_t workloads, std::uint64_t seed,
+    const std::vector<BenchmarkProfile> &suite,
+    const std::vector<PolicyKind> &policies,
+    const std::string &cache_dir, std::size_t jobs = 1,
+    bool verbose = false);
+
+/**
+ * Seed a fresh ErrorProfile for @p suite from a calibration pair
+ * (runCalibrationCampaigns + calibrateProfile in one call).
+ */
+ErrorProfile calibrateErrorProfile(
+    std::uint32_t cores, std::uint64_t target_uops,
+    std::size_t workloads, std::uint64_t seed,
+    const std::vector<BenchmarkProfile> &suite,
+    const std::vector<PolicyKind> &policies,
+    const std::string &cache_dir, std::size_t jobs = 1,
+    bool verbose = false);
+
+} // namespace wsel::fidelity
+
+#endif // WSEL_FIDELITY_CALIBRATE_HH

@@ -1,0 +1,274 @@
+#include "fidelity/error_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/logging.hh"
+#include "stats/persist.hh"
+
+namespace wsel::fidelity
+{
+
+void
+Welford::add(double x)
+{
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+}
+
+double
+Welford::variancePopulation() const
+{
+    return n == 0 ? 0.0 : m2 / static_cast<double>(n);
+}
+
+double
+Welford::stddevPopulation() const
+{
+    return std::sqrt(variancePopulation());
+}
+
+IntervalStats::IntervalStats(std::size_t window)
+    : capacity_(std::max<std::size_t>(1, window))
+{
+}
+
+void
+IntervalStats::add(double x)
+{
+    life_.add(x);
+    window_.push_back(x);
+    if (window_.size() > capacity_)
+        window_.pop_front();
+}
+
+std::vector<double>
+IntervalStats::windowValues() const
+{
+    return {window_.begin(), window_.end()};
+}
+
+Welford
+IntervalStats::windowStats() const
+{
+    Welford w;
+    for (double v : window_)
+        w.add(v);
+    return w;
+}
+
+double
+IntervalStats::bound(double z) const
+{
+    const Welford win = windowStats();
+    const double life =
+        life_.mean + z * life_.stddevPopulation();
+    const double recent =
+        win.mean + z * win.stddevPopulation();
+    return std::max(life, recent);
+}
+
+void
+IntervalStats::restore(const Welford &lifetime,
+                       const std::vector<double> &window_values)
+{
+    life_ = lifetime;
+    window_.assign(window_values.begin(), window_values.end());
+    while (window_.size() > capacity_)
+        window_.pop_front();
+}
+
+ErrorProfile::ErrorProfile(
+    const std::vector<BenchmarkProfile> &suite, std::size_t window)
+    : suiteHash_(hashSuite(suite)), global_(window)
+{
+    names_.reserve(suite.size());
+    classes_.reserve(suite.size());
+    perBench_.reserve(suite.size());
+    for (const BenchmarkProfile &p : suite) {
+        names_.push_back(p.name);
+        classes_.push_back(p.paperClass);
+        perBench_.emplace_back(window);
+    }
+    perClass_.assign(kNumClasses, IntervalStats(window));
+}
+
+ErrorProfile::ErrorProfile(std::uint64_t suite_hash,
+                           std::vector<std::string> names,
+                           std::vector<MpkiClass> classes,
+                           std::size_t window)
+    : suiteHash_(suite_hash), names_(std::move(names)),
+      classes_(std::move(classes)), global_(window)
+{
+    if (names_.size() != classes_.size())
+        WSEL_FATAL("error profile restore with " << names_.size()
+                   << " names but " << classes_.size()
+                   << " classes");
+    perBench_.assign(names_.size(), IntervalStats(window));
+    perClass_.assign(kNumClasses, IntervalStats(window));
+}
+
+void
+ErrorProfile::record(std::uint32_t bench, double ipc_badco,
+                     double ipc_detailed)
+{
+    if (bench >= perBench_.size())
+        WSEL_FATAL("error profile record for benchmark " << bench
+                   << " outside suite of " << perBench_.size());
+    if (!(ipc_detailed > 0.0) || !std::isfinite(ipc_badco))
+        return; // a degenerate cell carries no error information
+    const double e =
+        std::abs(ipc_badco - ipc_detailed) / ipc_detailed;
+    perBench_[bench].add(e);
+    perClass_[static_cast<std::size_t>(classes_[bench])].add(e);
+    global_.add(e);
+}
+
+double
+ErrorProfile::errorBound(std::uint32_t bench, double quantile) const
+{
+    if (bench >= perBench_.size())
+        WSEL_FATAL("error profile bound for benchmark " << bench
+                   << " outside suite of " << perBench_.size());
+    if (global_.count() == 0)
+        return std::numeric_limits<double>::infinity();
+    const double z = normalQuantile(quantile);
+    const IntervalStats &own = perBench_[bench];
+    const IntervalStats &cls =
+        perClass_[static_cast<std::size_t>(classes_[bench])];
+    const IntervalStats &src = own.count() >= kMinBenchSamples
+                                   ? own
+                                   : (cls.count() > 0 ? cls
+                                                      : global_);
+    return std::max(kErrorBoundFloor, src.bound(z));
+}
+
+bool
+ErrorProfile::markApplied(std::uint64_t id)
+{
+    if (wasApplied(id))
+        return false;
+    applied_.push_back(id);
+    if (applied_.size() > kMaxApplied)
+        applied_.erase(applied_.begin());
+    return true;
+}
+
+bool
+ErrorProfile::wasApplied(std::uint64_t id) const
+{
+    return std::find(applied_.begin(), applied_.end(), id) !=
+           applied_.end();
+}
+
+const IntervalStats &
+ErrorProfile::benchStats(std::size_t i) const
+{
+    if (i >= perBench_.size())
+        WSEL_FATAL("benchStats index " << i << " out of range");
+    return perBench_[i];
+}
+
+const IntervalStats &
+ErrorProfile::classStats(std::size_t cls) const
+{
+    if (cls >= perClass_.size())
+        WSEL_FATAL("classStats index " << cls << " out of range");
+    return perClass_[cls];
+}
+
+IntervalStats &
+ErrorProfile::benchStatsMut(std::size_t i)
+{
+    if (i >= perBench_.size())
+        WSEL_FATAL("benchStats index " << i << " out of range");
+    return perBench_[i];
+}
+
+IntervalStats &
+ErrorProfile::classStatsMut(std::size_t cls)
+{
+    if (cls >= perClass_.size())
+        WSEL_FATAL("classStats index " << cls << " out of range");
+    return perClass_[cls];
+}
+
+void
+ErrorProfile::restoreApplied(std::vector<std::uint64_t> ids)
+{
+    applied_ = std::move(ids);
+    while (applied_.size() > kMaxApplied)
+        applied_.erase(applied_.begin());
+}
+
+std::uint64_t
+ErrorProfile::hashSuite(const std::vector<BenchmarkProfile> &suite)
+{
+    persist::Fnv1a h;
+    h.update("wsel-fidelity-suite-1");
+    h.updateU64(suite.size());
+    for (const BenchmarkProfile &p : suite) {
+        h.update(p.name);
+        h.updateU64(p.parameterHash());
+    }
+    return h.digest();
+}
+
+double
+normalQuantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        WSEL_FATAL("normal quantile needs p in (0, 1), got " << p);
+    // Acklam's rational approximation to the inverse normal CDF.
+    static constexpr double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static constexpr double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double plow = 0.02425;
+    constexpr double phigh = 1.0 - plow;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    if (p > phigh) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) *
+                     q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+             a[4]) *
+                r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+             b[4]) *
+                r +
+            1.0);
+}
+
+} // namespace wsel::fidelity

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Online BADCO-vs-detailed error model (docs/FIDELITY.md).
+ *
+ * An ErrorProfile tracks the distribution of the relative IPC error
+ * |ipc_badco - ipc_detailed| / ipc_detailed per benchmark, with a
+ * per-MPKI-class and a global fallback for benchmarks that have not
+ * yet accumulated enough observations of their own.  Each tracked
+ * distribution is an IntervalStats: a lifetime Welford accumulator
+ * plus a bounded rolling window of the most recent observations (in
+ * the style of the CPA stats.hpp interval/rolling statistics), so
+ * the error bound both converges over a long calibration history
+ * and reacts when the model drifts on recent escalations.
+ *
+ * The profile is seeded by a calibration pass (fidelity/calibrate.hh
+ * shares the fig2 BADCO-vs-detailed comparison) and updated online
+ * as escalated cells return detailed results.  Online updates are
+ * guarded by markApplied() so a killed-and-resumed hybrid campaign
+ * never double-counts its own residuals.  Persistence lives in
+ * fidelity/persist_fidelity.hh (checksummed error_profile.bin beside
+ * the model store).
+ */
+
+#ifndef WSEL_FIDELITY_ERROR_PROFILE_HH
+#define WSEL_FIDELITY_ERROR_PROFILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "trace/benchmark_profile.hh"
+
+namespace wsel::fidelity
+{
+
+/** Default rolling-window capacity per tracked distribution. */
+inline constexpr std::size_t kDefaultErrorWindow = 64;
+
+/** Minimum per-benchmark samples before its own bound is trusted. */
+inline constexpr std::uint64_t kMinBenchSamples = 4;
+
+/** Error bounds never shrink below this relative-IPC floor. */
+inline constexpr double kErrorBoundFloor = 1e-4;
+
+/**
+ * Serializable Welford accumulator.  stats/summary.hh's
+ * RunningStats does not expose its second moment, and the profile
+ * must round-trip through error_profile.bin bit-exactly, so the
+ * fidelity layer carries its own.
+ */
+struct Welford
+{
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    void add(double x);
+    double variancePopulation() const;
+    double stddevPopulation() const;
+};
+
+/**
+ * Lifetime + rolling-window statistics over one error distribution
+ * (CPA stats.hpp style: a cumulative series plus an interval view
+ * that forgets old phases).
+ */
+class IntervalStats
+{
+  public:
+    explicit IntervalStats(std::size_t window = kDefaultErrorWindow);
+
+    void add(double x);
+
+    std::uint64_t count() const { return life_.n; }
+    const Welford &lifetime() const { return life_; }
+
+    /** Window contents oldest-to-newest (for persistence). */
+    std::vector<double> windowValues() const;
+    std::size_t windowCapacity() const { return capacity_; }
+
+    /** Welford over the rolling window only. */
+    Welford windowStats() const;
+
+    /**
+     * One-sided upper bound at normal deviate @p z: the larger of
+     * the lifetime and rolling-window mean + z * stddev, so a
+     * recent drift widens the bound even when the lifetime history
+     * is long and tight.
+     */
+    double bound(double z) const;
+
+    /** Restore from persisted state (values oldest-to-newest). */
+    void restore(const Welford &lifetime,
+                 const std::vector<double> &window_values);
+
+  private:
+    Welford life_;
+    std::size_t capacity_;
+    std::deque<double> window_;
+};
+
+/**
+ * Per-benchmark (with MPKI-class and global fallback) relative-IPC
+ * error distributions between BADCO and the detailed simulator.
+ */
+class ErrorProfile
+{
+  public:
+    ErrorProfile() = default;
+
+    /**
+     * @param suite Benchmark suite the profile is keyed to; the
+     *        suite hash (names + parameter hashes) is persisted and
+     *        checked on load so a profile never silently applies to
+     *        a different suite.
+     */
+    explicit ErrorProfile(const std::vector<BenchmarkProfile> &suite,
+                          std::size_t window = kDefaultErrorWindow);
+
+    /** Restore shape from persisted state (persist_fidelity.cc). */
+    ErrorProfile(std::uint64_t suite_hash,
+                 std::vector<std::string> names,
+                 std::vector<MpkiClass> classes, std::size_t window);
+
+    /** Record one observed (badco, detailed) IPC pair. */
+    void record(std::uint32_t bench, double ipc_badco,
+                double ipc_detailed);
+
+    /**
+     * One-sided relative-IPC error bound for @p bench at the given
+     * quantile (e.g. 0.95): the benchmark's own distribution when
+     * it has at least kMinBenchSamples observations, else its MPKI
+     * class, else the global distribution, clamped to at least
+     * kErrorBoundFloor.  A profile with no observations at all
+     * returns +infinity, which escalates everything — the honest
+     * answer for an uncalibrated model.
+     */
+    double errorBound(std::uint32_t bench, double quantile) const;
+
+    /**
+     * Record that campaign @p id applied its residuals; returns
+     * false (and does nothing) when already applied.  The applied
+     * list keeps the most recent kMaxApplied ids.
+     */
+    bool markApplied(std::uint64_t id);
+    bool wasApplied(std::uint64_t id) const;
+
+    std::uint64_t suiteHash() const { return suiteHash_; }
+    std::size_t numBenchmarks() const { return perBench_.size(); }
+    std::uint64_t totalSamples() const { return global_.count(); }
+
+    const std::vector<std::string> &benchmarkNames() const
+    {
+        return names_;
+    }
+
+    // Persistence access (fidelity/persist_fidelity.cc).
+    const IntervalStats &benchStats(std::size_t i) const;
+    const IntervalStats &classStats(std::size_t cls) const;
+    const IntervalStats &globalStats() const { return global_; }
+    MpkiClass benchClass(std::size_t i) const { return classes_[i]; }
+    const std::vector<std::uint64_t> &appliedIds() const
+    {
+        return applied_;
+    }
+
+    IntervalStats &benchStatsMut(std::size_t i);
+    IntervalStats &classStatsMut(std::size_t cls);
+    IntervalStats &globalStatsMut() { return global_; }
+    void restoreApplied(std::vector<std::uint64_t> ids);
+
+    /** Hash a suite the way the profile does (names + params). */
+    static std::uint64_t hashSuite(
+        const std::vector<BenchmarkProfile> &suite);
+
+    static constexpr std::size_t kNumClasses = 3;
+    static constexpr std::size_t kMaxApplied = 64;
+
+  private:
+    std::uint64_t suiteHash_ = 0;
+    std::vector<std::string> names_;
+    std::vector<MpkiClass> classes_;
+    std::vector<IntervalStats> perBench_;
+    std::vector<IntervalStats> perClass_;
+    IntervalStats global_;
+    std::vector<std::uint64_t> applied_;
+};
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |relative error| < 1.2e-9); fatal outside (0, 1).
+ */
+double normalQuantile(double p);
+
+} // namespace wsel::fidelity
+
+#endif // WSEL_FIDELITY_ERROR_PROFILE_HH

@@ -161,6 +161,12 @@ constexpr CatalogEntry kCatalog[] = {
     {"adaptive.cells_resumed", 'c'},
     {"adaptive.cells_saved", 'c'},
     {"adaptive.confidence", 'g'},
+    {"fidelity.cells_escalated", 'c'},
+    {"fidelity.cells_total", 'c'},
+    {"fidelity.escalation_fraction", 'g'},
+    {"fidelity.detailed_ns", 'h'},
+    {"serve.escalations_started", 'c'},
+    {"serve.escalated_rows", 'g'},
     {"log.warns", 'c'},
     {"trace.dropped", 'c'},
 };

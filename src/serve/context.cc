@@ -50,9 +50,11 @@ CampaignContext::CampaignContext(const CampaignSpec &spec,
                    << ", " << last << ") invalid for population of "
                    << pop_.size());
 
+    fidelity_ = spec.fidelity;
+    const char *sim_name = fidelity_ == 0 ? "badco" : "detailed";
     m_.fingerprint = campaignFingerprint(
-        "badco", spec.cores, spec.targetUops, policies, suite_);
-    m_.simulator = "badco";
+        sim_name, spec.cores, spec.targetUops, policies, suite_);
+    m_.simulator = sim_name;
     m_.cores = spec.cores;
     m_.targetUops = spec.targetUops;
     for (PolicyKind p : policies)
@@ -72,18 +74,25 @@ CampaignContext::CampaignContext(const CampaignSpec &spec,
 
     const UncoreConfig ref =
         UncoreConfig::forCores(spec.cores, PolicyKind::LRU);
-    store_ = std::make_unique<BadcoModelStore>(
-        CoreConfig{}, spec.targetUops, ref.llcHitLatency,
-        cache_dir);
-    models_ = store_->getSuite(suite_, jobs);
-    {
+    if (fidelity_ == 0) {
+        store_ = std::make_unique<BadcoModelStore>(
+            CoreConfig{}, spec.targetUops, ref.llcHitLatency,
+            cache_dir);
+        models_ = store_->getSuite(suite_, jobs);
         const BadcoMulticoreSim ref_sim(ref, 1, spec.targetUops,
                                         seed_);
         m_.refIpc = ref_sim.referenceIpcs(models_);
+    } else {
+        // Detailed fidelity: no models; references come from the
+        // cycle-level simulator (as runDetailedCampaign does).
+        const DetailedMulticoreSim ref_sim(coreCfg_, ref, 1,
+                                           spec.targetUops, seed_);
+        m_.refIpc = ref_sim.referenceIpcs(suite_);
     }
 
-    geomHash_ = campaignGeometryHash(seed_, m_.firstRank,
-                                     m_.lastRank, m_.shardRows);
+    geomHash_ =
+        campaignGeometryHash(seed_, m_.firstRank, m_.lastRank,
+                             m_.shardRows, fidelity_);
 }
 
 } // namespace wsel::serve

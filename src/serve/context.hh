@@ -61,11 +61,20 @@ class CampaignContext
     {
         return ucfgs_;
     }
+    /** BADCO models; empty for a detailed-fidelity campaign. */
     const std::vector<const BadcoModel *> &models() const
     {
         return models_;
     }
+    const std::vector<BenchmarkProfile> &suite() const
+    {
+        return suite_;
+    }
+    const CoreConfig &coreConfig() const { return coreCfg_; }
     std::uint64_t seed() const { return seed_; }
+
+    /** CampaignSpec::fidelity: 0 BADCO, 1 detailed. */
+    std::uint32_t fidelity() const { return fidelity_; }
 
     /** campaignGeometryHash of the spec (store addressing). */
     std::uint64_t geometryHash() const { return geomHash_; }
@@ -77,8 +86,10 @@ class CampaignContext
     std::vector<UncoreConfig> ucfgs_;
     WorkloadPopulation pop_;
     persist::V3Manifest m_;
+    CoreConfig coreCfg_{};
     std::uint64_t seed_ = 1;
     std::uint64_t geomHash_ = 0;
+    std::uint32_t fidelity_ = 0;
 };
 
 } // namespace wsel::serve

@@ -113,6 +113,19 @@ class Coordinator
         std::unique_ptr<CampaignContext> ctx;
         std::unique_ptr<LeaseTable> table;
         std::uint64_t deduped = 0; ///< shards satisfied by store
+
+        /**
+         * Mixed-fidelity escalation (docs/FIDELITY.md): a BADCO
+         * campaign with spec.escalateBudget > 0 enters phase 1
+         * after its sweep commits — spec/ctx/table/dir are
+         * replaced by a detailed-fidelity campaign over just the
+         * shards holding suspect rows, and the campaign stays
+         * Running until those shards commit too.
+         */
+        std::uint32_t phase = 0;
+        std::string badcoDir;          ///< phase-0 dir
+        std::uint64_t escalatedRows = 0;
+        std::uint64_t escalatedShards = 0;
     };
 
     struct Conn
@@ -136,6 +149,7 @@ class Coordinator
     void dropConnection(Conn &conn);
     void activateNext();
     void finalize(std::uint64_t id, Campaign &c);
+    bool beginEscalation(std::uint64_t id, Campaign &c);
     void grantOrPark(Conn &conn);
     void noteLeaseClosed(std::uint64_t leaseId, Conn *conn);
     StatusMsg statusOf(std::uint64_t id) const;

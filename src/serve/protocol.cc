@@ -1,5 +1,6 @@
 #include "serve/protocol.hh"
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -208,6 +209,10 @@ encodeSpec(WireWriter &w, const CampaignSpec &spec)
     w.u32(static_cast<std::uint32_t>(spec.benchmarks.size()));
     for (const std::string &b : spec.benchmarks)
         w.str(b);
+    w.u32(spec.fidelity);
+    w.u64(std::bit_cast<std::uint64_t>(spec.escalateBudget));
+    w.u64(std::bit_cast<std::uint64_t>(spec.escalateQuantile));
+    w.str(spec.escalateMetric);
 }
 
 CampaignSpec
@@ -228,6 +233,14 @@ decodeSpec(WireReader &r)
     s.benchmarks.reserve(nb);
     for (std::uint32_t i = 0; i < nb; ++i)
         s.benchmarks.push_back(r.str());
+    s.fidelity = r.u32();
+    if (s.fidelity > 1)
+        throw ProtocolError("campaign spec fidelity " +
+                            std::to_string(s.fidelity) +
+                            " out of range");
+    s.escalateBudget = std::bit_cast<double>(r.u64());
+    s.escalateQuantile = std::bit_cast<double>(r.u64());
+    s.escalateMetric = r.str();
     return s;
 }
 

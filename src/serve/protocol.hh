@@ -95,6 +95,25 @@ struct CampaignSpec
     std::vector<std::string> policies;
     std::vector<std::string> benchmarks;
 
+    /**
+     * 0 = BADCO, 1 = detailed simulator.  Folded into the store's
+     * geometry hash so the two fidelities of the same campaign
+     * shape never collide on a result directory.
+     */
+    std::uint32_t fidelity = 0;
+
+    /**
+     * Escalation knobs (docs/FIDELITY.md): a BADCO campaign with
+     * escalateBudget > 0 asks the coordinator to re-lease, at
+     * detailed fidelity, the shards whose rows' d(w) error
+     * interval (policies[0] as X vs policies[1] as Y, under
+     * escalateMetric) straddles zero — bounded by this fraction of
+     * the population.  Ignored when fidelity = 1.
+     */
+    double escalateBudget = 0.0;
+    double escalateQuantile = 0.9;
+    std::string escalateMetric = "IPCT";
+
     bool operator==(const CampaignSpec &) const = default;
 };
 

@@ -13,14 +13,16 @@ namespace fs = std::filesystem;
 std::uint64_t
 campaignGeometryHash(std::uint64_t seed, std::uint64_t firstRank,
                      std::uint64_t lastRank,
-                     std::uint64_t shardRows)
+                     std::uint64_t shardRows,
+                     std::uint32_t fidelity)
 {
     persist::Fnv1a h;
-    h.update("wsel-serve-geom-1");
+    h.update("wsel-serve-geom-2");
     h.updateU64(seed);
     h.updateU64(firstRank);
     h.updateU64(lastRank);
     h.updateU64(shardRows);
+    h.updateU64(fidelity);
     return h.digest();
 }
 

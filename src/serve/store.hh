@@ -48,12 +48,16 @@ namespace wsel::serve
 
 /**
  * The seed + geometry complement of campaignFingerprint (see file
- * comment).
+ * comment).  @p fidelity (CampaignSpec::fidelity: 0 BADCO, 1
+ * detailed) is folded in so the two fidelities of one campaign
+ * shape land in distinct directories — their cell values differ,
+ * and the dedup rule "same directory = same bytes" must hold.
  */
 std::uint64_t campaignGeometryHash(std::uint64_t seed,
                                    std::uint64_t firstRank,
                                    std::uint64_t lastRank,
-                                   std::uint64_t shardRows);
+                                   std::uint64_t shardRows,
+                                   std::uint32_t fidelity = 0);
 
 class ResultStore
 {

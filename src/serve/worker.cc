@@ -49,7 +49,7 @@ runLease(const LeaseMsg &lease, CachedContext &cached,
     // fleet serves one campaign at a time).
     const std::uint64_t geom = campaignGeometryHash(
         lease.spec.seed, lease.spec.firstRank, lease.spec.lastRank,
-        lease.spec.shardRows);
+        lease.spec.shardRows, lease.spec.fidelity);
     if (!cached.ctx || cached.fingerprint != lease.fingerprint ||
         cached.geomHash != geom) {
         std::unique_ptr<CampaignContext> ctx;
@@ -110,9 +110,16 @@ runLease(const LeaseMsg &lease, CachedContext &cached,
 
     std::vector<double> payload;
     try {
-        simulatePopulationShard(m, ctx.population(), ctx.uncores(),
-                                ctx.models(), ctx.seed(),
-                                lease.shard, payload, tick);
+        if (ctx.fidelity() == 0)
+            simulatePopulationShard(m, ctx.population(),
+                                    ctx.uncores(), ctx.models(),
+                                    ctx.seed(), lease.shard,
+                                    payload, tick);
+        else
+            simulateDetailedPopulationShard(
+                m, ctx.population(), ctx.coreConfig(),
+                ctx.uncores(), ctx.suite(), ctx.seed(),
+                lease.shard, payload, tick);
     } catch (const std::exception &e) {
         g_current_shard.store(-1, std::memory_order_relaxed);
         error = std::string("shard simulation failed: ") + e.what();

@@ -1,0 +1,493 @@
+#include "sim/hybrid.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "core/confidence/confidence.hh"
+#include "exec/scheduler.hh"
+#include "fidelity/escalation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/campaign.hh"
+#include "sim/multicore.hh"
+#include "stats/logging.hh"
+#include "stats/persist.hh"
+#include "trace/trace_store.hh"
+
+namespace wsel
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Combined-bound z: two-sided ~95% on the sampling term. */
+constexpr double kComboZ = 1.959963984540054;
+
+/**
+ * Identity of one hybrid campaign's online profile update, used
+ * with ErrorProfile::markApplied so a killed-and-resumed run never
+ * records the same residuals twice.
+ */
+std::uint64_t
+applyId(std::uint64_t detailed_fp, const HybridOptions &opts,
+        std::uint64_t last_rank)
+{
+    persist::Fnv1a h;
+    h.update("wsel-hybrid-apply-1");
+    h.updateU64(detailed_fp);
+    h.updateU64(opts.seed);
+    h.updateU64(opts.firstRank);
+    h.updateU64(last_rank);
+    return h.digest();
+}
+
+/**
+ * Does a freshly-read escalation record describe this campaign?
+ * Knob drift (a different quantile/budget/threshold) makes the
+ * record stale, not corrupt: the caller recomputes and overwrites.
+ */
+bool
+recordMatches(const fidelity::EscalationRecord &rec,
+              const persist::V3Manifest &m,
+              std::uint64_t detailed_fp, ThroughputMetric metric,
+              const HybridOptions &opts, std::uint64_t last_rank)
+{
+    return rec.badcoFingerprint == m.fingerprint &&
+           rec.detailedFingerprint == detailed_fp &&
+           rec.seed == opts.seed &&
+           rec.firstRank == opts.firstRank &&
+           rec.lastRank == last_rank &&
+           rec.metric == toString(metric) &&
+           rec.policyX == m.policies[0] &&
+           rec.policyY == m.policies[1] &&
+           rec.quantile == opts.quantile &&
+           rec.budgetFraction == opts.budgetFraction &&
+           rec.threshold == opts.threshold;
+}
+
+} // namespace
+
+HybridResult
+runHybridCampaign(const WorkloadPopulation &pop, PolicyKind x,
+                  PolicyKind y, ThroughputMetric metric,
+                  std::uint64_t target_uops, BadcoModelStore &store,
+                  const std::vector<BenchmarkProfile> &suite,
+                  fidelity::ErrorProfile &profile,
+                  const std::string &out_dir,
+                  const HybridOptions &opts)
+{
+    if (x == y)
+        WSEL_FATAL("hybrid campaign needs two distinct policies");
+    if (pop.numBenchmarks() != suite.size())
+        WSEL_FATAL("population is over " << pop.numBenchmarks()
+                   << " benchmarks but the suite has "
+                   << suite.size());
+    if (profile.suiteHash() !=
+        fidelity::ErrorProfile::hashSuite(suite))
+        WSEL_FATAL("error profile was calibrated for a different "
+                   "suite; re-calibrate before running hybrid");
+    if (!(opts.quantile > 0.0 && opts.quantile < 1.0))
+        WSEL_FATAL("hybrid quantile must be in (0, 1)");
+    if (opts.batchRows == 0)
+        WSEL_FATAL("hybrid batch size must be positive");
+
+    obs::Span span("fidelity.hybrid");
+    const std::size_t jobs = exec::resolveJobs(opts.jobs);
+    const std::vector<PolicyKind> policies = {x, y};
+    const std::uint32_t k = pop.cores();
+    const std::size_t np = policies.size();
+
+    // Phase 1: the BADCO sweep, via the population engine (shard
+    // resume, determinism contract and campaign_v3 artifacts come
+    // with it).
+    PopulationOptions pop_opts;
+    pop_opts.seed = opts.seed;
+    pop_opts.jobs = opts.jobs;
+    pop_opts.shardCells = opts.shardCells;
+    pop_opts.firstRank = opts.firstRank;
+    pop_opts.lastRank = opts.lastRank;
+    pop_opts.resume = opts.resume;
+    pop_opts.verbose = opts.verbose;
+    std::vector<PopulationPairSpec> pairs(1);
+    pairs[0].x = 0;
+    pairs[0].y = 1;
+    pairs[0].metric = metric;
+    pairs[0].label = toString(x) + std::string(" vs ") +
+                     toString(y);
+
+    HybridResult result;
+    result.dir = out_dir;
+    result.badco = runBadcoPopulationCampaign(
+        pop, policies, target_uops, store, suite, pairs, out_dir,
+        pop_opts);
+    const persist::V3Manifest &m = result.badco.manifest;
+    const std::uint64_t rows = m.rows();
+    const std::uint64_t detailed_fp = campaignFingerprint(
+        "detailed", k, target_uops, policies, suite);
+
+    // Phase 2: per-row intervals from the error profile, then the
+    // escalation set.  The BADCO d(w) and the interval slack are
+    // recomputed every run (cheap, deterministic given the same
+    // profile); the *set* itself is pinned by the sidecar so a
+    // resumed run escalates exactly the same rows even after the
+    // profile learned from other campaigns.
+    std::vector<fidelity::CellInterval> cells(
+        static_cast<std::size_t>(rows));
+    {
+        obs::Span pspan("fidelity.intervals");
+        const std::uint64_t shards = m.shardCount();
+        auto scan_shard = [&](std::size_t s) {
+            const std::vector<double> payload =
+                persist::readV3Shard(out_dir, m, s);
+            fidelity::EscalationOracle oracle(metric, profile,
+                                              opts.quantile,
+                                              m.refIpc);
+            const std::uint64_t first = m.shardFirstRank(s);
+            const std::uint64_t n = m.rowsInShard(s);
+            WorkloadCursor cur(pop, first);
+            for (std::uint64_t r = 0; r < n; ++r, cur.next()) {
+                const double *row =
+                    payload.data() + r * np * k;
+                cells[static_cast<std::size_t>(
+                    first - m.firstRank + r)] =
+                    oracle.interval(cur.benchmarks(), {row, k},
+                                    {row + k, k});
+            }
+        };
+        if (jobs <= 1 || shards <= 1) {
+            for (std::uint64_t s = 0; s < shards; ++s)
+                scan_shard(s);
+        } else {
+            exec::ThreadPool pool(
+                std::min<std::size_t>(jobs, shards));
+            exec::parallel_for(pool, std::size_t{0}, shards,
+                               scan_shard);
+        }
+    }
+
+    fidelity::EscalationRecord rec;
+    bool have_record = false;
+    if (opts.resume && fidelity::hasEscalationRecord(out_dir)) {
+        try {
+            rec = fidelity::readEscalationRecord(out_dir);
+            have_record = recordMatches(rec, m, detailed_fp, metric,
+                                        opts, m.lastRank);
+            if (!have_record && opts.verbose)
+                logLine("  [hybrid] escalation sidecar is for "
+                        "different knobs; recomputing the set");
+        } catch (const persist::CacheInvalid &e) {
+            const std::string path =
+                fidelity::escalationRecordPath(out_dir);
+            const std::string moved =
+                persist::quarantineFile(path);
+            warn("corrupt fidelity bitmap " + path + " (" +
+                 e.what() + ")" +
+                 (moved.empty() ? ""
+                                : "; quarantined to " + moved) +
+                 "; recomputing the escalation set");
+        }
+    }
+    if (!have_record) {
+        const std::vector<std::uint8_t> flags =
+            fidelity::selectEscalations(cells, opts.threshold,
+                                        opts.budgetFraction);
+        rec = fidelity::EscalationRecord{};
+        rec.badcoFingerprint = m.fingerprint;
+        rec.detailedFingerprint = detailed_fp;
+        rec.seed = opts.seed;
+        rec.metric = toString(metric);
+        rec.policyX = m.policies[0];
+        rec.policyY = m.policies[1];
+        rec.quantile = opts.quantile;
+        rec.budgetFraction = opts.budgetFraction;
+        rec.threshold = opts.threshold;
+        rec.firstRank = m.firstRank;
+        rec.lastRank = m.lastRank;
+        rec.resizeBitmap();
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            if (flags[static_cast<std::size_t>(r)]) {
+                rec.setEscalated(r);
+                ++rec.escalatedCount;
+            }
+        }
+        fidelity::writeEscalationRecord(out_dir, rec);
+    }
+    result.escalation = rec;
+
+    // Phase 3: detailed re-simulation of the escalated rows, in
+    // rank order, batched for resume.  Cell seeds come from the
+    // *detailed* fingerprint, so an escalated cell is bitwise the
+    // cell a pure detailed campaign would have produced.
+    std::vector<std::uint64_t> esc_ranks;
+    esc_ranks.reserve(
+        static_cast<std::size_t>(rec.escalatedCount));
+    for (std::uint64_t r = 0; r < rows; ++r)
+        if (rec.escalated(r))
+            esc_ranks.push_back(m.firstRank + r);
+    const std::size_t esc_n = esc_ranks.size();
+    std::vector<double> det_ipc(esc_n * np * k, 0.0);
+
+    if (esc_n > 0) {
+        obs::Span dspan("fidelity.detailed");
+        TraceStore &ts = TraceStore::global();
+        if (jobs <= 1 || suite.size() <= 1) {
+            for (const BenchmarkProfile &p : suite)
+                ts.ensureBuilt(p, target_uops);
+        } else {
+            exec::ThreadPool pool(
+                std::min<std::size_t>(jobs, suite.size()));
+            exec::parallel_for(pool, std::size_t{0}, suite.size(),
+                               [&](std::size_t i) {
+                                   ts.ensureBuilt(suite[i],
+                                                  target_uops);
+                               });
+        }
+        std::vector<UncoreConfig> ucfgs;
+        ucfgs.reserve(np);
+        for (PolicyKind p : policies)
+            ucfgs.push_back(UncoreConfig::forCores(k, p));
+
+        const std::uint64_t batches =
+            (esc_n + opts.batchRows - 1) / opts.batchRows;
+        std::vector<std::uint64_t> simulated(batches, 0);
+        std::vector<std::uint64_t> resumed(batches, 0);
+        auto run_batch = [&](std::size_t b) {
+            const std::size_t first = static_cast<std::size_t>(
+                b * opts.batchRows);
+            const std::size_t count = std::min<std::size_t>(
+                static_cast<std::size_t>(opts.batchRows),
+                esc_n - first);
+            const std::string path =
+                fidelity::fidelityBatchPath(out_dir, b);
+            if (opts.resume) {
+                try {
+                    const fidelity::FidelityBatch got =
+                        fidelity::readFidelityBatch(out_dir,
+                                                    detailed_fp, b);
+                    if (got.cores == k &&
+                        got.numPolicies == np &&
+                        got.firstOrdinal == first &&
+                        got.ranks.size() == count &&
+                        std::equal(got.ranks.begin(),
+                                   got.ranks.end(),
+                                   esc_ranks.begin() + first)) {
+                        std::copy(got.ipc.begin(), got.ipc.end(),
+                                  det_ipc.begin() +
+                                      first * np * k);
+                        resumed[b] = count * np;
+                        return;
+                    }
+                    // A well-formed batch for a different
+                    // escalation set is stale, not corrupt.
+                    persist::quarantineFile(path);
+                    warn("stale fidelity batch " + path +
+                         "; re-simulating");
+                } catch (const persist::CacheInvalid &e) {
+                    if (fs::exists(path)) {
+                        const std::string moved =
+                            persist::quarantineFile(path);
+                        warn("corrupt fidelity batch " + path +
+                             " (" + e.what() + ")" +
+                             (moved.empty()
+                                  ? ""
+                                  : "; quarantined to " + moved) +
+                             "; re-simulating");
+                    }
+                }
+            }
+            fidelity::FidelityBatch batch;
+            batch.detailedFingerprint = detailed_fp;
+            batch.index = b;
+            batch.firstOrdinal = first;
+            batch.cores = k;
+            batch.numPolicies = static_cast<std::uint32_t>(np);
+            batch.ranks.assign(esc_ranks.begin() + first,
+                               esc_ranks.begin() + first + count);
+            batch.ipc.assign(count * np * k, 0.0);
+            for (std::size_t r = 0; r < count; ++r) {
+                const std::uint64_t rank = batch.ranks[r];
+                const Workload w = pop.unrank(rank);
+                for (std::size_t p = 0; p < np; ++p) {
+                    persist::faultPoint("fidelity.escalate");
+                    const auto c0 =
+                        std::chrono::steady_clock::now();
+                    const DetailedMulticoreSim sim(
+                        opts.coreCfg, ucfgs[p], k, target_uops,
+                        campaignCellSeed(detailed_fp, opts.seed, p,
+                                         rank));
+                    const SimResult res = sim.run(w, suite);
+                    for (std::uint32_t c = 0; c < k; ++c)
+                        batch.ipc[(r * np + p) * k + c] =
+                            res.ipc[c];
+                    if (obs::metricsEnabled()) {
+                        static obs::LatencyHistogram &detNs =
+                            obs::histogram("fidelity.detailed_ns");
+                        detNs.recordNs(static_cast<std::uint64_t>(
+                            std::chrono::duration<double,
+                                                   std::nano>(
+                                std::chrono::steady_clock::now() -
+                                c0)
+                                .count()));
+                    }
+                }
+            }
+            fidelity::writeFidelityBatch(out_dir, batch);
+            std::copy(batch.ipc.begin(), batch.ipc.end(),
+                      det_ipc.begin() + first * np * k);
+            simulated[b] = count * np;
+            if (opts.verbose) {
+                std::ostringstream os;
+                os << "  [hybrid] detailed batch " << (b + 1)
+                   << "/" << batches << " (" << count << " rows)";
+                logLine(os.str());
+            }
+        };
+        if (jobs <= 1 || batches <= 1) {
+            for (std::uint64_t b = 0; b < batches; ++b)
+                run_batch(b);
+        } else {
+            exec::ThreadPool pool(
+                std::min<std::size_t>(jobs, batches));
+            exec::parallel_for(pool, std::size_t{0}, batches,
+                               run_batch);
+        }
+        for (std::uint64_t b = 0; b < batches; ++b) {
+            result.detailedCellsSimulated += simulated[b];
+            result.detailedCellsResumed += resumed[b];
+        }
+    }
+
+    // Phase 4: splice detailed d(w) values over BADCO's and emit
+    // the confidence report.  The model-error slack is the mean
+    // remaining interval width of the rows we did NOT escalate
+    // (escalated rows are ground truth and contribute none).
+    fidelity::Welford d_stats;
+    double model_lo_sum = 0.0;
+    double model_hi_sum = 0.0;
+    {
+        std::vector<double> refs(k, 1.0);
+        std::size_t ord = 0;
+        WorkloadCursor cur(pop, m.firstRank);
+        for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+            double d;
+            if (rec.escalated(r)) {
+                const std::span<const std::uint32_t> benches =
+                    cur.benchmarks();
+                for (std::uint32_t c = 0; c < k; ++c)
+                    refs[c] = m.refIpc[benches[c]];
+                const double *row =
+                    det_ipc.data() + ord * np * k;
+                const double tx = perWorkloadThroughput(
+                    metric, {row, k}, refs);
+                const double ty = perWorkloadThroughput(
+                    metric, {row + k, k}, refs);
+                d = perWorkloadDifference(metric, tx, ty);
+                ++ord;
+            } else {
+                const fidelity::CellInterval &ci =
+                    cells[static_cast<std::size_t>(r)];
+                d = ci.d;
+                model_lo_sum += ci.dLo - ci.d;
+                model_hi_sum += ci.dHi - ci.d;
+            }
+            d_stats.add(d);
+        }
+    }
+
+    fidelity::HybridReportRecord rep;
+    rep.badcoFingerprint = m.fingerprint;
+    rep.detailedFingerprint = detailed_fp;
+    rep.metric = toString(metric);
+    rep.policyX = m.policies[0];
+    rep.policyY = m.policies[1];
+    rep.workloads = rows;
+    rep.escalated = rec.escalatedCount;
+    rep.escalationFraction =
+        rows == 0 ? 0.0
+                  : static_cast<double>(rec.escalatedCount) /
+                        static_cast<double>(rows);
+    rep.meanD = d_stats.mean;
+    rep.sigma = d_stats.stddevPopulation();
+    rep.se = rows == 0 ? 0.0
+                       : rep.sigma /
+                             std::sqrt(static_cast<double>(rows));
+    rep.cv = rep.meanD == 0.0 ? 0.0 : rep.sigma / rep.meanD;
+    rep.confidence = modelConfidence(
+        rep.cv, static_cast<std::size_t>(rows));
+    rep.modelLo =
+        rows == 0 ? 0.0
+                  : model_lo_sum / static_cast<double>(rows);
+    rep.modelHi =
+        rows == 0 ? 0.0
+                  : model_hi_sum / static_cast<double>(rows);
+    rep.comboLo = rep.meanD + rep.modelLo - kComboZ * rep.se;
+    rep.comboHi = rep.meanD + rep.modelHi + kComboZ * rep.se;
+    rep.yWins = rep.meanD > opts.threshold ? 1 : 0;
+    fidelity::writeHybridReport(out_dir, rep);
+    result.report = rep;
+    result.manifest = m;
+
+    if (obs::metricsEnabled()) {
+        static obs::Counter &escC =
+            obs::counter("fidelity.cells_escalated");
+        static obs::Counter &totC =
+            obs::counter("fidelity.cells_total");
+        escC.inc(rec.escalatedCount * np * k);
+        totC.inc(rows * np * k);
+        obs::gauge("fidelity.escalation_fraction")
+            .set(rep.escalationFraction);
+    }
+
+    // Online learning: feed the escalated cells' (badco, detailed)
+    // IPC pairs back into the profile, exactly once per campaign
+    // across kills and resumes.  A second shard pass collects the
+    // BADCO IPCs of just the escalated rows.
+    if (esc_n > 0 &&
+        profile.markApplied(
+            applyId(detailed_fp, opts, m.lastRank))) {
+        result.profileUpdated = true;
+        std::size_t ord = 0;
+        const std::uint64_t shards = m.shardCount();
+        std::vector<std::uint32_t> benches;
+        for (std::uint64_t s = 0; s < shards && ord < esc_n; ++s) {
+            const std::uint64_t first = m.shardFirstRank(s);
+            const std::uint64_t n = m.rowsInShard(s);
+            if (esc_ranks[ord] >= first + n)
+                continue;
+            const std::vector<double> payload =
+                persist::readV3Shard(out_dir, m, s);
+            while (ord < esc_n && esc_ranks[ord] < first + n) {
+                const std::uint64_t rank = esc_ranks[ord];
+                pop.unrankInto(rank, benches);
+                const double *brow =
+                    payload.data() + (rank - first) * np * k;
+                const double *drow =
+                    det_ipc.data() + ord * np * k;
+                for (std::size_t p = 0; p < np; ++p)
+                    for (std::uint32_t c = 0; c < k; ++c)
+                        profile.record(benches[c],
+                                       brow[p * k + c],
+                                       drow[p * k + c]);
+                ++ord;
+            }
+        }
+    }
+
+    if (opts.verbose) {
+        std::ostringstream os;
+        os << "  [hybrid] " << rows << " workloads, "
+           << rec.escalatedCount << " escalated ("
+           << 100.0 * rep.escalationFraction
+           << "%), mean d = " << rep.meanD << " in ["
+           << rep.comboLo << ", " << rep.comboHi << "]";
+        logLine(os.str());
+    }
+    return result;
+}
+
+} // namespace wsel

@@ -128,6 +128,44 @@ simulatePopulationShard(const persist::V3Manifest &m,
     }
 }
 
+void
+simulateDetailedPopulationShard(
+    const persist::V3Manifest &m, const WorkloadPopulation &pop,
+    const CoreConfig &core_cfg,
+    const std::vector<UncoreConfig> &ucfgs,
+    const std::vector<BenchmarkProfile> &suite,
+    std::uint64_t base_seed, std::uint64_t shard,
+    std::vector<double> &payload,
+    const std::function<void()> &tick)
+{
+    const std::size_t np = m.policies.size();
+    if (ucfgs.size() != np)
+        WSEL_FATAL("shard simulation got " << ucfgs.size()
+                   << " uncore configs for " << np << " policies");
+    const std::uint32_t k = m.cores;
+    const std::uint64_t rows = m.rowsInShard(shard);
+    payload.assign(static_cast<std::size_t>(rows) * np * k, 0.0);
+    WorkloadCursor cur(pop, m.shardFirstRank(shard));
+    for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+        if (tick)
+            tick();
+        const std::uint64_t rank = cur.rank();
+        const Workload w{std::vector<std::uint32_t>(
+            cur.benchmarks().begin(), cur.benchmarks().end())};
+        double *row = payload.data() + r * np * k;
+        for (std::size_t p = 0; p < np; ++p) {
+            persist::faultPoint("fidelity.escalate");
+            const DetailedMulticoreSim sim(
+                core_cfg, ucfgs[p], k, m.targetUops,
+                campaignCellSeed(m.fingerprint, base_seed, p,
+                                 rank));
+            const SimResult res = sim.run(w, suite);
+            for (std::uint32_t c = 0; c < k; ++c)
+                row[p * k + c] = res.ipc[c];
+        }
+    }
+}
+
 PopulationResult
 runBadcoPopulationCampaign(
     const WorkloadPopulation &pop,

@@ -172,6 +172,24 @@ void simulatePopulationShard(
     const std::function<void()> &tick = {});
 
 /**
+ * Detailed-fidelity twin of simulatePopulationShard: the same
+ * shard geometry, row layout and campaignCellSeed contract, but
+ * every cell runs on the cycle-level DetailedMulticoreSim (so the
+ * manifest's fingerprint must be a "detailed" one).  The unit of
+ * work behind escalated shards in mixed-fidelity campaigns
+ * (docs/FIDELITY.md); its kill point is "fidelity.escalate", fired
+ * once per cell.
+ */
+void simulateDetailedPopulationShard(
+    const persist::V3Manifest &m, const WorkloadPopulation &pop,
+    const CoreConfig &core_cfg,
+    const std::vector<UncoreConfig> &ucfgs,
+    const std::vector<BenchmarkProfile> &suite,
+    std::uint64_t base_seed, std::uint64_t shard,
+    std::vector<double> &payload,
+    const std::function<void()> &tick = {});
+
+/**
  * Run (or resume) a BADCO population campaign over ranks
  * [opts.firstRank, opts.lastRank) of @p pop, writing a campaign_v3
  * artifact to @p out_dir (created if missing) and returning the

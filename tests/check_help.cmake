@@ -1,0 +1,25 @@
+# Runs `wsel_cli help` and compares its (stderr) usage text against
+# the committed golden copy.  Invoked by the wsel_cli_help_golden
+# ctest entry with -DCLI=<binary> -DGOLDEN=<tests/cli_help.golden>.
+#
+# When the CLI interface deliberately changes, regenerate with:
+#     build/tools/wsel_cli help 2> tests/cli_help.golden
+
+execute_process(COMMAND ${CLI} help
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "wsel_cli help exited with '${rc}'")
+endif()
+
+file(READ ${GOLDEN} want)
+if(NOT err STREQUAL want)
+    message(FATAL_ERROR
+        "wsel_cli help drifted from tests/cli_help.golden.\n"
+        "---- got ----\n${err}\n"
+        "---- want ----\n${want}\n"
+        "If the interface change is deliberate, regenerate the "
+        "golden file (see the header of tests/check_help.cmake) "
+        "and update README.md to match.")
+endif()

@@ -26,7 +26,11 @@
  *    adaptive batch simulated (src/sim/adaptive.cc);
  *  - "serve.shard-start" / "serve.shard-committed": a worker
  *    process accepted a shard lease / durably committed the shard
- *    to the result store (src/serve/worker.cc).
+ *    to the result store (src/serve/worker.cc);
+ *  - "fidelity.escalate": one escalated cell about to run on the
+ *    detailed simulator in a mixed-fidelity campaign
+ *    (src/sim/hybrid.cc and, for distributed escalation,
+ *    src/sim/population.cc's detailed shard twin).
  *
  * The serve tests escalate from exceptions to real SIGKILL:
  * wsel_worker arms these same points from WSEL_KILL_POINT=

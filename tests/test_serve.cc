@@ -25,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fidelity/error_profile.hh"
+#include "fidelity/persist_fidelity.hh"
 #include "obs/metrics.hh"
 #include "serve/context.hh"
 #include "serve/coordinator.hh"
@@ -896,6 +898,111 @@ TEST_F(ServeDistributedTest, OverlappingCampaignDedupsAllShards)
 
     service.stop();
     expectClean(w);
+}
+
+/**
+ * Two-phase mixed-fidelity escalation end to end
+ * (docs/FIDELITY.md): a BADCO campaign submitted with
+ * --escalate-budget makes the coordinator, after the sweep
+ * commits, compute the escalation set from the error profile
+ * beside its cache and re-lease ONLY the suspect shards at
+ * detailed fidelity; real worker processes run both phases.
+ */
+TEST_F(ServeDistributedTest, EscalationReleasesSuspectShardsDetailed)
+{
+    serve::CampaignSpec spec = tinySpec();
+    spec.escalateBudget = 0.3; // ceil(0.3 * 10 rows) = 3
+    spec.escalateQuantile = 0.9;
+
+    // An empty profile for this spec's suite: every bound is +inf,
+    // every row straddles, the budget alone picks the set.
+    const std::string ppath =
+        fidelity::errorProfilePath(cacheDir_);
+    {
+        serve::CampaignContext ctx(spec, cacheDir_);
+        fidelity::writeErrorProfile(
+            ppath, fidelity::ErrorProfile(ctx.suite()));
+    }
+
+    Service service(coordinatorOptions());
+    serve::Client client(socket_);
+    const std::uint64_t id = client.submit(spec);
+    const pid_t w1 = spawnWorker();
+    const pid_t w2 = spawnWorker();
+    const serve::StatusMsg st = client.waitFinished(id);
+    EXPECT_EQ(st.state, serve::CampaignState::Done) << st.message;
+
+    // Read metrics while the daemon is still up: stop() drains it
+    // and a drained daemon answers nothing.
+    const double started = counterValue(
+        client.metricsJson(), "serve.escalations_started");
+    EXPECT_GE(started, 1.0);
+
+    service.stop();
+    expectClean(w1);
+    expectClean(w2);
+    fs::remove(ppath);
+
+    // The final dir is the detailed-phase campaign: it holds the
+    // committed escalation set...
+    ASSERT_TRUE(fidelity::hasEscalationRecord(st.dir));
+    const fidelity::EscalationRecord rec =
+        fidelity::readEscalationRecord(st.dir);
+    EXPECT_EQ(rec.escalatedCount, 3u);
+    EXPECT_NEAR(rec.budgetFraction, 0.3, 1e-12);
+
+    // ...and detailed shards exactly where the bitmap says — no
+    // manifest (the campaign is deliberately partial) and no
+    // shard that only holds non-escalated rows.
+    serve::CampaignSpec dspec = spec;
+    dspec.fidelity = 1;
+    dspec.escalateBudget = 0.0;
+    serve::CampaignContext dctx(dspec, cacheDir_);
+    const persist::V3Manifest &dm = dctx.manifest();
+    EXPECT_EQ(rec.detailedFingerprint, dm.fingerprint);
+    EXPECT_FALSE(
+        fs::exists(fs::path(st.dir) / "manifest.bin"));
+    std::uint64_t flagged_shards = 0;
+    for (std::uint64_t s = 0; s < dm.shardCount(); ++s) {
+        const std::uint64_t first = dm.shardFirstRank(s);
+        bool flagged = false;
+        for (std::uint64_t r = 0; r < dm.rowsInShard(s); ++r)
+            flagged = flagged || rec.escalated(first + r);
+        EXPECT_EQ(fs::exists(persist::v3ShardPath(st.dir, s)),
+                  flagged)
+            << "shard " << s;
+        flagged_shards += flagged ? 1 : 0;
+    }
+    EXPECT_EQ(st.shardsTotal, dm.shardCount());
+    EXPECT_EQ(st.shardsDone, dm.shardCount()); // unflagged pre-done
+    EXPECT_GE(flagged_shards, 2u); // 3 rows cannot fit in 1 shard
+
+    // The escalated shards' bytes are exactly what a pure detailed
+    // campaign of the same geometry produces.
+    std::vector<double> payload;
+    fs::create_directories(dir_ + "/detref");
+    for (std::uint64_t s = 0; s < dm.shardCount(); ++s) {
+        if (!fs::exists(persist::v3ShardPath(st.dir, s)))
+            continue;
+        simulateDetailedPopulationShard(
+            dm, dctx.population(), dctx.coreConfig(),
+            dctx.uncores(), dctx.suite(), dctx.seed(), s, payload);
+        serve::ResultStore::commitShard(
+            dir_ + "/detref", dm, s,
+            {payload.data(), payload.size()});
+        EXPECT_EQ(readFileBytes(persist::v3ShardPath(st.dir, s)),
+                  readFileBytes(
+                      persist::v3ShardPath(dir_ + "/detref", s)))
+            << "shard " << s;
+    }
+
+    // The phase-0 BADCO campaign is complete in its own store dir
+    // (the escalation never mutates the committed sweep).
+    serve::CampaignContext bctx(spec, cacheDir_);
+    serve::ResultStore store(dir_ + "/store");
+    const std::string bdir = store.campaignDir(
+        bctx.manifest().fingerprint, bctx.geometryHash());
+    EXPECT_TRUE(serve::ResultStore::isComplete(bdir));
 }
 
 TEST_F(ServeDistributedTest, PoisonShardQuarantinedCampaignFails)

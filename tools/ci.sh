@@ -28,6 +28,12 @@
 # the adaptive-vs-fixed cell counts to
 # build-release/BENCH_adaptive.json.
 #
+# The mixed-fidelity layer (docs/FIDELITY.md) gets a smoke on every
+# sanitizer preset — calibrate, SIGKILL a hybrid campaign at the
+# `fidelity.escalate` kill point, resume to a committed report —
+# and the release leg archives hybrid_fidelity's escalation-budget
+# vs ranking-accuracy sweep to build-release/BENCH_hybrid.json.
+#
 # Usage: tools/ci.sh [preset ...]   (default: release asan-ubsan
 #        tsan)
 
@@ -82,6 +88,35 @@ for preset in $presets; do
             --resume 1
         rm -rf "$adadir"
         echo "==> adaptive smoke passed under $preset"
+
+        # Mixed-fidelity campaign smoke (docs/FIDELITY.md):
+        # calibrate an error profile, start a hybrid campaign that
+        # is SIGKILLed at the 3rd escalated detailed cell (after
+        # the escalation set committed, mid detailed batch), then
+        # resume it to a committed hybrid.bin report — all under
+        # the sanitizer.
+        echo "==> hybrid fidelity smoke: $preset"
+        hybdir="$bindir/hybrid-smoke"
+        rm -rf "$hybdir"
+        if WSEL_CACHE_DIR="$hybdir/cache" \
+            WSEL_KILL_POINT=fidelity.escalate:3 \
+            "./$bindir/tools/wsel_cli" hybrid \
+            --out "$hybdir/run" \
+            --insns 5000 --cores 2 --limit 24 --calibrate 8 \
+            --budget-frac 0.25 --batch-rows 2 --jobs 4; then
+            echo "hybrid smoke: kill point never fired" >&2
+            exit 1
+        fi
+        test -s "$hybdir/run/fidelity-bitmap.bin"
+        test ! -e "$hybdir/run/hybrid.bin"
+        WSEL_CACHE_DIR="$hybdir/cache" \
+            "./$bindir/tools/wsel_cli" hybrid \
+            --out "$hybdir/run" \
+            --insns 5000 --cores 2 --limit 24 --calibrate 8 \
+            --budget-frac 0.25 --batch-rows 2 --jobs 4
+        test -s "$hybdir/run/hybrid.bin"
+        rm -rf "$hybdir"
+        echo "==> hybrid smoke passed under $preset"
 
         # Distributed campaign smoke (docs/ROBUSTNESS.md): a
         # wsel_serve daemon, four workers — one of which SIGKILLs
@@ -171,6 +206,16 @@ for preset in $presets; do
         test -s "build-release/BENCH_adaptive.json"
         rm -rf "$smoke/cache"
         echo "==> bench archived in build-release/BENCH_adaptive.json"
+
+        echo "==> hybrid fidelity bench: $preset"
+        WSEL_CACHE_DIR="$smoke/cache" \
+        WSEL_INSNS=20000 \
+        WSEL_HYBRID_BENCHES=4 \
+        WSEL_BENCH_JSON="build-release/BENCH_hybrid.json" \
+            ./build-release/bench/hybrid_fidelity
+        test -s "build-release/BENCH_hybrid.json"
+        rm -rf "$smoke/cache"
+        echo "==> bench archived in build-release/BENCH_hybrid.json"
 
         echo "==> serve scaling bench: $preset"
         WSEL_CACHE_DIR="$smoke/cache" \

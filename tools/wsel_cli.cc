@@ -41,7 +41,9 @@
  *       root (docs/ROBUSTNESS.md, "Distributed campaigns");
  *       with --sequential 1 (and --policies Y,X) the campaign is
  *       driven by the adaptive stopping rule instead of the full
- *       population (equivalent to the adaptive command below)
+ *       population (equivalent to the adaptive command below);
+ *       with --hybrid 1 it runs the mixed-fidelity campaign
+ *       (equivalent to the hybrid command below)
  *   wsel_cli adaptive --out DIR [--x POL --y POL] [--metric M]
  *       [--cores K] [--insns N] [--target C] [--budget W]
  *       [--min W] [--batch W] [--jobs N]
@@ -54,14 +56,34 @@
  *       spends a cheap 2B-cell pre-pass to rank candidates; an
  *       interrupted run resumes bitwise identically (--resume 0
  *       restarts)
+ *   wsel_cli hybrid --out DIR [--x POL --y POL|--policies Y,X]
+ *       [--metric M] [--cores K] [--insns N] [--limit N]
+ *       [--first R] [--last R] [--shard-size CELLS] [--jobs N]
+ *       [--quantile Q] [--budget-frac F] [--threshold T]
+ *       [--batch-rows W] [--profile FILE] [--calibrate W]
+ *       [--resume 0|1] [--seed S]
+ *       error-bounded mixed-fidelity campaign (docs/FIDELITY.md):
+ *       BADCO sweep, then cells whose d(w) error interval
+ *       straddles --threshold escalate to the detailed simulator
+ *       (at most --budget-frac of the population); the report
+ *       separates eq. 5 sampling error from model error; the
+ *       per-benchmark error profile is calibrated automatically
+ *       from a --calibrate W detailed-vs-BADCO pair when missing
+ *       and learns online from every escalated cell
  *   wsel_cli serve submit --socket PATH [--wait 0|1]
  *       [campaign options as for population]
+ *       [--escalate-budget F] [--escalate-quantile Q]
+ *       [--escalate-metric M]
  *       submit a campaign to a running wsel_serve daemon and (by
- *       default) wait for it; serve status --socket PATH --id N
- *       polls one campaign, serve metrics --socket PATH dumps the
- *       daemon's metrics snapshot as JSON, and serve stop
- *       --socket PATH --id N halts a queued or running campaign
- *       (in-flight shards finish and stay in the store for dedup)
+ *       default) wait for it; with --escalate-budget F > 0 the
+ *       coordinator, after the BADCO sweep commits, re-leases the
+ *       shards holding suspect rows at detailed fidelity using the
+ *       error profile in its cache dir (docs/FIDELITY.md); serve
+ *       status --socket PATH --id N polls one campaign, serve
+ *       metrics --socket PATH dumps the daemon's metrics snapshot
+ *       as JSON, and serve stop --socket PATH --id N halts a
+ *       queued or running campaign (in-flight shards finish and
+ *       stay in the store for dedup)
  *   wsel_cli analyze --campaign FILE --x POL --y POL
  *       [--metric IPCT|WSU|HSU|GSU]
  *       cv, 1/cv, eq.(8) sample size, §VII regime, CI estimates
@@ -99,11 +121,16 @@
 #include "core/report/report.hh"
 #include "core/confidence/confidence.hh"
 #include "core/sampling/sampling.hh"
+#include "fidelity/calibrate.hh"
+#include "fidelity/error_profile.hh"
+#include "fidelity/persist_fidelity.hh"
 #include "serve/coordinator.hh"
 #include "serve/protocol.hh"
 #include "serve/spawn.hh"
+#include "serve/worker.hh"
 #include "sim/adaptive.hh"
 #include "sim/campaign.hh"
+#include "sim/hybrid.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
 #include "sim/characterize.hh"
@@ -343,6 +370,16 @@ campaignSpecFromArgs(const Args &args)
         args.getU64("shard-size", 64 * 1024);
     spec.shardRows = std::max<std::uint64_t>(
         1, shard_cells / std::max<std::size_t>(1, policies.size()));
+    // Mixed-fidelity escalation (docs/FIDELITY.md): with
+    // --escalate-budget F > 0 the coordinator re-leases suspect
+    // shards at detailed fidelity after the BADCO sweep commits.
+    spec.fidelity =
+        static_cast<std::uint32_t>(args.getU64("fidelity", 0));
+    spec.escalateBudget = argF64(args, "escalate-budget", 0.0);
+    spec.escalateQuantile =
+        argF64(args, "escalate-quantile", 0.9);
+    spec.escalateMetric =
+        args.get("escalate-metric", args.get("metric", "IPCT"));
     return spec;
 }
 
@@ -603,11 +640,156 @@ cmdAdaptive(const Args &args)
     return 0;
 }
 
+/**
+ * `hybrid` (and `population --hybrid 1`): an error-bounded
+ * mixed-fidelity X-vs-Y campaign (docs/FIDELITY.md).  A BADCO sweep
+ * runs first; cells whose d(w) error interval straddles the
+ * decision boundary are re-run on the detailed simulator, capped by
+ * --budget-frac, and the final report separates sampling error from
+ * model error.  The error profile lives beside the model cache
+ * (--profile overrides) and is calibrated automatically from a
+ * --calibrate W workload detailed-vs-BADCO pair when missing.
+ */
+int
+cmdHybrid(const Args &args)
+{
+    setupObs(args);
+    if (!args.has("out"))
+        WSEL_FATAL("hybrid requires --out DIR");
+    const std::string out = args.get("out", "");
+    const std::uint32_t cores =
+        static_cast<std::uint32_t>(args.getU64("cores", 4));
+    const std::uint64_t insns = args.getU64("insns", 100000);
+    const ThroughputMetric metric =
+        parseMetric(args.get("metric", "IPCT"));
+
+    // Same orientation as adaptive: --x/--y, or --policies Y,X.
+    PolicyKind x = PolicyKind::FIFO;
+    PolicyKind y = PolicyKind::LRU;
+    if (args.has("policies")) {
+        const auto pol =
+            parsePolicyList(args.get("policies", ""));
+        if (pol.size() != 2)
+            WSEL_FATAL("a hybrid campaign compares exactly two "
+                       "policies (--policies Y,X; got "
+                       << pol.size() << ")");
+        y = pol[0];
+        x = pol[1];
+    } else {
+        x = parsePolicyKind(args.get("x", "FIFO"));
+        y = parsePolicyKind(args.get("y", "LRU"));
+    }
+
+    const auto &suite = spec2006Suite();
+    const WorkloadPopulation pop(
+        static_cast<std::uint32_t>(suite.size()), cores);
+
+    HybridOptions opts;
+    opts.seed = args.getU64("seed", 1);
+    opts.jobs = static_cast<std::size_t>(args.getU64("jobs", 0));
+    opts.shardCells = static_cast<std::size_t>(
+        args.getU64("shard-size", 64 * 1024));
+    opts.firstRank = args.getU64("first", 0);
+    opts.lastRank = args.getU64("last", 0);
+    if (args.has("limit") && !args.has("last"))
+        opts.lastRank = std::min<std::uint64_t>(
+            pop.size(),
+            opts.firstRank + args.getU64("limit", 0));
+    opts.resume = args.getU64("resume", 1) != 0;
+    opts.verbose = args.getU64("verbose", 0) != 0;
+    opts.quantile = argF64(args, "quantile", 0.95);
+    opts.budgetFraction = argF64(args, "budget-frac", 0.25);
+    opts.threshold = argF64(args, "threshold", 0.0);
+    opts.batchRows = args.getU64("batch-rows", 64);
+
+    const std::string profile_path = args.get(
+        "profile", fidelity::errorProfilePath(defaultCacheDir()));
+    const std::uint64_t suite_hash =
+        fidelity::ErrorProfile::hashSuite(suite);
+    fidelity::ErrorProfile profile;
+    bool have_profile = false;
+    if (std::filesystem::exists(profile_path)) {
+        try {
+            profile = fidelity::readErrorProfile(profile_path);
+            have_profile = profile.suiteHash() == suite_hash;
+            if (!have_profile)
+                std::printf("error profile %s is for a different "
+                            "suite; re-calibrating\n",
+                            profile_path.c_str());
+        } catch (const persist::CacheInvalid &e) {
+            const std::string moved =
+                persist::quarantineFile(profile_path);
+            warn("corrupt error profile " + profile_path + " (" +
+                 e.what() + ")" +
+                 (moved.empty() ? "" : "; quarantined to " + moved) +
+                 "; re-calibrating");
+        }
+    }
+    if (!have_profile) {
+        const std::size_t calib_w = static_cast<std::size_t>(
+            args.getU64("calibrate", 24));
+        std::printf("calibrating error profile: %zu workloads, "
+                    "detailed vs BADCO (%u cores)...\n",
+                    calib_w, cores);
+        profile = fidelity::calibrateErrorProfile(
+            cores, insns, calib_w, opts.seed, suite, {x, y},
+            defaultCacheDir(), opts.jobs, opts.verbose);
+        fidelity::writeErrorProfile(profile_path, profile);
+        std::printf("calibrated from %llu samples -> %s\n",
+                    static_cast<unsigned long long>(
+                        profile.totalSamples()),
+                    profile_path.c_str());
+    }
+
+    const UncoreConfig ucfg =
+        UncoreConfig::forCores(cores, PolicyKind::LRU);
+    BadcoModelStore store(CoreConfig{}, insns, ucfg.llcHitLatency,
+                          defaultCacheDir());
+
+    std::printf("hybrid campaign: %s vs %s (%s, %u cores, "
+                "quantile %.2f, budget %.0f%%) -> %s\n",
+                toString(y).c_str(), toString(x).c_str(),
+                toString(metric).c_str(), cores, opts.quantile,
+                100.0 * opts.budgetFraction, out.c_str());
+
+    const HybridResult r = runHybridCampaign(
+        pop, x, y, metric, insns, store, suite, profile, out,
+        opts);
+    if (r.profileUpdated)
+        fidelity::writeErrorProfile(profile_path, profile);
+
+    const fidelity::HybridReportRecord &rep = r.report;
+    std::printf("\n%llu workloads, %llu escalated to detailed "
+                "(%.1f%%; %llu cells simulated, %llu resumed)\n",
+                static_cast<unsigned long long>(rep.workloads),
+                static_cast<unsigned long long>(rep.escalated),
+                100.0 * rep.escalationFraction,
+                static_cast<unsigned long long>(
+                    r.detailedCellsSimulated),
+                static_cast<unsigned long long>(
+                    r.detailedCellsResumed));
+    std::printf("mean d = %+.6f  sigma = %.6f  cv = %.3f  "
+                "eq.5 confidence = %.4f\n",
+                rep.meanD, rep.sigma, rep.cv, rep.confidence);
+    std::printf("model error in [%+.6f, %+.6f]; combined bound "
+                "[%+.6f, %+.6f]\n",
+                rep.modelLo, rep.modelHi, rep.comboLo, rep.comboHi);
+    const bool decisive = rep.comboLo > opts.threshold ||
+                          rep.comboHi < opts.threshold;
+    std::printf("verdict: %s leads%s\n",
+                (rep.yWins ? toString(y) : toString(x)).c_str(),
+                decisive ? "" : " (combined bound straddles the "
+                                "threshold; not decisive)");
+    return 0;
+}
+
 int
 cmdPopulation(const Args &args)
 {
     if (args.getU64("sequential", 0) != 0)
         return cmdAdaptive(args);
+    if (args.getU64("hybrid", 0) != 0)
+        return cmdHybrid(args);
     if (args.has("distributed"))
         return cmdPopulationDistributed(args);
     setupObs(args);
@@ -1034,24 +1216,41 @@ usage()
         "      [--policies LRU,...] [--shard-size CELLS]\n"
         "      [--jobs N] [--first R] [--last R|--limit N]\n"
         "      [--resume 0|1] [--metric IPCT|WSU|HSU|GSU]\n"
-        "      [--distributed N] [--sequential 1] [--verbose 1]\n"
+        "      [--seed S] [--distributed N] [--sequential 1]\n"
+        "      [--hybrid 1] [--verbose 1]\n"
         "      full-population campaign into a sharded campaign_v3\n"
         "      dir; --distributed N leases shards to N spawned\n"
         "      wsel_worker processes with --out as the result-store\n"
         "      root (docs/ROBUSTNESS.md); --sequential 1 runs the\n"
         "      adaptive stopping rule instead (--policies Y,X;\n"
-        "      docs/SAMPLING.md)\n"
+        "      docs/SAMPLING.md); --hybrid 1 runs the\n"
+        "      mixed-fidelity campaign (docs/FIDELITY.md)\n"
         "  adaptive --out DIR [--x POL --y POL] [--metric M]\n"
         "      [--cores K] [--insns N] [--target C] [--budget W]\n"
         "      [--min W] [--batch W] [--jobs N]\n"
         "      [--method random|ranked-set] [--set-size M]\n"
         "      [--redraws N] [--wall-clock SECS] [--resume 0|1]\n"
+        "      [--seed S] [--verbose 1]\n"
         "      sequential campaign that stops at target confidence\n"
         "      (docs/SAMPLING.md); resumable bitwise-identically\n"
+        "  hybrid --out DIR [--x POL --y POL|--policies Y,X]\n"
+        "      [--metric M] [--cores K] [--insns N] [--limit N]\n"
+        "      [--quantile Q] [--budget-frac F] [--threshold T]\n"
+        "      [--profile FILE] [--calibrate W] [--jobs N]\n"
+        "      [--resume 0|1] [--seed S]\n"
+        "      error-bounded mixed-fidelity campaign: BADCO sweep,\n"
+        "      then suspect cells escalate to the detailed\n"
+        "      simulator, at most --budget-frac of the population;\n"
+        "      the report separates sampling error from model\n"
+        "      error (docs/FIDELITY.md)\n"
         "  serve <submit|status|metrics|stop> --socket PATH\n"
         "      [--id N] [--wait 0|1] [campaign options]\n"
+        "      [--escalate-budget F] [--escalate-quantile Q]\n"
+        "      [--escalate-metric M]\n"
         "      talk to a wsel_serve daemon; stop halts a campaign,\n"
-        "      keeping finished shards in the store\n"
+        "      keeping finished shards in the store;\n"
+        "      --escalate-budget F > 0 re-leases suspect shards at\n"
+        "      detailed fidelity after the BADCO sweep commits\n"
         "  analyze --campaign FILE --x POL --y POL [--metric M]\n"
         "      cv, 1/cv, eq. 8 sample size, regime, CI estimates\n"
         "  select --campaign FILE --x POL --y POL --size W\n"
@@ -1094,6 +1293,8 @@ dispatch(int argc, char **argv)
         return cmdPopulation(args);
     if (cmd == "adaptive")
         return cmdAdaptive(args);
+    if (cmd == "hybrid")
+        return cmdHybrid(args);
     if (cmd == "analyze")
         return cmdAnalyze(args);
     if (cmd == "select")
@@ -1115,6 +1316,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     wsel::obs::initFromEnv();
+    // WSEL_KILL_POINT works on the CLI exactly as on wsel_worker
+    // (src/serve/worker.hh): CI's crash/resume smokes SIGKILL a
+    // real process at a named persist kill point.
+    wsel::serve::armKillPointsFromEnv();
     int rc;
     try {
         rc = dispatch(argc, argv);
