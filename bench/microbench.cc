@@ -16,12 +16,14 @@
 #include "badco/badco_machine.hh"
 #include "badco/badco_model.hh"
 #include "cache/cache.hh"
+#include "cache/tagscan.hh"
 #include "core/workload/workload.hh"
 #include "cpu/detailed_core.hh"
 #include "cpu/tage.hh"
 #include "mem/uncore.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/batch.hh"
 #include "stats/persist_v3.hh"
 #include "stats/summary.hh"
 #include "trace/trace_generator.hh"
@@ -164,6 +166,117 @@ BM_DetailedCoreUop(benchmark::State &state)
         static_cast<std::int64_t>(committed));
 }
 BENCHMARK(BM_DetailedCoreUop)->Arg(0)->Arg(1);
+
+// One tag scan over a 16-way set (the Table II LLC geometry), per
+// implementation. The hit way cycles through all 16 positions so
+// early-exit paths are not flattered by a fixed match index.
+// sse2/avx2 call the implementations directly (the dispatched
+// find() routes 16-way sets to the inlined SSE2 body even on AVX2
+// hosts — see cache/tagscan.hh).
+void
+BM_SwarTagCompare(benchmark::State &state)
+{
+    const auto path = static_cast<tagscan::Path>(state.range(0));
+#ifdef WSEL_TAGSCAN_X86
+    if (static_cast<int>(path) >
+        static_cast<int>(tagscan::activePath())) {
+        state.SkipWithError("path unsupported on this host");
+        return;
+    }
+#else
+    if (static_cast<int>(path) >=
+        static_cast<int>(tagscan::Path::Sse2)) {
+        state.SkipWithError("x86-only path");
+        return;
+    }
+#endif
+    alignas(64) std::uint32_t tags[16];
+    for (std::uint32_t w = 0; w < 16; ++w)
+        tags[w] = ((w + 1) << 1) | 1; // valid-tag encoding
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        const std::uint32_t want = (((i & 15) + 1) << 1) | 1;
+        ++i;
+        std::uint32_t r = 0;
+        switch (path) {
+#ifdef WSEL_TAGSCAN_X86
+          case tagscan::Path::Avx2:
+            r = tagscan::findAvx2(tags, 16, want);
+            break;
+          case tagscan::Path::Sse2:
+            r = tagscan::findSse2(tags, 16, want);
+            break;
+#endif
+          case tagscan::Path::Swar:
+            r = tagscan::findSwar(tags, 16, want);
+            break;
+          default:
+            r = tagscan::findScalar(tags, 16, want);
+            break;
+        }
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(tagscan::toString(path));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwarTagCompare)
+    ->Arg(static_cast<int>(tagscan::Path::Scalar))
+    ->Arg(static_cast<int>(tagscan::Path::Swar))
+    ->Arg(static_cast<int>(tagscan::Path::Sse2))
+    ->Arg(static_cast<int>(tagscan::Path::Avx2));
+
+// Whole cells through the batched engine (sim/batch.hh) at batch
+// size B: the per-cell cost including uncore construction and lane
+// reset, i.e. what a population shard pays per (workload, policy)
+// cell. Items = cells.
+void
+BM_BatchStep(benchmark::State &state)
+{
+    constexpr std::uint64_t kTarget = 20000;
+    static const BadcoModel m0 = buildBadcoModel(
+        findProfile("mcf"), CoreConfig{}, kTarget, 6);
+    static const BadcoModel m1 = buildBadcoModel(
+        findProfile("povray"), CoreConfig{}, kTarget, 6);
+    static const std::vector<const BadcoModel *> models = {&m0,
+                                                           &m1};
+    static const std::vector<UncoreConfig> ucfgs = {
+        UncoreConfig::forCores(4, PolicyKind::LRU)};
+    const auto batch = static_cast<std::uint32_t>(state.range(0));
+    BadcoBatchRunner runner({ucfgs.data(), ucfgs.size()}, 4,
+                            kTarget, models, batch);
+    const std::uint32_t benches[4] = {0, 1, 0, 1};
+    std::vector<double> out(static_cast<std::size_t>(batch) * 4);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        for (std::uint32_t i = 0; i < batch; ++i)
+            runner.add(seed++, 0, {benches, 4}, out.data() + i * 4);
+        runner.run();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchStep)->Arg(1)->Arg(8)->Arg(32);
+
+// Pinning a batch's trace chunks up front (trace/trace_store.hh
+// BatchPin): the per-batch fixed cost the detailed path pays to
+// take chunk refills out of its lanes' way. Chunks are prebuilt;
+// items = chunk pins per iteration.
+void
+BM_BatchChunkPin(benchmark::State &state)
+{
+    static TraceStore store; // chunks shared across iterations
+    const BenchmarkProfile &p = findProfile("mcf");
+    constexpr std::uint64_t kUops =
+        4 * TraceStore::kDefaultChunkUops;
+    store.ensureBuilt(p, kUops);
+    for (auto _ : state) {
+        BatchPin pin;
+        pin.pin(store, p, kUops);
+        benchmark::DoNotOptimize(pin.held());
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_BatchChunkPin);
 
 void
 BM_BadcoMachineStep(benchmark::State &state)

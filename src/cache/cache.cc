@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "cache/tagscan.hh"
 #include "stats/logging.hh"
 
 namespace wsel
@@ -91,17 +92,16 @@ Cache::access(std::uint64_t byte_addr, bool is_write,
     else
         ++stats_.demandAccesses;
 
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (tags[w] == want) {
-            policy_->onHit(set, w);
-            if (is_write)
-                dirty_[base + w] = 1;
-            if (is_prefetch)
-                ++stats_.prefetchHits;
-            else
-                ++stats_.demandHits;
-            return Result{true, {}};
-        }
+    const std::uint32_t w = tagscan::find(tags, geom_.ways, want);
+    if (w < geom_.ways) {
+        policy_->onHit(set, w);
+        if (is_write)
+            dirty_[base + w] = 1;
+        if (is_prefetch)
+            ++stats_.prefetchHits;
+        else
+            ++stats_.demandHits;
+        return Result{true, {}};
     }
 
     if (is_prefetch)
@@ -120,13 +120,9 @@ Cache::fill(std::uint64_t line_addr, bool is_write)
         static_cast<std::size_t>(set) * geom_.ways;
     std::uint32_t *tags = &tags_[base];
 
-    std::uint32_t victim = geom_.ways;
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (tags[w] == 0) {
-            victim = w;
-            break;
-        }
-    }
+    // Lowest invalid way (tag 0), if any; all tagscan paths agree
+    // on the lowest-index pick, keeping replacement path-invariant.
+    std::uint32_t victim = tagscan::find(tags, geom_.ways, 0u);
     Result res;
     res.hit = false;
     if (victim == geom_.ways) {
@@ -157,20 +153,19 @@ Cache::accessIfHit(std::uint64_t byte_addr, bool is_write,
         static_cast<std::size_t>(set) * geom_.ways;
     const std::uint32_t *tags = &tags_[base];
     const std::uint32_t want = tagFor(la);
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (tags[w] == want) {
-            if (is_prefetch) {
-                ++stats_.prefetchAccesses;
-                ++stats_.prefetchHits;
-            } else {
-                ++stats_.demandAccesses;
-                ++stats_.demandHits;
-            }
-            policy_->onHit(set, w);
-            if (is_write)
-                dirty_[base + w] = 1;
-            return true;
+    const std::uint32_t w = tagscan::find(tags, geom_.ways, want);
+    if (w < geom_.ways) {
+        if (is_prefetch) {
+            ++stats_.prefetchAccesses;
+            ++stats_.prefetchHits;
+        } else {
+            ++stats_.demandAccesses;
+            ++stats_.demandHits;
         }
+        policy_->onHit(set, w);
+        if (is_write)
+            dirty_[base + w] = 1;
+        return true;
     }
     return false;
 }
@@ -199,11 +194,7 @@ Cache::probe(std::uint64_t byte_addr) const
     const std::uint32_t *tags =
         &tags_[static_cast<std::size_t>(set) * geom_.ways];
     const std::uint32_t want = tagFor(la);
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (tags[w] == want)
-            return true;
-    }
-    return false;
+    return tagscan::find(tags, geom_.ways, want) < geom_.ways;
 }
 
 Cache::Result
@@ -215,13 +206,12 @@ Cache::writeback(std::uint64_t byte_addr)
         static_cast<std::size_t>(set) * geom_.ways;
     const std::uint32_t *tags = &tags_[base];
     const std::uint32_t want = tagFor(la);
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        if (tags[w] == want) {
-            dirty_[base + w] = 1;
-            // Writebacks do not update replacement state: they are
-            // not program references.
-            return Result{true, {}};
-        }
+    const std::uint32_t w = tagscan::find(tags, geom_.ways, want);
+    if (w < geom_.ways) {
+        dirty_[base + w] = 1;
+        // Writebacks do not update replacement state: they are
+        // not program references.
+        return Result{true, {}};
     }
     return fill(la, true);
 }

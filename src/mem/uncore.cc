@@ -23,9 +23,9 @@ Uncore::Uncore(const UncoreConfig &cfg, std::uint32_t num_cores,
                   kXlateEntries);
     mshrs_.reserve(cfg.mshrs);
     writeBuffer_.reserve(cfg.writeBufferEntries);
-    // Head off rehash churn from first-touch allocation bursts; the
-    // bucket count is unobservable in results.
-    pageTable_.reserve(4096);
+    // Head off growth churn from first-touch allocation bursts; the
+    // slot count is unobservable in results.
+    pageSlots_.resize(4096);
     for (std::uint32_t c = 0; c < num_cores; ++c) {
         if (cfg.ipStridePrefetch && cfg.streamPrefetch) {
             // The standard pairing gets the fused, statically
@@ -76,21 +76,55 @@ Uncore::translate(std::uint32_t core_id, std::uint64_t vaddr)
     if (slot.key == key) {
         ppn = slot.ppn;
     } else {
-        auto it = pageTable_.find(key);
-        if (it == pageTable_.end()) {
-            // First touch: allocate the next physical page (the
-            // paper's BADCO "allocates a new physical page" on a
-            // page miss).
-            ppn = nextPpn_++;
-            pageTable_.emplace(key, ppn);
-        } else {
-            ppn = it->second;
-        }
+        ppn = pageLookupOrAssign(key);
         slot.key = key;
         slot.ppn = ppn;
     }
     return (ppn << pageShift_) |
            (vaddr & (cfg_.pageBytes - 1));
+}
+
+std::uint64_t
+Uncore::pageLookupOrAssign(std::uint64_t key)
+{
+    const std::size_t mask = pageSlots_.size() - 1;
+    // Fibonacci hashing spreads the core/VPN key; linear probing
+    // keeps collision runs on the same host cache lines.
+    std::size_t idx =
+        static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ull);
+    for (;; ++idx) {
+        PageSlot &s = pageSlots_[idx & mask];
+        if (s.ppn == kEmptyPage) {
+            // First touch: allocate the next physical page (the
+            // paper's BADCO "allocates a new physical page" on a
+            // page miss).
+            const std::uint64_t ppn = nextPpn_++;
+            s.key = key;
+            s.ppn = ppn;
+            if (++pageCount_ * 4 > pageSlots_.size() * 3)
+                growPageTable();
+            return ppn;
+        }
+        if (s.key == key)
+            return s.ppn;
+    }
+}
+
+void
+Uncore::growPageTable()
+{
+    std::vector<PageSlot> old = std::move(pageSlots_);
+    pageSlots_.assign(old.size() * 2, PageSlot{});
+    const std::size_t mask = pageSlots_.size() - 1;
+    for (const PageSlot &s : old) {
+        if (s.ppn == kEmptyPage)
+            continue;
+        std::size_t idx = static_cast<std::size_t>(
+            s.key * 0x9E3779B97F4A7C15ull);
+        while (pageSlots_[idx & mask].ppn != kEmptyPage)
+            ++idx;
+        pageSlots_[idx & mask] = s;
+    }
 }
 
 std::uint64_t

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -114,9 +113,11 @@ class PerfectUncore : public UncoreIf
 };
 
 /**
- * The real shared uncore.
+ * The real shared uncore. final so callers holding a concrete
+ * Uncore (the batched cell engine's per-cell instances) get
+ * devirtualized access()/writeback() calls in their hot loops.
  */
-class Uncore : public UncoreIf
+class Uncore final : public UncoreIf
 {
   public:
     /**
@@ -174,8 +175,26 @@ class Uncore : public UncoreIf
 
     Cache llc_;
 
-    /** First-touch page table: (core, vpn) -> ppn. */
-    std::unordered_map<std::uint64_t, std::uint64_t> pageTable_;
+    /**
+     * First-touch page table: (core, vpn) -> ppn as an
+     * open-addressing linear-probe table.  The mapping is identical
+     * to a node-based hash map — ppn still counts first touches in
+     * request order — but a lookup is one multiplicative hash plus
+     * a short probe run over a contiguous slot array instead of a
+     * bucket-chain pointer chase, and growth never allocates per
+     * page.  A slot with ppn == kEmptyPage is free (ppns count up
+     * from 1 and can never reach the sentinel).
+     */
+    struct PageSlot
+    {
+        std::uint64_t key = 0;
+        std::uint64_t ppn = kEmptyPage;
+    };
+    static constexpr std::uint64_t kEmptyPage = UINT64_MAX;
+    std::uint64_t pageLookupOrAssign(std::uint64_t key);
+    void growPageTable();
+    std::vector<PageSlot> pageSlots_;
+    std::size_t pageCount_ = 0;
     std::uint64_t nextPpn_ = 1;
     std::uint64_t pageShift_ = 12;
 
@@ -186,7 +205,7 @@ class Uncore : public UncoreIf
      * requests. Pure cache — the (core, vpn) -> ppn mapping is
      * immutable once created, so any hit is exact.
      */
-    static constexpr std::uint32_t kXlateEntries = 64;
+    static constexpr std::uint32_t kXlateEntries = 512;
     struct XlateEntry
     {
         std::uint64_t key = UINT64_MAX;

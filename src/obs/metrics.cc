@@ -135,6 +135,10 @@ constexpr CatalogEntry kCatalog[] = {
     {"sim.detailed.cell_ns", 'h'},
     {"sim.badco.cells", 'c'},
     {"sim.badco.cell_ns", 'h'},
+    {"batch.cells", 'c'},
+    {"batch.lanes_active", 'g'},
+    {"batch.chunk_pins_saved", 'c'},
+    {"batch.simd_path", 'g'},
     {"trace_store.chunks_built", 'c'},
     {"trace_store.chunk_hits", 'c'},
     {"trace_store.chunks_evicted", 'c'},

@@ -111,10 +111,12 @@ runLease(const LeaseMsg &lease, CachedContext &cached,
     std::vector<double> payload;
     try {
         if (ctx.fidelity() == 0)
-            simulatePopulationShard(m, ctx.population(),
-                                    ctx.uncores(), ctx.models(),
-                                    ctx.seed(), lease.shard,
-                                    payload, tick);
+            // Batch size from WSEL_BATCH_CELLS (resolveBatchCells
+            // default otherwise); batching never changes shard
+            // bytes, so mixed worker fleets stay coherent.
+            simulatePopulationShardBatched(
+                m, ctx.population(), ctx.uncores(), ctx.models(),
+                ctx.seed(), lease.shard, 0, payload, tick);
         else
             simulateDetailedPopulationShard(
                 m, ctx.population(), ctx.coreConfig(),

@@ -9,6 +9,7 @@
 #include "exec/scheduler.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/batch.hh"
 #include "sim/campaign.hh"
 #include "sim/multicore.hh"
 #include "stats/logging.hh"
@@ -268,36 +269,68 @@ runAdaptiveCampaign(const WorkloadPopulation &pop, PolicyKind x,
                                                   pop.size());
             }
             batch.d.assign(rows, 0.0);
-            auto run_row = [&](std::size_t r) {
-                const std::uint64_t rank = batch.ranks[r];
+            // Rows run through the batched engine in groups of
+            // batch_cells/2 rows (2 cells per row); groups are the
+            // parallel_for grain. Each cell is an independent
+            // computation, so the grouping — like the old per-row
+            // grain — cannot change any d value.
+            const std::uint32_t batch_cells =
+                resolveBatchCells(opts.batchCells);
+            const std::uint64_t group_rows =
+                std::max<std::uint64_t>(1, batch_cells / 2);
+            const std::uint64_t groups =
+                (rows + group_rows - 1) / group_rows;
+            auto run_group = [&](std::size_t g) {
+                const std::uint64_t r0 = g * group_rows;
+                const std::uint64_t r1 = std::min<std::uint64_t>(
+                    rows, r0 + group_rows);
+                std::vector<double> ipc(
+                    static_cast<std::size_t>(r1 - r0) * 2 * k, 0.0);
+                BadcoBatchRunner runner(
+                    {ucfgs.data(), ucfgs.size()}, k, target_uops,
+                    models, batch_cells);
                 std::vector<std::uint32_t> benches;
-                pop.unrankInto(rank, benches);
-                std::vector<double> refs(k, 1.0);
-                for (std::uint32_t c = 0; c < k; ++c)
-                    refs[c] = ref_ipc[benches[c]];
-                double t[2] = {0.0, 0.0};
-                for (std::size_t p = 0; p < 2; ++p) {
-                    persist::faultPoint("adaptive.cell");
-                    const BadcoMulticoreSim sim(
-                        ucfgs[p], k, target_uops,
-                        campaignCellSeed(fp, opts.seed, p, rank));
-                    const SimResult res = sim.run(benches, models);
-                    t[p] = perWorkloadThroughput(metric, res.ipc,
-                                                 refs);
+                for (std::uint64_t r = r0; r < r1; ++r) {
+                    const std::uint64_t rank = batch.ranks[r];
+                    pop.unrankInto(rank, benches);
+                    for (std::size_t p = 0; p < 2; ++p) {
+                        persist::faultPoint("adaptive.cell");
+                        runner.add(
+                            campaignCellSeed(fp, opts.seed, p,
+                                             rank),
+                            static_cast<std::uint32_t>(p),
+                            {benches.data(), benches.size()},
+                            ipc.data() +
+                                ((r - r0) * 2 + p) * k);
+                    }
                 }
-                batch.d[r] =
-                    perWorkloadDifference(metric, t[0], t[1]);
+                runner.run();
+                std::vector<double> refs(k, 1.0);
+                for (std::uint64_t r = r0; r < r1; ++r) {
+                    pop.unrankInto(batch.ranks[r], benches);
+                    for (std::uint32_t c = 0; c < k; ++c)
+                        refs[c] = ref_ipc[benches[c]];
+                    double t[2] = {0.0, 0.0};
+                    for (std::size_t p = 0; p < 2; ++p)
+                        t[p] = perWorkloadThroughput(
+                            metric,
+                            {ipc.data() + ((r - r0) * 2 + p) * k,
+                             k},
+                            refs);
+                    batch.d[r] = perWorkloadDifference(metric, t[0],
+                                                       t[1]);
+                }
             };
             const std::size_t workers = std::min<std::size_t>(
-                jobs, static_cast<std::size_t>(rows));
+                jobs, static_cast<std::size_t>(groups));
             if (workers > 1) {
                 exec::ThreadPool pool(workers);
                 exec::parallel_for(pool, std::size_t{0},
-                                   static_cast<std::size_t>(rows),
-                                   run_row);
+                                   static_cast<std::size_t>(groups),
+                                   run_group);
             } else {
-                for (std::uint64_t r = 0; r < rows; ++r)
-                    run_row(static_cast<std::size_t>(r));
+                for (std::uint64_t g = 0; g < groups; ++g)
+                    run_group(static_cast<std::size_t>(g));
             }
             persist::writeAdaptiveBatch(out_dir, batch);
         }

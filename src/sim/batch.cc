@@ -1,0 +1,336 @@
+#include "sim/batch.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "cache/tagscan.hh"
+#include "obs/metrics.hh"
+#include "stats/logging.hh"
+
+namespace wsel
+{
+
+std::uint32_t
+resolveBatchCells(std::uint32_t requested)
+{
+    std::uint64_t b = requested;
+    if (b == 0) {
+        b = kDefaultBatchCells;
+        if (const char *env = std::getenv("WSEL_BATCH_CELLS");
+            env && *env) {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0) {
+                b = v;
+            } else {
+                warn("ignoring invalid WSEL_BATCH_CELLS '" +
+                     std::string(env) + "' (want a positive cell "
+                     "count)");
+            }
+        }
+    }
+    return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        b, 1, kMaxBatchCells));
+}
+
+BadcoBatchRunner::BadcoBatchRunner(
+    std::span<const UncoreConfig> ucfgs, std::uint32_t cores,
+    std::uint64_t target_uops,
+    const std::vector<const BadcoModel *> &models,
+    std::uint32_t batch_cells, std::uint32_t window,
+    std::uint32_t max_outstanding, std::uint64_t quantum)
+    : ucfgs_(ucfgs), cores_(cores), targetUops_(target_uops),
+      models_(models),
+      batchCells_(std::clamp<std::uint32_t>(batch_cells, 1,
+                                            kMaxBatchCells)),
+      windowOverride_(window), maxOutstanding_(max_outstanding),
+      quantum_(quantum)
+{
+    if (cores_ == 0)
+        WSEL_FATAL("need at least one core");
+    if (targetUops_ == 0)
+        WSEL_FATAL("target µop count cannot be zero");
+    if (quantum_ == 0)
+        WSEL_FATAL("quantum cannot be zero");
+    if (maxOutstanding_ == 0)
+        WSEL_FATAL("degenerate BADCO machine limits");
+
+    const std::size_t lanes =
+        static_cast<std::size_t>(batchCells_) * cores_;
+    cellSeed_.resize(batchCells_);
+    cellPolicy_.resize(batchCells_);
+    cellOut_.resize(batchCells_);
+    clock_.resize(lanes);
+    totalUops_.resize(lanes);
+    nodeIdx_.resize(lanes);
+    loadSeq_.resize(lanes);
+    outMin_.resize(lanes);
+    outCnt_.resize(lanes);
+    cyclesToTarget_.resize(lanes);
+    laneWindow_.resize(lanes);
+    laneModel_.resize(lanes);
+    loadOff_.resize(lanes);
+    outComp_.resize(lanes * maxOutstanding_);
+    outMark_.resize(lanes * maxOutstanding_);
+
+    if (obs::metricsEnabled()) {
+        obs::gauge("batch.simd_path")
+            .set(static_cast<double>(tagscan::activePath()));
+    }
+}
+
+void
+BadcoBatchRunner::add(std::uint64_t seed, std::uint32_t policy,
+                      std::span<const std::uint32_t> benches,
+                      double *out_ipc)
+{
+    if (full())
+        run();
+    if (benches.size() != cores_)
+        WSEL_FATAL("workload has " << benches.size()
+                                   << " threads for " << cores_
+                                   << " cores");
+    if (policy >= ucfgs_.size())
+        WSEL_FATAL("cell references policy " << policy
+                   << " outside the campaign's " << ucfgs_.size());
+
+    const std::size_t b = cells_;
+    // Cells execute one at a time (cell-major run()), so every
+    // cell's lanes share the same load-completion arena region —
+    // the arena is sized for the largest single cell, not the
+    // whole batch.
+    std::size_t load_watermark = 0;
+    cellSeed_[b] = seed;
+    cellPolicy_[b] = policy;
+    cellOut_[b] = out_ipc;
+    for (std::uint32_t k = 0; k < cores_; ++k) {
+        const std::uint32_t bench = benches[k];
+        if (bench >= models_.size() || models_[bench] == nullptr)
+            WSEL_FATAL("no BADCO model for benchmark " << bench);
+        const BadcoModel &model = *models_[bench];
+        if (model.traceUops == 0 || model.intrinsicCycles == 0)
+            WSEL_FATAL("empty BADCO model for " << model.benchmark);
+        if (!model.finalized)
+            WSEL_FATAL("BADCO model for " << model.benchmark
+                       << " was not finalize()d");
+        const std::uint32_t window =
+            windowOverride_ == 0 ? model.window : windowOverride_;
+        if (window == 0)
+            WSEL_FATAL("degenerate BADCO machine limits");
+        const std::size_t lane =
+            static_cast<std::size_t>(b) * cores_ + k;
+        clock_[lane] = 0;
+        totalUops_[lane] = 0;
+        nodeIdx_[lane] = 0;
+        loadSeq_[lane] = 0;
+        outMin_[lane] = UINT64_MAX;
+        outCnt_[lane] = 0;
+        cyclesToTarget_[lane] = 0;
+        laneWindow_[lane] = window;
+        laneModel_[lane] = &model;
+        loadOff_[lane] = load_watermark;
+        load_watermark += model.loadCount;
+    }
+    if (loadComp_.size() < load_watermark)
+        loadComp_.resize(load_watermark);
+    ++cells_;
+}
+
+void
+BadcoBatchRunner::run()
+{
+    if (cells_ == 0)
+        return;
+    const bool metrics = obs::metricsEnabled();
+    obs::Gauge *lanes_active = nullptr;
+    if (metrics) {
+        static obs::Counter &cellsC = obs::counter("batch.cells");
+        static obs::Gauge &lanesG =
+            obs::gauge("batch.lanes_active");
+        cellsC.inc(cells_);
+        lanes_active = &lanesG;
+        lanesG.set(static_cast<double>(cells_ * cores_));
+    }
+
+    // Cell-major execution: each cell runs to completion under the
+    // rotating-quantum schedule of BadcoMulticoreSim::run before
+    // the next cell starts. Cells share nothing, so this ordering
+    // is bitwise identical to any cross-cell interleaving — and it
+    // keeps one uncore's working set hot instead of cycling B of
+    // them through the host cache every quantum.
+    for (std::size_t b = 0; b < cells_; ++b) {
+        uncore_.emplace(ucfgs_[cellPolicy_[b]], cores_,
+                        cellSeed_[b]);
+        Uncore &unc = *uncore_;
+        const std::size_t base = b * cores_;
+        std::uint64_t t = 0;
+        std::uint32_t first = 0;
+        for (;;) {
+            bool all_done = true;
+            for (std::uint32_t k = 0; k < cores_; ++k)
+                all_done =
+                    all_done && cyclesToTarget_[base + k] != 0;
+            if (all_done)
+                break;
+            t += quantum_;
+            for (std::uint32_t i = 0; i < cores_; ++i) {
+                std::uint32_t k = first + i;
+                if (k >= cores_)
+                    k -= cores_;
+                const std::size_t lane = base + k;
+                if (clock_[lane] < t)
+                    runLane(lane, unc, k, t);
+            }
+            first = first + 1 == cores_ ? 0 : first + 1;
+        }
+        double *out = cellOut_[b];
+        for (std::uint32_t k = 0; k < cores_; ++k)
+            out[k] = static_cast<double>(targetUops_) /
+                     static_cast<double>(cyclesToTarget_[base + k]);
+        uncore_.reset();
+        if (lanes_active)
+            lanes_active->set(static_cast<double>(
+                (cells_ - b - 1) * cores_));
+    }
+    cells_ = 0;
+}
+
+void
+BadcoBatchRunner::runLane(std::size_t lane, Uncore &unc,
+                          std::uint32_t core, std::uint64_t until)
+{
+    // Lane state in locals for the step loop; written back once at
+    // quantum end. The loop body is BadcoMachine::step() operation
+    // for operation (minus the pure stall/request counters, which
+    // never feed back into timing) — any divergence here breaks
+    // the bitwise-identity contract, so change both together.
+    std::uint64_t clk = clock_[lane];
+    std::uint64_t tu = totalUops_[lane];
+    std::size_t ni = nodeIdx_[lane];
+    std::uint64_t seq = loadSeq_[lane];
+    std::uint64_t omin = outMin_[lane];
+    std::uint32_t ocnt = outCnt_[lane];
+    std::uint64_t ctt = cyclesToTarget_[lane];
+    const std::uint32_t window = laneWindow_[lane];
+    const BadcoModel &model = *laneModel_[lane];
+    const std::size_t ncount = model.nodeWeight.size();
+    const std::uint32_t *nw = model.nodeWeight.data();
+    const std::uint32_t *nu = model.nodeUops.data();
+    const std::uint64_t *nv = model.nodeVaddr.data();
+    const std::uint64_t *npc = model.nodePc.data();
+    const std::uint8_t *nt = model.nodeType.data();
+    const std::int64_t *nd = model.nodeDependsOn.data();
+    std::uint64_t *ocomp =
+        outComp_.data() +
+        static_cast<std::size_t>(lane) * maxOutstanding_;
+    std::uint64_t *omark =
+        outMark_.data() +
+        static_cast<std::size_t>(lane) * maxOutstanding_;
+    std::uint64_t *lcomp = loadComp_.data() + loadOff_[lane];
+
+    const auto expire = [&] {
+        if (omin > clk)
+            return;
+        std::uint64_t min = UINT64_MAX;
+        std::uint32_t n = 0;
+        for (std::uint32_t j = 0; j < ocnt; ++j) {
+            if (ocomp[j] > clk) {
+                ocomp[n] = ocomp[j];
+                omark[n] = omark[j];
+                min = std::min(min, ocomp[j]);
+                ++n;
+            }
+        }
+        ocnt = n;
+        omin = min;
+    };
+    const auto check_target = [&] {
+        if (ctt != 0 || tu < targetUops_)
+            return;
+        std::uint64_t t = clk;
+        for (std::uint32_t j = 0; j < ocnt; ++j)
+            t = std::max(t, ocomp[j]);
+        ctt = std::max<std::uint64_t>(t, 1);
+    };
+
+    while (clk < until) {
+        if (ni >= ncount) {
+            // Tail of the slice, then thread restart.
+            clk += model.tailWeight;
+            tu += model.tailUops;
+            check_target();
+            ni = 0;
+            seq = 0;
+            continue;
+        }
+        const std::size_t i = ni;
+
+        clk += nw[i];
+        tu += nu[i];
+        expire();
+
+        for (std::uint32_t j = 0; j < ocnt; ++j) {
+            if (tu <= omark[j] + window)
+                break;
+            if (ocomp[j] > clk)
+                clk = ocomp[j];
+        }
+        expire();
+
+        const std::uint64_t vaddr = nv[i];
+        const std::uint64_t pc = npc[i];
+        switch (static_cast<BadcoReqType>(nt[i])) {
+          case BadcoReqType::Load: {
+            const std::int64_t depends_on = nd[i];
+            if (depends_on >= 0) {
+                WSEL_ASSERT(
+                    static_cast<std::uint64_t>(depends_on) < seq,
+                    "forward load dependency in model");
+                const std::uint64_t dep_done = lcomp[depends_on];
+                if (dep_done > clk) {
+                    clk = dep_done;
+                    expire();
+                }
+            }
+            if (ocnt >= maxOutstanding_) {
+                if (omin > clk)
+                    clk = omin;
+                expire();
+            }
+            const std::uint64_t comp =
+                unc.access(clk, core, vaddr, false, pc, false);
+            ocomp[ocnt] = comp;
+            omark[ocnt] = tu;
+            ++ocnt;
+            omin = std::min(omin, comp);
+            WSEL_ASSERT(seq < model.loadCount,
+                        "load numbering overflow");
+            lcomp[seq++] = comp;
+            break;
+          }
+          case BadcoReqType::Store:
+            unc.access(clk, core, vaddr, true, pc, false);
+            break;
+          case BadcoReqType::Prefetch:
+            unc.access(clk, core, vaddr, false, pc, true);
+            break;
+          case BadcoReqType::Writeback:
+            unc.writeback(clk, core, vaddr);
+            break;
+        }
+        check_target();
+        ++ni;
+    }
+
+    clock_[lane] = clk;
+    totalUops_[lane] = tu;
+    nodeIdx_[lane] = ni;
+    loadSeq_[lane] = seq;
+    outMin_[lane] = omin;
+    outCnt_[lane] = ocnt;
+    cyclesToTarget_[lane] = ctt;
+}
+
+} // namespace wsel

@@ -61,6 +61,10 @@ struct HybridOptions
     std::uint64_t batchRows = 64;  ///< detailed rows per batch file
 
     CoreConfig coreCfg{};          ///< detailed-core parameters
+
+    /** BADCO-phase batched-engine cells per batch (sim/batch.hh):
+     *  0 resolves WSEL_BATCH_CELLS (default 32), 1 = serial. */
+    std::uint32_t batchCells = 0;
 };
 
 struct HybridResult

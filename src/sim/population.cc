@@ -9,10 +9,12 @@
 #include "exec/scheduler.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/batch.hh"
 #include "sim/campaign.hh"
 #include "sim/multicore.hh"
 #include "stats/logging.hh"
 #include "stats/persist.hh"
+#include "trace/trace_store.hh"
 
 namespace wsel
 {
@@ -129,6 +131,42 @@ simulatePopulationShard(const persist::V3Manifest &m,
 }
 
 void
+simulatePopulationShardBatched(
+    const persist::V3Manifest &m, const WorkloadPopulation &pop,
+    const std::vector<UncoreConfig> &ucfgs,
+    const std::vector<const BadcoModel *> &models,
+    std::uint64_t base_seed, std::uint64_t shard,
+    std::uint32_t batch_cells, std::vector<double> &payload,
+    const std::function<void()> &tick)
+{
+    const std::size_t np = m.policies.size();
+    if (ucfgs.size() != np)
+        WSEL_FATAL("shard simulation got " << ucfgs.size()
+                   << " uncore configs for " << np << " policies");
+    const std::uint32_t k = m.cores;
+    const std::uint64_t rows = m.rowsInShard(shard);
+    payload.assign(static_cast<std::size_t>(rows) * np * k, 0.0);
+    BadcoBatchRunner runner({ucfgs.data(), ucfgs.size()}, k,
+                            m.targetUops, models,
+                            resolveBatchCells(batch_cells));
+    WorkloadCursor cur(pop, m.shardFirstRank(shard));
+    for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
+        if (tick)
+            tick();
+        const std::uint64_t rank = cur.rank();
+        double *row = payload.data() + r * np * k;
+        for (std::size_t p = 0; p < np; ++p) {
+            persist::faultPoint("population.cell");
+            runner.add(campaignCellSeed(m.fingerprint, base_seed,
+                                        p, rank),
+                       static_cast<std::uint32_t>(p),
+                       cur.benchmarks(), row + p * k);
+        }
+    }
+    runner.run();
+}
+
+void
 simulateDetailedPopulationShard(
     const persist::V3Manifest &m, const WorkloadPopulation &pop,
     const CoreConfig &core_cfg,
@@ -152,6 +190,17 @@ simulateDetailedPopulationShard(
         const std::uint64_t rank = cur.rank();
         const Workload w{std::vector<std::uint32_t>(
             cur.benchmarks().begin(), cur.benchmarks().end())};
+        // Pin the row's trace chunks once: all np x k cursors of
+        // this row read the same <= k benchmarks, so one pin per
+        // row keeps a tight WSEL_TRACE_MEM budget from thrashing a
+        // chunk out between cells only to rebuild it for the next
+        // one. Dropped (and the budget re-converged) per row.
+        BatchPin pin;
+        for (std::uint32_t bench : w.benchmarks()) {
+            if (bench < suite.size())
+                pin.pin(TraceStore::global(), suite[bench],
+                        m.targetUops);
+        }
         double *row = payload.data() + r * np * k;
         for (std::size_t p = 0; p < np; ++p) {
             persist::faultPoint("fidelity.escalate");
@@ -247,6 +296,8 @@ runBadcoPopulationCampaign(
 
     const std::uint64_t shards = m.shardCount();
     std::vector<ShardPartial> parts(shards);
+    const std::uint32_t batch_cells =
+        resolveBatchCells(opts.batchCells);
 
     auto run_shard = [&](std::size_t s) {
         ShardPartial &part = parts[s];
@@ -282,8 +333,9 @@ runBadcoPopulationCampaign(
                         "shard=" + std::to_string(s));
         const auto s0 = std::chrono::steady_clock::now();
         std::vector<double> payload;
-        simulatePopulationShard(m, pop, ucfgs, models, opts.seed, s,
-                                payload);
+        simulatePopulationShardBatched(m, pop, ucfgs, models,
+                                       opts.seed, s, batch_cells,
+                                       payload);
         {
             std::uint64_t write_ns = 0;
             {

@@ -118,6 +118,13 @@ struct PopulationOptions
 
     /** Quantile-sketch capacity (kept d(w) samples per pair). */
     std::size_t sketchCapacity = 4096;
+
+    /**
+     * Cells per batch for the batched BADCO engine (sim/batch.hh):
+     * 0 resolves WSEL_BATCH_CELLS (default 32), 1 runs cells
+     * serially. Results are bitwise identical at every value.
+     */
+    std::uint32_t batchCells = 0;
 };
 
 /** Result of a population campaign run. */
@@ -169,6 +176,24 @@ void simulatePopulationShard(
     const std::vector<const BadcoModel *> &models,
     std::uint64_t base_seed, std::uint64_t shard,
     std::vector<double> &payload,
+    const std::function<void()> &tick = {});
+
+/**
+ * Batched variant of simulatePopulationShard: identical contract
+ * and bitwise-identical payload, but cells run through the
+ * BadcoBatchRunner (sim/batch.hh) in groups of @p batch_cells
+ * (resolved via resolveBatchCells; 1 behaves like the serial
+ * engine). The "population.cell" fault point still fires once per
+ * cell, at batch-append time — a fault or SIGKILL mid-batch
+ * abandons the whole (unwritten) shard exactly as the serial
+ * engine's mid-shard fault does, so resume semantics are unchanged.
+ */
+void simulatePopulationShardBatched(
+    const persist::V3Manifest &m, const WorkloadPopulation &pop,
+    const std::vector<UncoreConfig> &ucfgs,
+    const std::vector<const BadcoModel *> &models,
+    std::uint64_t base_seed, std::uint64_t shard,
+    std::uint32_t batch_cells, std::vector<double> &payload,
     const std::function<void()> &tick = {});
 
 /**

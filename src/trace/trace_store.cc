@@ -1,7 +1,13 @@
 #include "trace/trace_store.hh"
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -9,6 +15,52 @@
 
 namespace wsel
 {
+
+namespace
+{
+
+/** WSEL_TRACE_HUGEPAGES=1 opts chunk arrays into THP backing. */
+bool
+traceHugepagesEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("WSEL_TRACE_HUGEPAGES");
+        return env && *env && std::string(env) != "0";
+    }();
+    return enabled;
+}
+
+/**
+ * Advise the kernel to back @p data's pages with transparent huge
+ * pages. Purely a performance hint: trims the page-table walk cost
+ * of the fetch loops streaming the large addr/pc arrays. The range
+ * is rounded inward to page boundaries; sub-page arrays are left
+ * alone. Failures are ignored — THP may be disabled system-wide.
+ */
+void
+adviseHugepages(const void *data, std::size_t bytes)
+{
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    if (!traceHugepagesEnabled() || bytes == 0)
+        return;
+    static const std::uintptr_t page = static_cast<std::uintptr_t>(
+        ::sysconf(_SC_PAGESIZE));
+    const std::uintptr_t lo =
+        (reinterpret_cast<std::uintptr_t>(data) + page - 1) &
+        ~(page - 1);
+    const std::uintptr_t hi =
+        (reinterpret_cast<std::uintptr_t>(data) + bytes) &
+        ~(page - 1);
+    if (hi > lo)
+        (void)::madvise(reinterpret_cast<void *>(lo), hi - lo,
+                        MADV_HUGEPAGE);
+#else
+    (void)data;
+    (void)bytes;
+#endif
+}
+
+} // namespace
 
 // -------------------------------------------------------------------
 // TraceStream
@@ -36,6 +88,9 @@ TraceStream::buildOne()
                    "{\"bench\":\"" + profile_.name + "\"}");
     obs::LatencyHistogram::Timer timer(build_ns);
 
+    // reserve() up front also fixes the arrays' NUMA home: the
+    // build loop below runs on the requesting worker thread, so
+    // first touch places the pages on that worker's node.
     auto c = std::make_shared<TraceChunk>();
     c->firstUop = gen_.generated();
     c->count = chunkUops_;
@@ -56,6 +111,11 @@ TraceStream::buildOne()
         c->latency.push_back(u.latency);
         c->taken.push_back(u.taken ? 1 : 0);
     }
+    // Only the 8-byte-per-µop arrays span enough pages to benefit.
+    adviseHugepages(c->addr.data(),
+                    c->addr.size() * sizeof(std::uint64_t));
+    adviseHugepages(c->pc.data(),
+                    c->pc.size() * sizeof(std::uint64_t));
 
     built.inc();
     builds_.fetch_add(1, std::memory_order_relaxed);
@@ -135,6 +195,49 @@ TraceCursor::dropChunk()
     taken_ = nullptr;
     idx_ = 0;
     count_ = 0;
+}
+
+// -------------------------------------------------------------------
+// BatchPin
+// -------------------------------------------------------------------
+
+void
+BatchPin::pin(TraceStore &store, const BenchmarkProfile &profile,
+              std::uint64_t uops)
+{
+    static obs::Counter &pins_saved =
+        obs::counter("batch.chunk_pins_saved");
+    WSEL_ASSERT(!store_ || store_ == &store,
+                "one BatchPin cannot span two stores");
+    store_ = &store;
+    if (uops == 0)
+        return;
+    auto s = store.stream(profile);
+    const std::uint64_t last = (uops - 1) / s->chunkUops();
+    for (std::uint64_t i = 0; i <= last; ++i) {
+        std::shared_ptr<const TraceChunk> c = s->chunk(i);
+        if (seen_.insert(c.get()).second) {
+            chunks_.push_back(std::move(c));
+        } else {
+            ++saved_;
+            pins_saved.inc();
+        }
+    }
+}
+
+void
+BatchPin::release()
+{
+    if (chunks_.empty() && !store_)
+        return;
+    chunks_.clear();
+    seen_.clear();
+    saved_ = 0;
+    if (store_) {
+        // Pins may have held the store over budget; converge now.
+        store_->trimToBudget();
+        store_ = nullptr;
+    }
 }
 
 // -------------------------------------------------------------------
@@ -221,6 +324,16 @@ TraceStore::residentBytes() const
 }
 
 void
+TraceStore::trimToBudget()
+{
+    static obs::Gauge &resident =
+        obs::gauge("trace_store.resident_bytes");
+    std::lock_guard<std::mutex> lock(mu_);
+    evictLocked(nullptr);
+    resident.set(static_cast<double>(residentBytes_));
+}
+
+void
 TraceStore::clear()
 {
     static obs::Gauge &resident =
@@ -275,13 +388,21 @@ TraceStore::evictLocked(const TraceStream::Entry *keep)
         TraceStream::Entry *lru = nullptr;
         for (auto &kv : streams_) {
             for (TraceStream::Entry &e : kv.second->entries_) {
+                // use_count > 1 means a cursor or BatchPin still
+                // holds the chunk: evicting it would keep the
+                // memory alive through that reader while
+                // un-charging it from the budget, and force a
+                // pointless rebuild for the next reader. Pinned
+                // chunks are therefore ineligible; the budget
+                // converges when the pins release (trimToBudget).
                 if (e.chunk && &e != keep &&
+                    e.chunk.use_count() == 1 &&
                     (!lru || e.lastUse < lru->lastUse))
                     lru = &e;
             }
         }
         if (!lru)
-            break; // only the pinned chunk is left
+            break; // everything left is pinned
         residentBytes_ -= lru->chunk->bytes();
         lru->chunk.reset();
         evicted.inc();

@@ -18,15 +18,21 @@
 # fig5_inverse_cv_population records the population-engine numbers
 # (old-vs-streamed cells/sec and the 8-core streamed run, docs/
 # PERFORMANCE.md "Population campaigns") to
-# build-release/BENCH_population.json.
+# build-release/BENCH_population.json, and the batched-cell-engine
+# sweep (docs/PERFORMANCE.md "Batched execution") to
+# build-release/BENCH_batch.json, which doubles as a throughput
+# floor check (batch=32 must not run slower than batch=1).
 #
 # Every sanitizer preset also runs a capped `wsel_cli population`
 # smoke, exercising the streamed campaign_v3 writer, the parallel
 # shard runner, and the one-pass statistics under asan/ubsan and
-# tsan, plus a `wsel_cli adaptive` smoke (sequential stopping rule
-# with a resume pass, docs/SAMPLING.md); the release leg archives
-# the adaptive-vs-fixed cell counts to
-# build-release/BENCH_adaptive.json.
+# tsan — twice, at --batch-cells 1 and 8, with a byte-compare of
+# the shards (the sim/batch.hh identity contract under the
+# sanitizer) — plus a `wsel_cli adaptive` smoke (sequential
+# stopping rule with a resume pass, docs/SAMPLING.md), both
+# adaptive and hybrid smokes running their cells through the
+# batched engine; the release leg archives the adaptive-vs-fixed
+# cell counts to build-release/BENCH_adaptive.json.
 #
 # The mixed-fidelity layer (docs/FIDELITY.md) gets a smoke on every
 # sanitizer preset — calibrate, SIGKILL a hybrid campaign at the
@@ -65,10 +71,23 @@ for preset in $presets; do
         WSEL_CACHE_DIR="$popdir/cache" \
             "./$bindir/tools/wsel_cli" population \
             --out "$popdir/pop.v3" \
-            --insns 5000 --limit 64 --shard-size 80 --jobs 4
+            --insns 5000 --limit 64 --shard-size 80 --jobs 4 \
+            --batch-cells 1
         test -s "$popdir/pop.v3/manifest.bin"
+        # Batched twin of the same campaign: the batched engine
+        # (sim/batch.hh) must produce bitwise-identical shards under
+        # the sanitizer too.
+        WSEL_CACHE_DIR="$popdir/cache" \
+            "./$bindir/tools/wsel_cli" population \
+            --out "$popdir/pop-batched.v3" \
+            --insns 5000 --limit 64 --shard-size 80 --jobs 4 \
+            --batch-cells 8
+        test -s "$popdir/pop-batched.v3/manifest.bin"
+        for shard in "$popdir"/pop.v3/shard-*.bin; do
+            cmp "$shard" "$popdir/pop-batched.v3/${shard##*/}"
+        done
         rm -rf "$popdir"
-        echo "==> population smoke passed under $preset"
+        echo "==> population smoke (serial + batched) passed under $preset"
 
         # Adaptive sequential campaign smoke (docs/SAMPLING.md):
         # live stopping rule, batch artifacts and a resume of the
@@ -79,13 +98,14 @@ for preset in $presets; do
         WSEL_CACHE_DIR="$adadir/cache" \
             "./$bindir/tools/wsel_cli" adaptive \
             --out "$adadir/run" \
-            --insns 5000 --cores 2 --batch 16 --budget 64 --jobs 4
+            --insns 5000 --cores 2 --batch 16 --budget 64 --jobs 4 \
+            --batch-cells 8
         test -s "$adadir/run/adaptive.bin"
         WSEL_CACHE_DIR="$adadir/cache" \
             "./$bindir/tools/wsel_cli" adaptive \
             --out "$adadir/run" \
             --insns 5000 --cores 2 --batch 16 --budget 64 --jobs 4 \
-            --resume 1
+            --batch-cells 8 --resume 1
         rm -rf "$adadir"
         echo "==> adaptive smoke passed under $preset"
 
@@ -103,7 +123,8 @@ for preset in $presets; do
             "./$bindir/tools/wsel_cli" hybrid \
             --out "$hybdir/run" \
             --insns 5000 --cores 2 --limit 24 --calibrate 8 \
-            --budget-frac 0.25 --batch-rows 2 --jobs 4; then
+            --budget-frac 0.25 --batch-rows 2 --jobs 4 \
+            --batch-cells 8; then
             echo "hybrid smoke: kill point never fired" >&2
             exit 1
         fi
@@ -113,7 +134,8 @@ for preset in $presets; do
             "./$bindir/tools/wsel_cli" hybrid \
             --out "$hybdir/run" \
             --insns 5000 --cores 2 --limit 24 --calibrate 8 \
-            --budget-frac 0.25 --batch-rows 2 --jobs 4
+            --budget-frac 0.25 --batch-rows 2 --jobs 4 \
+            --batch-cells 8
         test -s "$hybdir/run/hybrid.bin"
         rm -rf "$hybdir"
         echo "==> hybrid smoke passed under $preset"
@@ -193,10 +215,26 @@ for preset in $presets; do
         WSEL_POP_BENCH_ROWS=400 \
         WSEL_POP8_ROWS=300 \
         WSEL_BENCH_JSON="build-release/BENCH_population.json" \
+        WSEL_BENCH_JSON_BATCH="build-release/BENCH_batch.json" \
             ./build-release/bench/fig5_inverse_cv_population
         test -s "build-release/BENCH_population.json"
+        test -s "build-release/BENCH_batch.json"
+        # Throughput floor: the batched engine at its default batch
+        # size must not run slower than batch=1 on the same 4-core
+        # range. 10% head-room absorbs shared-runner noise without
+        # masking a real pessimization.
+        python3 - build-release/BENCH_batch.json <<'EOF'
+import json, sys
+points = {p["batch"]: p["cells_per_sec"]
+          for p in json.load(open(sys.argv[1]))["points"]}
+serial, batched = points[1], points[32]
+print(f"batch floor: batch=32 {batched:.0f} vs "
+      f"batch=1 {serial:.0f} cells/sec")
+if batched < 0.9 * serial:
+    sys.exit("batched engine slower than batch=1: regression")
+EOF
         rm -rf "$smoke/cache"
-        echo "==> bench archived in build-release/BENCH_population.json"
+        echo "==> benches archived in build-release/BENCH_population.json and BENCH_batch.json"
 
         echo "==> adaptive stopping bench: $preset"
         WSEL_CACHE_DIR="$smoke/cache" \

@@ -592,6 +592,8 @@ cmdAdaptive(const Args &args)
         static_cast<std::size_t>(args.getU64("redraws", 256));
     opts.resume = args.getU64("resume", 1) != 0;
     opts.verbose = args.getU64("verbose", 0) != 0;
+    opts.batchCells =
+        static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
 
     const UncoreConfig ucfg =
         UncoreConfig::forCores(cores, PolicyKind::LRU);
@@ -701,6 +703,8 @@ cmdHybrid(const Args &args)
     opts.budgetFraction = argF64(args, "budget-frac", 0.25);
     opts.threshold = argF64(args, "threshold", 0.0);
     opts.batchRows = args.getU64("batch-rows", 64);
+    opts.batchCells =
+        static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
 
     const std::string profile_path = args.get(
         "profile", fidelity::errorProfilePath(defaultCacheDir()));
@@ -821,6 +825,8 @@ cmdPopulation(const Args &args)
             opts.firstRank + args.getU64("limit", 0));
     opts.resume = args.getU64("resume", 1) != 0;
     opts.verbose = args.getU64("verbose", 0) != 0;
+    opts.batchCells =
+        static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
 
     // Every ordered policy pair i<j, oriented "i outperforms j".
     std::vector<PopulationPairSpec> pairs;
@@ -1217,7 +1223,7 @@ usage()
         "      [--jobs N] [--first R] [--last R|--limit N]\n"
         "      [--resume 0|1] [--metric IPCT|WSU|HSU|GSU]\n"
         "      [--seed S] [--distributed N] [--sequential 1]\n"
-        "      [--hybrid 1] [--verbose 1]\n"
+        "      [--hybrid 1] [--batch-cells B] [--verbose 1]\n"
         "      full-population campaign into a sharded campaign_v3\n"
         "      dir; --distributed N leases shards to N spawned\n"
         "      wsel_worker processes with --out as the result-store\n"
@@ -1230,14 +1236,14 @@ usage()
         "      [--min W] [--batch W] [--jobs N]\n"
         "      [--method random|ranked-set] [--set-size M]\n"
         "      [--redraws N] [--wall-clock SECS] [--resume 0|1]\n"
-        "      [--seed S] [--verbose 1]\n"
+        "      [--seed S] [--batch-cells B] [--verbose 1]\n"
         "      sequential campaign that stops at target confidence\n"
         "      (docs/SAMPLING.md); resumable bitwise-identically\n"
         "  hybrid --out DIR [--x POL --y POL|--policies Y,X]\n"
         "      [--metric M] [--cores K] [--insns N] [--limit N]\n"
         "      [--quantile Q] [--budget-frac F] [--threshold T]\n"
         "      [--profile FILE] [--calibrate W] [--jobs N]\n"
-        "      [--resume 0|1] [--seed S]\n"
+        "      [--resume 0|1] [--seed S] [--batch-cells B]\n"
         "      error-bounded mixed-fidelity campaign: BADCO sweep,\n"
         "      then suspect cells escalate to the detailed\n"
         "      simulator, at most --budget-frac of the population;\n"
@@ -1264,10 +1270,15 @@ usage()
         "  cache verify [--dir DIR] [--quarantine 0|1]\n"
         "\n"
         "common options: --jobs N (0 = $WSEL_JOBS, else hardware),\n"
-        "  --metrics-out FILE, --trace-out FILE, --trace-mem MIB\n"
+        "  --metrics-out FILE, --trace-out FILE, --trace-mem MIB,\n"
+        "  --batch-cells B (cells per batched-engine group; 0 =\n"
+        "  $WSEL_BATCH_CELLS else 32, 1 = serial; bitwise identical\n"
+        "  at every value)\n"
         "environment: WSEL_JOBS, WSEL_METRICS, WSEL_TRACE,\n"
-        "  WSEL_TRACE_MEM, WSEL_CACHE_DIR; bench binaries write a\n"
-        "  machine-readable summary to $WSEL_BENCH_JSON\n"
+        "  WSEL_TRACE_MEM, WSEL_CACHE_DIR, WSEL_BATCH_CELLS,\n"
+        "  WSEL_SIMD (scalar|swar|sse2|avx2), WSEL_TRACE_HUGEPAGES;\n"
+        "  bench binaries write a machine-readable summary to\n"
+        "  $WSEL_BENCH_JSON\n"
         "see the file header of tools/wsel_cli.cc for details\n");
     return 2;
 }
