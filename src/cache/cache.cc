@@ -147,13 +147,21 @@ bool
 Cache::accessIfHit(std::uint64_t byte_addr, bool is_write,
                    bool is_prefetch)
 {
+    const tagscan::Probe p = scanProbe(byte_addr);
+    return finishAccessAt(byte_addr,
+                          tagscan::find(p.tags, p.n, p.want),
+                          is_write, is_prefetch);
+}
+
+bool
+Cache::finishAccessAt(std::uint64_t byte_addr, std::uint32_t way,
+                      bool is_write, bool is_prefetch)
+{
     const std::uint64_t la = lineAddr(byte_addr);
     const std::uint32_t set = setIndex(la);
     const std::size_t base =
         static_cast<std::size_t>(set) * geom_.ways;
-    const std::uint32_t *tags = &tags_[base];
-    const std::uint32_t want = tagFor(la);
-    const std::uint32_t w = tagscan::find(tags, geom_.ways, want);
+    const std::uint32_t w = way;
     if (w < geom_.ways) {
         if (is_prefetch) {
             ++stats_.prefetchAccesses;

@@ -1,0 +1,128 @@
+#include "mem/numa.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "stats/logging.hh"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace wsel::numa
+{
+
+const char *
+toString(Mode mode)
+{
+    switch (mode) {
+      case Mode::FirstTouch:
+        return "firsttouch";
+      case Mode::Interleave:
+        return "interleave";
+      case Mode::Off:
+        return "off";
+    }
+    return "firsttouch";
+}
+
+namespace
+{
+
+Mode
+resolveMode()
+{
+    const char *env = std::getenv("WSEL_NUMA");
+    if (!env || !*env)
+        return Mode::FirstTouch;
+    const std::string v(env);
+    if (v == "firsttouch" || v == "local")
+        return Mode::FirstTouch;
+    if (v == "interleave")
+        return Mode::Interleave;
+    if (v == "off")
+        return Mode::Off;
+    warn("ignoring unknown WSEL_NUMA '" + v +
+         "' (want firsttouch|interleave|off)");
+    return Mode::FirstTouch;
+}
+
+int
+readNodeCount()
+{
+#if defined(__linux__)
+    // "0" on single-node hosts, "0-3" (or a list ending in the
+    // highest node) on NUMA hosts; the highest id bounds the count.
+    std::ifstream in("/sys/devices/system/node/online");
+    std::string text;
+    if (!in || !std::getline(in, text) || text.empty())
+        return 1;
+    std::size_t pos = text.find_last_of("-,");
+    const std::string last =
+        pos == std::string::npos ? text : text.substr(pos + 1);
+    char *end = nullptr;
+    const long hi = std::strtol(last.c_str(), &end, 10);
+    if (end == last.c_str() || hi < 0 || hi > 1023)
+        return 1;
+    return static_cast<int>(hi) + 1;
+#else
+    return 1;
+#endif
+}
+
+} // namespace
+
+Mode
+mode()
+{
+    static const Mode m = resolveMode();
+    return m;
+}
+
+int
+nodeCount()
+{
+    static const int n = readNodeCount();
+    return n;
+}
+
+void
+placeSlab(void *ptr, std::size_t bytes)
+{
+#if defined(__linux__) && defined(SYS_mbind)
+    if (mode() != Mode::Interleave || nodeCount() < 2 ||
+        ptr == nullptr)
+        return;
+    // Align inward to whole pages: mbind wants a page-aligned span
+    // and the slab's partial head/tail pages stay wherever first
+    // touch put them.
+    const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(ptr);
+    std::uintptr_t hi = lo + bytes;
+    lo = (lo + page - 1) & ~(page - 1);
+    hi &= ~(page - 1);
+    if (hi <= lo)
+        return;
+    constexpr int kMpolInterleave = 3;
+    constexpr unsigned kMpolMfMove = 2; // migrate already-touched pages
+    unsigned long nodemask[16] = {0};
+    const int nodes = nodeCount() < 1024 ? nodeCount() : 1024;
+    for (int n = 0; n < nodes; ++n)
+        nodemask[n / (8 * sizeof(unsigned long))] |=
+            1ul << (n % (8 * sizeof(unsigned long)));
+    // Advisory: failures (old kernels, cpuset restrictions) are
+    // ignored — pages simply stay where first touch left them.
+    (void)::syscall(SYS_mbind, reinterpret_cast<void *>(lo),
+                    hi - lo, kMpolInterleave, nodemask,
+                    static_cast<unsigned long>(nodes + 1),
+                    kMpolMfMove);
+#else
+    (void)ptr;
+    (void)bytes;
+#endif
+}
+
+} // namespace wsel::numa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NUMA-aware placement hints for the big simulation slabs.
+ *
+ * The batch engine's SoA lane slabs and the trace store's µop
+ * chunks are resized (and therefore first-touched) on the worker
+ * thread that will step them, so under the kernel's default local
+ * allocation policy they already land on that worker's node — the
+ * right placement for `--jobs N` campaigns where each shard's
+ * working set is private to one worker. That *first-touch* mode is
+ * the default and costs nothing.
+ *
+ * `WSEL_NUMA=interleave` instead spreads each slab's pages
+ * round-robin across all nodes (for single-shard runs whose one
+ * working set exceeds a node, or measurement runs chasing
+ * bandwidth rather than latency), applied via a raw mbind(2) so no
+ * libnuma dependency is taken. `WSEL_NUMA=off` suppresses even the
+ * hinting bookkeeping. On single-node hosts — and any host where
+ * the node topology cannot be read — every mode is a no-op, and
+ * placement hints never affect simulation results, only where the
+ * host kernel puts the pages.
+ */
+
+#ifndef WSEL_MEM_NUMA_HH
+#define WSEL_MEM_NUMA_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wsel::numa
+{
+
+/** Resolved placement policy for simulation slabs. */
+enum class Mode : std::uint8_t
+{
+    FirstTouch = 0, ///< kernel default: pages follow the toucher
+    Interleave = 1, ///< round-robin pages across all nodes
+    Off = 2,        ///< no hints at all
+};
+
+/** "firsttouch" / "interleave" / "off". */
+const char *toString(Mode mode);
+
+/**
+ * The process-wide mode: WSEL_NUMA (firsttouch | interleave | off),
+ * default firsttouch, warning once on unknown values. Resolved on
+ * first use and fixed afterwards.
+ */
+Mode mode();
+
+/**
+ * NUMA nodes the host exposes (from
+ * /sys/devices/system/node/online); 1 when unreadable or
+ * non-Linux. Cached after the first read.
+ */
+int nodeCount();
+
+/**
+ * Apply the resolved placement to a freshly (re)allocated slab.
+ * Interleave binds the whole-page span inside [ptr, ptr+bytes)
+ * across all nodes; every other mode — and every failure — is a
+ * silent no-op (placement is advisory, never load-bearing).
+ */
+void placeSlab(void *ptr, std::size_t bytes);
+
+} // namespace wsel::numa
+
+#endif // WSEL_MEM_NUMA_HH

@@ -111,12 +111,13 @@ runLease(const LeaseMsg &lease, CachedContext &cached,
     std::vector<double> payload;
     try {
         if (ctx.fidelity() == 0)
-            // Batch size from WSEL_BATCH_CELLS (resolveBatchCells
-            // default otherwise); batching never changes shard
-            // bytes, so mixed worker fleets stay coherent.
+            // Batch and wave sizes from WSEL_BATCH_CELLS /
+            // WSEL_BATCH_WAVE (resolver defaults otherwise);
+            // neither ever changes shard bytes, so mixed worker
+            // fleets stay coherent.
             simulatePopulationShardBatched(
                 m, ctx.population(), ctx.uncores(), ctx.models(),
-                ctx.seed(), lease.shard, 0, payload, tick);
+                ctx.seed(), lease.shard, 0, 0, payload, tick);
         else
             simulateDetailedPopulationShard(
                 m, ctx.population(), ctx.coreConfig(),

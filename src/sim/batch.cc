@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cache/tagscan.hh"
+#include "mem/numa.hh"
 #include "obs/metrics.hh"
 #include "stats/logging.hh"
 
@@ -35,16 +36,111 @@ resolveBatchCells(std::uint32_t requested)
         b, 1, kMaxBatchCells));
 }
 
+std::uint32_t
+resolveBatchWave(std::uint32_t requested)
+{
+    std::uint64_t w = requested;
+    if (w == 0) {
+        w = kDefaultBatchWave;
+        if (const char *env = std::getenv("WSEL_BATCH_WAVE");
+            env && *env) {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0) {
+                w = v;
+            } else {
+                warn("ignoring invalid WSEL_BATCH_WAVE '" +
+                     std::string(env) + "' (want a positive wave "
+                     "width)");
+            }
+        }
+    }
+    return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        w, 1, kMaxBatchCells));
+}
+
+std::size_t
+estimateUncoreFootprint(const UncoreConfig &cfg,
+                        std::uint32_t cores)
+{
+    const std::uint64_t lines =
+        cfg.llc.sizeBytes / cfg.llc.lineBytes;
+    // Packed tag (4 B) + dirty byte + ~8 B/line of replacement
+    // state covers LRU ranks and dueling metadata.
+    std::size_t bytes = static_cast<std::size_t>(lines) * 13;
+    bytes += 4096 * 16;                            // page table
+    bytes += static_cast<std::size_t>(cores) * 512 * 16; // xlate
+    bytes += static_cast<std::size_t>(cores) * 4096; // prefetchers
+    bytes += 16384; // MSHRs, write buffer, counters, slack
+    return bytes;
+}
+
+namespace
+{
+
+/** WSEL_WAVE_MEM in bytes (MiB knob, default kDefaultWaveMemMib). */
+std::uint64_t
+waveBudgetBytes()
+{
+    std::uint64_t mib = kDefaultWaveMemMib;
+    if (const char *env = std::getenv("WSEL_WAVE_MEM");
+        env && *env) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) {
+            mib = v;
+        } else {
+            warn("ignoring invalid WSEL_WAVE_MEM '" +
+                 std::string(env) + "' (want a positive MiB "
+                 "budget)");
+        }
+    }
+    return mib << 20;
+}
+
+/**
+ * Final wave width: within the batch, and small enough that W
+ * resident uncores (worst policy) fit the WSEL_WAVE_MEM budget.
+ */
+std::uint32_t
+clampWave(std::uint32_t wave, std::uint32_t batch_cells,
+          std::span<const UncoreConfig> ucfgs, std::uint32_t cores)
+{
+    wave = std::clamp<std::uint32_t>(wave, 1, kMaxBatchCells);
+    wave = std::min(wave, batch_cells);
+    if (wave <= 1 || ucfgs.empty())
+        return wave;
+    std::size_t worst = 1;
+    for (const UncoreConfig &cfg : ucfgs)
+        worst = std::max(worst, estimateUncoreFootprint(cfg, cores));
+    const std::uint64_t allowed = std::max<std::uint64_t>(
+        1, waveBudgetBytes() / worst);
+    if (allowed < wave) {
+        warn("clamping --batch-wave " + std::to_string(wave) +
+             " to " + std::to_string(allowed) +
+             ": resident uncores (~" +
+             std::to_string(worst >> 10) +
+             " KiB each) exceed the WSEL_WAVE_MEM budget");
+        wave = static_cast<std::uint32_t>(allowed);
+    }
+    return wave;
+}
+
+} // namespace
+
 BadcoBatchRunner::BadcoBatchRunner(
     std::span<const UncoreConfig> ucfgs, std::uint32_t cores,
     std::uint64_t target_uops,
     const std::vector<const BadcoModel *> &models,
-    std::uint32_t batch_cells, std::uint32_t window,
-    std::uint32_t max_outstanding, std::uint64_t quantum)
+    std::uint32_t batch_cells, std::uint32_t wave,
+    std::uint32_t window, std::uint32_t max_outstanding,
+    std::uint64_t quantum)
     : ucfgs_(ucfgs), cores_(cores), targetUops_(target_uops),
       models_(models),
       batchCells_(std::clamp<std::uint32_t>(batch_cells, 1,
                                             kMaxBatchCells)),
+      wave_(clampWave(wave, batchCells_, ucfgs, cores)),
       windowOverride_(window), maxOutstanding_(max_outstanding),
       quantum_(quantum)
 {
@@ -62,6 +158,7 @@ BadcoBatchRunner::BadcoBatchRunner(
     cellSeed_.resize(batchCells_);
     cellPolicy_.resize(batchCells_);
     cellOut_.resize(batchCells_);
+    cellLoads_.resize(batchCells_);
     clock_.resize(lanes);
     totalUops_.resize(lanes);
     nodeIdx_.resize(lanes);
@@ -75,9 +172,41 @@ BadcoBatchRunner::BadcoBatchRunner(
     outComp_.resize(lanes * maxOutstanding_);
     outMark_.resize(lanes * maxOutstanding_);
 
+    // The resizes above first-touch every slab on this thread — the
+    // worker that will step the lanes — so kernel-default placement
+    // is already node-local; WSEL_NUMA=interleave re-spreads the
+    // big slabs instead (mem/numa.hh).
+    numa::placeSlab(clock_.data(),
+                    clock_.size() * sizeof(clock_[0]));
+    numa::placeSlab(totalUops_.data(),
+                    totalUops_.size() * sizeof(totalUops_[0]));
+    numa::placeSlab(cyclesToTarget_.data(),
+                    cyclesToTarget_.size() *
+                        sizeof(cyclesToTarget_[0]));
+    numa::placeSlab(outComp_.data(),
+                    outComp_.size() * sizeof(outComp_[0]));
+    numa::placeSlab(outMark_.data(),
+                    outMark_.size() * sizeof(outMark_[0]));
+
+    if (wave_ > 1) {
+        waveUnc_.reserve(wave_);
+        waveT_.reserve(wave_);
+        waveFirst_.reserve(wave_);
+        waveRot_.reserve(wave_);
+        waveDone_.reserve(wave_);
+        waveStepping_.reserve(wave_);
+        wavePhase_.reserve(wave_);
+        wavePend_.resize(wave_);
+        waveResume_.reserve(wave_);
+        wavePendCell_.reserve(wave_);
+        waveProbe_.reserve(wave_);
+        waveWay_.reserve(wave_);
+    }
+
     if (obs::metricsEnabled()) {
         obs::gauge("batch.simd_path")
             .set(static_cast<double>(tagscan::activePath()));
+        obs::gauge("batch.wave").set(static_cast<double>(wave_));
     }
 }
 
@@ -133,6 +262,7 @@ BadcoBatchRunner::add(std::uint64_t seed, std::uint32_t policy,
         loadOff_[lane] = load_watermark;
         load_watermark += model.loadCount;
     }
+    cellLoads_[b] = load_watermark;
     if (loadComp_.size() < load_watermark)
         loadComp_.resize(load_watermark);
     ++cells_;
@@ -152,6 +282,13 @@ BadcoBatchRunner::run()
         cellsC.inc(cells_);
         lanes_active = &lanesG;
         lanesG.set(static_cast<double>(cells_ * cores_));
+    }
+
+    // Wavefront mode interleaves cells; a wave of one (or one
+    // pending cell) degenerates to cell-major exactly.
+    if (wave_ > 1 && cells_ > 1) {
+        runWavefront();
+        return;
     }
 
     // Cell-major execution: each cell runs to completion under the
@@ -331,6 +468,324 @@ BadcoBatchRunner::runLane(std::size_t lane, Uncore &unc,
     outMin_[lane] = omin;
     outCnt_[lane] = ocnt;
     cyclesToTarget_[lane] = ctt;
+}
+
+void
+BadcoBatchRunner::runWavefront()
+{
+    const bool metrics = obs::metricsEnabled();
+    obs::Counter *probes_gathered = nullptr;
+    obs::Gauge *resident = nullptr;
+    obs::Gauge *lanes_active = nullptr;
+    if (metrics) {
+        static obs::Counter &probesC =
+            obs::counter("batch.probes_gathered");
+        static obs::Gauge &residentG =
+            obs::gauge("batch.uncores_resident");
+        static obs::Gauge &lanesG =
+            obs::gauge("batch.lanes_active");
+        probes_gathered = &probesC;
+        resident = &residentG;
+        lanes_active = &lanesG;
+    }
+
+    // Waves of up to W cells advance in lockstep. Each cell runs
+    // its own copy of the cell-major control flow — the all-done
+    // check, the quantum advance, the rotating lane schedule — so
+    // its uncore sees the exact request sequence cell-major issues;
+    // only *between* cells does execution interleave, which the
+    // share-nothing contract makes unobservable.
+    for (std::size_t g0 = 0; g0 < cells_; g0 += wave_) {
+        const std::size_t gn =
+            std::min<std::size_t>(wave_, cells_ - g0);
+        waveUnc_.clear();
+        waveUnc_.resize(gn);
+        for (std::size_t c = 0; c < gn; ++c)
+            waveUnc_[c].emplace(ucfgs_[cellPolicy_[g0 + c]],
+                                cores_, cellSeed_[g0 + c]);
+        // Cell-major execution lets every cell reuse one
+        // loadComp_ region; resident cells must not — give each
+        // wave slot its own stride-sized region.
+        waveLoadStride_ = 0;
+        for (std::size_t c = 0; c < gn; ++c)
+            waveLoadStride_ =
+                std::max(waveLoadStride_, cellLoads_[g0 + c]);
+        if (loadComp_.size() < gn * waveLoadStride_)
+            loadComp_.resize(gn * waveLoadStride_);
+        if (resident)
+            resident->set(static_cast<double>(gn));
+        waveT_.assign(gn, 0);
+        waveFirst_.assign(gn, 0);
+        waveRot_.assign(gn, 0);
+        waveDone_.assign(gn, 0);
+        waveStepping_.assign(gn, 0);
+        wavePhase_.assign(gn, kPhaseTop);
+        waveResume_.assign(gn, UINT32_MAX);
+
+        std::size_t remaining = gn;
+        while (remaining > 0) {
+            // Quantum head, per cell: the all-done test over the
+            // cell's lanes (hoisted into a branchless lane-parallel
+            // count over the cyclesToTarget_ slab) and the t
+            // advance of the rotating schedule.
+            std::size_t stepping = 0;
+            for (std::size_t c = 0; c < gn; ++c) {
+                if (waveDone_[c])
+                    continue;
+                const std::uint64_t *ctt =
+                    cyclesToTarget_.data() + (g0 + c) * cores_;
+                std::uint32_t live = 0;
+                for (std::uint32_t k = 0; k < cores_; ++k)
+                    live += ctt[k] == 0;
+                if (live == 0) {
+                    waveDone_[c] = 1;
+                    --remaining;
+                    continue;
+                }
+                waveT_[c] += quantum_;
+                waveRot_[c] = 0;
+                waveStepping_[c] = 1;
+                ++stepping;
+            }
+
+            // Drive every stepping cell through its quantum. A cell
+            // parks when a lane reaches its LLC tag scan; at the end
+            // of each sweep all parked probes — one per cell, all
+            // against disjoint tag arrays — resolve in one gathered
+            // SIMD sweep, and the next sweep resumes them.
+            while (stepping > 0) {
+                wavePendCell_.clear();
+                for (std::size_t c = 0; c < gn; ++c) {
+                    if (!waveStepping_[c])
+                        continue;
+                    const std::size_t base = (g0 + c) * cores_;
+                    bool parked = false;
+                    while (waveRot_[c] < cores_) {
+                        std::uint32_t k =
+                            waveFirst_[c] + waveRot_[c];
+                        if (k >= cores_)
+                            k -= cores_;
+                        const std::size_t lane = base + k;
+                        if (wavePhase_[c] == kPhaseTop &&
+                            clock_[lane] >= waveT_[c]) {
+                            ++waveRot_[c];
+                            continue;
+                        }
+                        parked = runLaneWave(c, lane, *waveUnc_[c],
+                                             k, waveT_[c]);
+                        if (parked)
+                            break;
+                        ++waveRot_[c];
+                    }
+                    if (parked) {
+                        wavePendCell_.push_back(
+                            static_cast<std::uint32_t>(c));
+                    } else {
+                        waveStepping_[c] = 0;
+                        --stepping;
+                        waveFirst_[c] =
+                            waveFirst_[c] + 1 == cores_
+                                ? 0
+                                : waveFirst_[c] + 1;
+                    }
+                }
+                if (!wavePendCell_.empty()) {
+                    waveProbe_.clear();
+                    waveWay_.resize(wavePendCell_.size());
+                    for (const std::uint32_t c : wavePendCell_)
+                        waveProbe_.push_back(
+                            waveUnc_[c]->llcProbe(wavePend_[c]));
+                    tagscan::findMany(waveProbe_.data(),
+                                      waveProbe_.size(),
+                                      waveWay_.data());
+                    if (probes_gathered)
+                        probes_gathered->inc(waveProbe_.size());
+                    for (std::size_t i = 0;
+                         i < wavePendCell_.size(); ++i)
+                        waveResume_[wavePendCell_[i]] =
+                            waveWay_[i];
+                }
+            }
+        }
+
+        for (std::size_t c = 0; c < gn; ++c) {
+            double *out = cellOut_[g0 + c];
+            const std::size_t base = (g0 + c) * cores_;
+            for (std::uint32_t k = 0; k < cores_; ++k)
+                out[k] =
+                    static_cast<double>(targetUops_) /
+                    static_cast<double>(cyclesToTarget_[base + k]);
+        }
+        waveUnc_.clear();
+        if (lanes_active)
+            lanes_active->set(static_cast<double>(
+                (cells_ - std::min(cells_, g0 + gn)) * cores_));
+    }
+    if (resident)
+        resident->set(0.0);
+    cells_ = 0;
+}
+
+bool
+BadcoBatchRunner::runLaneWave(std::size_t slot, std::size_t lane,
+                              Uncore &unc, std::uint32_t core,
+                              std::uint64_t until)
+{
+    // runLane() with a park point at every LLC access: identical
+    // locals, identical step loop — change the two together. The
+    // only divergence is *where* the tag scan happens (gathered by
+    // the wave driver instead of inline in Uncore::access), which
+    // accessBegin/accessFinish make structurally equivalent.
+    std::uint64_t clk = clock_[lane];
+    std::uint64_t tu = totalUops_[lane];
+    std::size_t ni = nodeIdx_[lane];
+    std::uint64_t seq = loadSeq_[lane];
+    std::uint64_t omin = outMin_[lane];
+    std::uint32_t ocnt = outCnt_[lane];
+    std::uint64_t ctt = cyclesToTarget_[lane];
+    const std::uint32_t window = laneWindow_[lane];
+    const BadcoModel &model = *laneModel_[lane];
+    const std::size_t ncount = model.nodeWeight.size();
+    const std::uint32_t *nw = model.nodeWeight.data();
+    const std::uint32_t *nu = model.nodeUops.data();
+    const std::uint64_t *nv = model.nodeVaddr.data();
+    const std::uint64_t *npc = model.nodePc.data();
+    const std::uint8_t *nt = model.nodeType.data();
+    const std::int64_t *nd = model.nodeDependsOn.data();
+    std::uint64_t *ocomp =
+        outComp_.data() +
+        static_cast<std::size_t>(lane) * maxOutstanding_;
+    std::uint64_t *omark =
+        outMark_.data() +
+        static_cast<std::size_t>(lane) * maxOutstanding_;
+    std::uint64_t *lcomp = loadComp_.data() +
+                           slot * waveLoadStride_ + loadOff_[lane];
+
+    const auto expire = [&] {
+        if (omin > clk)
+            return;
+        std::uint64_t min = UINT64_MAX;
+        std::uint32_t n = 0;
+        for (std::uint32_t j = 0; j < ocnt; ++j) {
+            if (ocomp[j] > clk) {
+                ocomp[n] = ocomp[j];
+                omark[n] = omark[j];
+                min = std::min(min, ocomp[j]);
+                ++n;
+            }
+        }
+        ocnt = n;
+        omin = min;
+    };
+    const auto check_target = [&] {
+        if (ctt != 0 || tu < targetUops_)
+            return;
+        std::uint64_t t = clk;
+        for (std::uint32_t j = 0; j < ocnt; ++j)
+            t = std::max(t, ocomp[j]);
+        ctt = std::max<std::uint64_t>(t, 1);
+    };
+
+    // Resume a parked access: the gathered sweep's way index
+    // finishes it, then the post-access tail of the interrupted
+    // iteration (outstanding bookkeeping for loads, then
+    // check_target / node advance) runs exactly as runLane's.
+    if (wavePhase_[slot] != kPhaseTop) {
+        const std::uint64_t comp =
+            unc.accessFinish(wavePend_[slot], waveResume_[slot]);
+        ocomp[ocnt] = comp;
+        omark[ocnt] = tu;
+        ++ocnt;
+        omin = std::min(omin, comp);
+        WSEL_ASSERT(seq < model.loadCount,
+                    "load numbering overflow");
+        lcomp[seq++] = comp;
+        wavePhase_[slot] = kPhaseTop;
+        check_target();
+        ++ni;
+    }
+
+    bool parked = false;
+    while (clk < until) {
+        if (ni >= ncount) {
+            // Tail of the slice, then thread restart.
+            clk += model.tailWeight;
+            tu += model.tailUops;
+            check_target();
+            ni = 0;
+            seq = 0;
+            continue;
+        }
+        const std::size_t i = ni;
+
+        clk += nw[i];
+        tu += nu[i];
+        expire();
+
+        for (std::uint32_t j = 0; j < ocnt; ++j) {
+            if (tu <= omark[j] + window)
+                break;
+            if (ocomp[j] > clk)
+                clk = ocomp[j];
+        }
+        expire();
+
+        const std::uint64_t vaddr = nv[i];
+        const std::uint64_t pc = npc[i];
+        switch (static_cast<BadcoReqType>(nt[i])) {
+          case BadcoReqType::Load: {
+            const std::int64_t depends_on = nd[i];
+            if (depends_on >= 0) {
+                WSEL_ASSERT(
+                    static_cast<std::uint64_t>(depends_on) < seq,
+                    "forward load dependency in model");
+                const std::uint64_t dep_done = lcomp[depends_on];
+                if (dep_done > clk) {
+                    clk = dep_done;
+                    expire();
+                }
+            }
+            if (ocnt >= maxOutstanding_) {
+                if (omin > clk)
+                    clk = omin;
+                expire();
+            }
+            wavePend_[slot] = unc.accessBegin(clk, core, vaddr,
+                                              false, pc, false);
+            wavePhase_[slot] = kPhaseLoad;
+            parked = true;
+            break;
+          }
+          case BadcoReqType::Store:
+            // Stores, prefetches and writebacks are fire-and-
+            // forget: runLane discards their completion, so
+            // nothing feeds back into the lane — run them inline
+            // (uncore mutation order is identical either way) and
+            // save the park/resume spill for the loads that need
+            // their completion time.
+            unc.access(clk, core, vaddr, true, pc, false);
+            break;
+          case BadcoReqType::Prefetch:
+            unc.access(clk, core, vaddr, false, pc, true);
+            break;
+          case BadcoReqType::Writeback:
+            unc.writeback(clk, core, vaddr);
+            break;
+        }
+        if (parked)
+            break;
+        check_target();
+        ++ni;
+    }
+
+    clock_[lane] = clk;
+    totalUops_[lane] = tu;
+    nodeIdx_[lane] = ni;
+    loadSeq_[lane] = seq;
+    outMin_[lane] = omin;
+    outCnt_[lane] = ocnt;
+    cyclesToTarget_[lane] = ctt;
+    return parked;
 }
 
 } // namespace wsel

@@ -114,6 +114,7 @@ runHybridCampaign(const WorkloadPopulation &pop, PolicyKind x,
     pop_opts.resume = opts.resume;
     pop_opts.verbose = opts.verbose;
     pop_opts.batchCells = opts.batchCells;
+    pop_opts.batchWave = opts.batchWave;
     std::vector<PopulationPairSpec> pairs(1);
     pairs[0].x = 0;
     pairs[0].y = 1;

@@ -136,7 +136,8 @@ simulatePopulationShardBatched(
     const std::vector<UncoreConfig> &ucfgs,
     const std::vector<const BadcoModel *> &models,
     std::uint64_t base_seed, std::uint64_t shard,
-    std::uint32_t batch_cells, std::vector<double> &payload,
+    std::uint32_t batch_cells, std::uint32_t batch_wave,
+    std::vector<double> &payload,
     const std::function<void()> &tick)
 {
     const std::size_t np = m.policies.size();
@@ -148,7 +149,8 @@ simulatePopulationShardBatched(
     payload.assign(static_cast<std::size_t>(rows) * np * k, 0.0);
     BadcoBatchRunner runner({ucfgs.data(), ucfgs.size()}, k,
                             m.targetUops, models,
-                            resolveBatchCells(batch_cells));
+                            resolveBatchCells(batch_cells),
+                            resolveBatchWave(batch_wave));
     WorkloadCursor cur(pop, m.shardFirstRank(shard));
     for (std::uint64_t r = 0; r < rows; ++r, cur.next()) {
         if (tick)
@@ -298,6 +300,8 @@ runBadcoPopulationCampaign(
     std::vector<ShardPartial> parts(shards);
     const std::uint32_t batch_cells =
         resolveBatchCells(opts.batchCells);
+    const std::uint32_t batch_wave =
+        resolveBatchWave(opts.batchWave);
 
     auto run_shard = [&](std::size_t s) {
         ShardPartial &part = parts[s];
@@ -335,7 +339,7 @@ runBadcoPopulationCampaign(
         std::vector<double> payload;
         simulatePopulationShardBatched(m, pop, ucfgs, models,
                                        opts.seed, s, batch_cells,
-                                       payload);
+                                       batch_wave, payload);
         {
             std::uint64_t write_ns = 0;
             {

@@ -125,6 +125,14 @@ struct PopulationOptions
      * serially. Results are bitwise identical at every value.
      */
     std::uint32_t batchCells = 0;
+
+    /**
+     * Wave width for the wavefront batch engine: 0 resolves
+     * WSEL_BATCH_WAVE (default 1 = cell-major), W > 1 steps W
+     * cells in lockstep with gathered tag scans. Results are
+     * bitwise identical at every value.
+     */
+    std::uint32_t batchWave = 0;
 };
 
 /** Result of a population campaign run. */
@@ -183,17 +191,20 @@ void simulatePopulationShard(
  * and bitwise-identical payload, but cells run through the
  * BadcoBatchRunner (sim/batch.hh) in groups of @p batch_cells
  * (resolved via resolveBatchCells; 1 behaves like the serial
- * engine). The "population.cell" fault point still fires once per
- * cell, at batch-append time — a fault or SIGKILL mid-batch
- * abandons the whole (unwritten) shard exactly as the serial
- * engine's mid-shard fault does, so resume semantics are unchanged.
+ * engine) with wave width @p batch_wave (resolved via
+ * resolveBatchWave; >1 interleaves cells in lockstep waves). The
+ * "population.cell" fault point still fires once per cell, at
+ * batch-append time — a fault or SIGKILL mid-batch abandons the
+ * whole (unwritten) shard exactly as the serial engine's mid-shard
+ * fault does, so resume semantics are unchanged at any wave size.
  */
 void simulatePopulationShardBatched(
     const persist::V3Manifest &m, const WorkloadPopulation &pop,
     const std::vector<UncoreConfig> &ucfgs,
     const std::vector<const BadcoModel *> &models,
     std::uint64_t base_seed, std::uint64_t shard,
-    std::uint32_t batch_cells, std::vector<double> &payload,
+    std::uint32_t batch_cells, std::uint32_t batch_wave,
+    std::vector<double> &payload,
     const std::function<void()> &tick = {});
 
 /**

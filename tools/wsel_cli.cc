@@ -594,6 +594,8 @@ cmdAdaptive(const Args &args)
     opts.verbose = args.getU64("verbose", 0) != 0;
     opts.batchCells =
         static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
+    opts.batchWave =
+        static_cast<std::uint32_t>(args.getU64("batch-wave", 0));
 
     const UncoreConfig ucfg =
         UncoreConfig::forCores(cores, PolicyKind::LRU);
@@ -705,6 +707,8 @@ cmdHybrid(const Args &args)
     opts.batchRows = args.getU64("batch-rows", 64);
     opts.batchCells =
         static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
+    opts.batchWave =
+        static_cast<std::uint32_t>(args.getU64("batch-wave", 0));
 
     const std::string profile_path = args.get(
         "profile", fidelity::errorProfilePath(defaultCacheDir()));
@@ -827,6 +831,8 @@ cmdPopulation(const Args &args)
     opts.verbose = args.getU64("verbose", 0) != 0;
     opts.batchCells =
         static_cast<std::uint32_t>(args.getU64("batch-cells", 0));
+    opts.batchWave =
+        static_cast<std::uint32_t>(args.getU64("batch-wave", 0));
 
     // Every ordered policy pair i<j, oriented "i outperforms j".
     std::vector<PopulationPairSpec> pairs;
@@ -1223,7 +1229,8 @@ usage()
         "      [--jobs N] [--first R] [--last R|--limit N]\n"
         "      [--resume 0|1] [--metric IPCT|WSU|HSU|GSU]\n"
         "      [--seed S] [--distributed N] [--sequential 1]\n"
-        "      [--hybrid 1] [--batch-cells B] [--verbose 1]\n"
+        "      [--hybrid 1] [--batch-cells B] [--batch-wave W]\n"
+        "      [--verbose 1]\n"
         "      full-population campaign into a sharded campaign_v3\n"
         "      dir; --distributed N leases shards to N spawned\n"
         "      wsel_worker processes with --out as the result-store\n"
@@ -1236,7 +1243,8 @@ usage()
         "      [--min W] [--batch W] [--jobs N]\n"
         "      [--method random|ranked-set] [--set-size M]\n"
         "      [--redraws N] [--wall-clock SECS] [--resume 0|1]\n"
-        "      [--seed S] [--batch-cells B] [--verbose 1]\n"
+        "      [--seed S] [--batch-cells B] [--batch-wave W]\n"
+        "      [--verbose 1]\n"
         "      sequential campaign that stops at target confidence\n"
         "      (docs/SAMPLING.md); resumable bitwise-identically\n"
         "  hybrid --out DIR [--x POL --y POL|--policies Y,X]\n"
@@ -1244,6 +1252,7 @@ usage()
         "      [--quantile Q] [--budget-frac F] [--threshold T]\n"
         "      [--profile FILE] [--calibrate W] [--jobs N]\n"
         "      [--resume 0|1] [--seed S] [--batch-cells B]\n"
+        "      [--batch-wave W]\n"
         "      error-bounded mixed-fidelity campaign: BADCO sweep,\n"
         "      then suspect cells escalate to the detailed\n"
         "      simulator, at most --budget-frac of the population;\n"
@@ -1272,10 +1281,16 @@ usage()
         "common options: --jobs N (0 = $WSEL_JOBS, else hardware),\n"
         "  --metrics-out FILE, --trace-out FILE, --trace-mem MIB,\n"
         "  --batch-cells B (cells per batched-engine group; 0 =\n"
-        "  $WSEL_BATCH_CELLS else 32, 1 = serial; bitwise identical\n"
-        "  at every value)\n"
+        "  $WSEL_BATCH_CELLS else 32, 1 = serial, max 4096; bitwise\n"
+        "  identical at every value),\n"
+        "  --batch-wave W (resident cells advanced in lockstep per\n"
+        "  group; 0 = $WSEL_BATCH_WAVE else 1 = cell-major; clamped\n"
+        "  so W uncores fit $WSEL_WAVE_MEM MiB, default 256;\n"
+        "  bitwise identical at every value)\n"
         "environment: WSEL_JOBS, WSEL_METRICS, WSEL_TRACE,\n"
         "  WSEL_TRACE_MEM, WSEL_CACHE_DIR, WSEL_BATCH_CELLS,\n"
+        "  WSEL_BATCH_WAVE, WSEL_WAVE_MEM, WSEL_NUMA\n"
+        "  (firsttouch|interleave|off),\n"
         "  WSEL_SIMD (scalar|swar|sse2|avx2), WSEL_TRACE_HUGEPAGES;\n"
         "  bench binaries write a machine-readable summary to\n"
         "  $WSEL_BENCH_JSON\n"
